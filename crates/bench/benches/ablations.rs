@@ -1,0 +1,44 @@
+//! Regenerates the three ablations called out in DESIGN.md: RAID layout,
+//! multipath masking sweep, and episode independence.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssfa_logs::CascadeStyle;
+use ssfa_model::LayoutPolicy;
+use ssfa_sim::Calibration;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let ctx = common::ctx();
+    println!("{}", ssfa_bench::render_ablation_layout(&ctx));
+    println!("{}", ssfa_bench::render_ablation_independence(&ctx));
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("same_shelf_layout_pipeline", |b| {
+        b.iter(|| {
+            let study = ctx
+                .pipeline()
+                .layout(LayoutPolicy::SameShelf)
+                .cascade_style(CascadeStyle::RaidOnly)
+                .run()
+                .expect("pipeline");
+            black_box(study)
+        });
+    });
+    group.bench_function("no_episode_pipeline", |b| {
+        b.iter(|| {
+            let study = ctx
+                .pipeline()
+                .calibration(Calibration::paper().without_episodes())
+                .run()
+                .expect("pipeline");
+            black_box(study)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerates the two future-work extensions: RAID data-loss risk (E1)
+//! and precursor-based failure prediction (E2).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssfa_core::{evaluate_predictor, raid_data_loss_risk, PrecursorPredictor, RiskFailureSet};
+use ssfa_logs::{classify, render_support_log_noisy, CascadeStyle, NoiseParams};
+use ssfa_model::SimDuration;
+use std::hint::black_box;
+
+fn bench_extensions(c: &mut Criterion) {
+    let ctx = common::ctx();
+    let study = ctx.study();
+    println!("{}", ssfa_bench::render_raid_risk(&study));
+    println!("{}", ssfa_bench::render_prediction(&ctx));
+
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("raid_risk_both_sets", |b| {
+        b.iter(|| {
+            for set in [RiskFailureSet::DiskOnly, RiskFailureSet::DiskAndInterconnect] {
+                black_box(raid_data_loss_risk(
+                    study.input(),
+                    SimDuration::from_days(1.0),
+                    set,
+                ));
+            }
+        });
+    });
+
+    let pipeline = ctx.pipeline().cascade_style(CascadeStyle::Full);
+    let fleet = pipeline.build_fleet();
+    let output = pipeline.simulate(&fleet);
+    let book = render_support_log_noisy(
+        &fleet,
+        &output,
+        CascadeStyle::Full,
+        NoiseParams::realistic(),
+        ctx.seed,
+    );
+    let input = classify(&book).expect("classifies");
+    group.bench_function("predictor_scan", |b| {
+        b.iter(|| black_box(evaluate_predictor(&book, &input, PrecursorPredictor::default())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Figure 10: empirical vs theoretical P(2) per failure type
+//! at both scopes.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssfa_core::Scope;
+use ssfa_model::SimDuration;
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let study = common::prebuilt_study();
+    println!("{}", ssfa_bench::render_fig10(&study));
+
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for (name, scope) in [("shelf", Scope::Shelf), ("raid_group", Scope::RaidGroup)] {
+        group.bench_function(format!("correlation_{name}"), |b| {
+            b.iter(|| black_box(study.correlation(scope, SimDuration::from_years(1.0))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

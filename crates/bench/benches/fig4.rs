@@ -1,0 +1,25 @@
+//! Regenerates Figure 4: AFR by class and failure type, incl./excl. the
+//! problematic disk family.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let study = common::prebuilt_study();
+    println!("{}", ssfa_bench::render_fig4(&study));
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("afr_by_class_including_h", |b| {
+        b.iter(|| black_box(study.afr_by_class(true)));
+    });
+    group.bench_function("afr_by_class_excluding_h", |b| {
+        b.iter(|| black_box(study.afr_by_class(false)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

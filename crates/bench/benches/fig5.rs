@@ -1,0 +1,25 @@
+//! Regenerates Figure 5: AFR by disk model across the six
+//! (class, shelf model) panels.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let study = common::prebuilt_study();
+    println!("{}", ssfa_bench::render_fig5(&study));
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("environment_breakdown", |b| {
+        b.iter(|| black_box(study.afr_by_environment()));
+    });
+    group.bench_function("panels", |b| {
+        b.iter(|| black_box(study.fig5_panels()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

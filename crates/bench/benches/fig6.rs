@@ -1,0 +1,22 @@
+//! Regenerates Figure 6: AFR by shelf enclosure model for the low-end
+//! disk models, with significance tests.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let study = common::prebuilt_study();
+    println!("{}", ssfa_bench::render_fig6(&study));
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("panels_with_t_tests", |b| {
+        b.iter(|| black_box(study.fig6_panels()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates Figure 7: AFR by path configuration for mid-range and
+//! high-end systems, with significance tests.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let study = common::prebuilt_study();
+    println!("{}", ssfa_bench::render_fig7(&study));
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("panels_with_t_tests", |b| {
+        b.iter(|| black_box(study.fig7_panels()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

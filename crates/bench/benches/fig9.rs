@@ -1,0 +1,31 @@
+//! Regenerates Figure 9: time-between-failure CDFs at shelf and
+//! RAID-group scope, with the exponential/Weibull/Gamma fits.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssfa_core::Scope;
+use ssfa_model::FailureType;
+use std::hint::black_box;
+
+fn bench_fig9(c: &mut Criterion) {
+    let study = common::prebuilt_study();
+    println!("{}", ssfa_bench::render_fig9(&study));
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("tbf_shelf_scope", |b| {
+        b.iter(|| black_box(study.tbf(Scope::Shelf)));
+    });
+    group.bench_function("tbf_raid_group_scope", |b| {
+        b.iter(|| black_box(study.tbf(Scope::RaidGroup)));
+    });
+    let tbf = study.tbf(Scope::Shelf);
+    group.bench_function("distribution_fits", |b| {
+        b.iter(|| black_box(tbf.for_type(FailureType::Disk).fit_candidates(15)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

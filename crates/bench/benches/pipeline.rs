@@ -1,0 +1,46 @@
+//! Stage-by-stage throughput of the reproduction pipeline: fleet build,
+//! simulation, log rendering, text parsing, classification.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ssfa_logs::{classify, render_support_log, CascadeStyle, LogBook};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let pipeline = common::ctx().pipeline();
+    let fleet = pipeline.build_fleet();
+    let output = pipeline.simulate(&fleet);
+    let book = render_support_log(&fleet, &output, CascadeStyle::Full);
+    let text = book.to_text();
+    println!(
+        "pipeline corpus at bench scale: {} disks, {} occurrences, {} log lines, {:.1} MiB",
+        fleet.disk_count(),
+        output.occurrences().len(),
+        book.len(),
+        text.len() as f64 / (1024.0 * 1024.0)
+    );
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("fleet_build", |b| {
+        b.iter(|| black_box(pipeline.build_fleet()));
+    });
+    group.bench_function("simulate_44_months", |b| {
+        b.iter(|| black_box(pipeline.simulate(&fleet)));
+    });
+    group.bench_function("render_full_cascades", |b| {
+        b.iter(|| black_box(render_support_log(&fleet, &output, CascadeStyle::Full)));
+    });
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("parse_corpus_text", |b| {
+        b.iter(|| black_box(LogBook::from_text(&text).expect("parses")));
+    });
+    group.bench_function("classify_corpus", |b| {
+        b.iter(|| black_box(classify(&book).expect("classifies")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates the paper's Table 1 (fleet overview per class).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the series once so `cargo bench` output doubles as the report.
+    let study = common::prebuilt_study();
+    println!("{}", ssfa_bench::render_table1(&study));
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("analysis", |b| {
+        b.iter(|| black_box(study.table1()));
+    });
+    group.bench_function("end_to_end", |b| {
+        b.iter(|| {
+            let study = common::ctx().study();
+            black_box(study.table1())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! `experiments` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!   experiments `<command>` [--scale S] [--seed N]
+//!
+//! Commands: table1, fig4, fig5, fig6, fig7, fig9, fig9-series, fig10,
+//! fig10-sweep, findings, ablation-layout, ablation-multipath,
+//! ablation-independence, render-corpus, classify-corpus, all.
+//!
+//! `render-corpus --out FILE` writes a full-cascade support-log corpus to
+//! disk; `classify-corpus --in FILE` runs the analysis pipeline on any
+//! corpus file (including hand-edited ones), printing Figure 4 and the
+//! findings — the toolchain works on logs, not on simulator state.
+//!
+//! The default scale is 0.05 (5% of the paper's ~39,000 systems, ~90,000
+//! disks), which reproduces every shape in a few seconds. Scale 1.0
+//! regenerates the full fleet.
+
+use std::process::ExitCode;
+
+use ssfa_bench::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("all");
+    let mut ctx = ExpContext::default();
+    let mut out_path: Option<String> = None;
+    let mut in_path: Option<String> = None;
+
+    let mut iter = args.iter().peekable();
+    if let Some(first) = iter.peek() {
+        if !first.starts_with("--") {
+            command = iter.next().expect("peeked").clone();
+        }
+    }
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => ctx.scale = v,
+                None => return usage("missing/invalid value for --scale"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => ctx.seed = v,
+                None => return usage("missing/invalid value for --seed"),
+            },
+            "--out" => match iter.next() {
+                Some(v) => out_path = Some(v.clone()),
+                None => return usage("missing value for --out"),
+            },
+            "--in" => match iter.next() {
+                Some(v) => in_path = Some(v.clone()),
+                None => return usage("missing value for --in"),
+            },
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    // File-oriented commands short-circuit before building a study.
+    match command.as_str() {
+        "render-corpus" => {
+            let Some(path) = out_path else {
+                return usage("render-corpus requires --out FILE");
+            };
+            return render_corpus_to(&ctx, &path);
+        }
+        "classify-corpus" => {
+            let Some(path) = in_path else {
+                return usage("classify-corpus requires --in FILE");
+            };
+            return classify_corpus_from(&path);
+        }
+        _ => {}
+    }
+
+    let needs_study = !command.starts_with("ablation")
+        && command != "prediction"
+        && command != "fleet-stats";
+    let study = if needs_study { Some(ctx.study()) } else { None };
+    let study = study.as_ref();
+
+    let output = match command.as_str() {
+        "table1" => render_table1(study.expect("built")),
+        "fleet-stats" => render_fleet_stats(&ctx),
+        "fig4" => render_fig4(study.expect("built")),
+        "fig5" => render_fig5(study.expect("built")),
+        "fig6" => render_fig6(study.expect("built")),
+        "fig7" => render_fig7(study.expect("built")),
+        "fig9" => render_fig9(study.expect("built")),
+        "fig9-series" => render_fig9_series(study.expect("built"), ssfa_core::Scope::Shelf, 60),
+        "fig10" => render_fig10(study.expect("built")),
+        "fig10-sweep" => render_fig10_sweep(study.expect("built")),
+        "findings" => render_findings(study.expect("built")),
+        "raid-risk" => render_raid_risk(study.expect("built")),
+        "availability" => render_availability(study.expect("built")),
+        "prediction" => render_prediction(&ctx),
+        "ablation-layout" => render_ablation_layout(&ctx),
+        "ablation-multipath" => render_ablation_multipath(&ctx),
+        "ablation-independence" => render_ablation_independence(&ctx),
+        "all" => run_all(&ctx),
+        other => return usage(&format!("unknown command: {other}")),
+    };
+    println!("{output}");
+    ExitCode::SUCCESS
+}
+
+fn render_corpus_to(ctx: &ExpContext, path: &str) -> ExitCode {
+    use ssfa_logs::CascadeStyle;
+    let pipeline = ctx.pipeline().cascade_style(CascadeStyle::Full);
+    let fleet = pipeline.build_fleet();
+    let output = pipeline.simulate(&fleet);
+    let book = pipeline.render(&fleet, &output);
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: cannot create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = std::io::BufWriter::new(file);
+    if let Err(e) = book.write_to(&mut writer) {
+        eprintln!("error: writing corpus failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} log lines for {} systems / {} disks to {path}",
+        book.len(),
+        fleet.systems().len(),
+        fleet.disk_count()
+    );
+    ExitCode::SUCCESS
+}
+
+fn classify_corpus_from(path: &str) -> ExitCode {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let book = match ssfa_logs::LogBook::read_from(std::io::BufReader::new(file)) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: corpus does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let input = match ssfa_logs::classify(&book) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: classification failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "classified {path}: {} systems, {} disk lifetimes, {} failures, {:.0} disk-years",
+        input.topology.systems.len(),
+        input.lifetimes.len(),
+        input.failures.len(),
+        input.total_disk_years()
+    );
+    let study = ssfa_core::Study::new(input);
+    println!("{}", render_fig4(&study));
+    println!("{}", render_findings(&study));
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: experiments [table1|fig4|fig5|fig6|fig7|fig9|fig9-series|fig10|fig10-sweep|\
+         findings|ablation-layout|ablation-multipath|ablation-independence|\
+         render-corpus|classify-corpus|all] \
+         [--scale S] [--seed N] [--out FILE] [--in FILE]"
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,813 @@
+//! Experiment harness: regenerates every table and figure of the FAST'08
+//! study from the synthetic pipeline.
+//!
+//! Each `render_*` function produces the same rows/series the paper
+//! reports, as plain text, with the paper's published values cited
+//! alongside for comparison. The `experiments` binary drives them; the
+//! Criterion benches reuse the same runners at reduced scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use ssfa_core::report::{count, pct, pct_ci, TextTable};
+use ssfa_core::{FindingsReport, Scope, Study};
+use ssfa_logs::CascadeStyle;
+use ssfa_model::{FailureType, LayoutPolicy, SimDuration, SystemClass};
+use ssfa_sim::Calibration;
+
+/// Shared context for one experiment campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpContext {
+    /// Fleet scale relative to the paper's ~39,000 systems.
+    pub scale: f64,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl Default for ExpContext {
+    fn default() -> Self {
+        ExpContext { scale: 0.05, seed: 2008 }
+    }
+}
+
+impl ExpContext {
+    /// Builds the default pipeline for this context.
+    pub fn pipeline(&self) -> ssfa::Pipeline {
+        ssfa::Pipeline::new()
+            .scale(self.scale)
+            .seed(self.seed)
+            .cascade_style(CascadeStyle::RaidOnly)
+    }
+
+    /// Runs the default pipeline to a study.
+    ///
+    /// # Panics
+    ///
+    /// Panics if classification fails (a pipeline bug, not a data issue).
+    pub fn study(&self) -> Study {
+        self.pipeline().run().expect("pipeline runs")
+    }
+}
+
+/// Fleet composition summary (sanity view behind Table 1).
+pub fn render_fleet_stats(ctx: &ExpContext) -> String {
+    let fleet = ctx.pipeline().build_fleet();
+    let mut out = section("Fleet composition (static topology before simulation)");
+    let mut t = TextTable::new([
+        "Class", "Systems", "Shelves", "Slots", "RAID Groups", "Dual-path systems",
+        "Shelves/system", "RG shelf span",
+    ]);
+    for s in fleet.stats() {
+        t.row([
+            s.class.label().to_owned(),
+            count(s.systems as u64),
+            count(s.shelves as u64),
+            count(s.slots as u64),
+            count(s.raid_groups as u64),
+            count(s.dual_path_systems as u64),
+            format!("{:.1}", s.avg_shelves_per_system),
+            format!("{:.1}", s.avg_raid_group_span),
+        ]);
+    }
+    let _ = write!(out, "{t}");
+    out.push_str(
+        "\nPaper: ~7 shelves and ~98 disks per near-line system; RAID groups span \
+         about 3 shelves on average.\n",
+    );
+    out
+}
+
+fn section(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+/// Table 1: overview of the studied storage systems.
+pub fn render_table1(study: &Study) -> String {
+    let mut out = section("Table 1: Overview of studied storage systems");
+    let mut t = TextTable::new([
+        "System Class",
+        "# Systems",
+        "# Shelves",
+        "# Disks",
+        "# RAID Groups",
+        "Multipathing",
+        "Disk-Years",
+        "Disk F.",
+        "Phys. Inter. F.",
+        "Protocol F.",
+        "Performance F.",
+    ]);
+    for row in study.table1() {
+        t.row([
+            row.class.label().to_owned(),
+            count(row.systems as u64),
+            count(row.shelves as u64),
+            count(row.disks as u64),
+            count(row.raid_groups as u64),
+            if row.has_dual_path { "single+dual".into() } else { "single path".into() },
+            format!("{:.0}", row.disk_years),
+            count(row.counts.get(FailureType::Disk)),
+            count(row.counts.get(FailureType::PhysicalInterconnect)),
+            count(row.counts.get(FailureType::Protocol)),
+            count(row.counts.get(FailureType::Performance)),
+        ]);
+    }
+    let _ = write!(out, "{t}");
+    out.push_str(
+        "\nPaper (full scale): 4,927/22,031/7,154/5,003 systems; 520,776/264,983/578,980/\
+         454,684 disks; event counts 10,105+4,888+1,819+1,080 (NL), 3,230+4,338+1,021+1,235 \
+         (LE), 8,989+7,949+2,298+2,060 (MR), 8,240+7,395+1,576+153 (HE).\n",
+    );
+    out
+}
+
+/// Figure 4: AFR for storage subsystems per class, broken down by failure
+/// type, including (a) and excluding (b) the problematic disk family.
+pub fn render_fig4(study: &Study) -> String {
+    let mut out = String::new();
+    for (label, include_h) in
+        [("Figure 4(a): AFR by class, including Disk H", true),
+         ("Figure 4(b): AFR by class, excluding Disk H", false)]
+    {
+        out.push_str(&section(label));
+        let by_class = study.afr_by_class(include_h);
+        let mut t = TextTable::new([
+            "Class", "Disk", "Phys. Inter.", "Protocol", "Performance", "Total AFR",
+        ]);
+        for class in SystemClass::ALL {
+            let Some(b) = by_class.get(&class) else { continue };
+            t.row([
+                class.label().to_owned(),
+                pct(b.afr(FailureType::Disk)),
+                pct(b.afr(FailureType::PhysicalInterconnect)),
+                pct(b.afr(FailureType::Protocol)),
+                pct(b.afr(FailureType::Performance)),
+                pct(b.total_afr()),
+            ]);
+        }
+        let _ = write!(out, "{t}");
+    }
+    out.push_str(
+        "\nPaper 4(b): near-line 3.4% total (disk 1.9%); low-end 4.6% total (disk 0.9%); \
+         disk share 20-55%, interconnect 27-68%, protocol 5-10%, performance 4-8%.\n",
+    );
+    out
+}
+
+/// Figure 5: AFR by disk model for the paper's six (class, shelf) panels.
+pub fn render_fig5(study: &Study) -> String {
+    let mut out = section("Figure 5: AFR by disk model (per class and shelf model)");
+    for panel in study.fig5_panels() {
+        let _ = writeln!(
+            out,
+            "\n-- {} w/ Shelf Model {} --",
+            panel.class.label(),
+            panel.shelf_model.letter()
+        );
+        let mut t = TextTable::new([
+            "Disk Model", "Disk", "Phys. Inter.", "Protocol", "Performance", "Total",
+            "Disk-Years",
+        ]);
+        for (model, b) in &panel.rows {
+            t.row([
+                format!("Disk {model}"),
+                pct(b.afr(FailureType::Disk)),
+                pct(b.afr(FailureType::PhysicalInterconnect)),
+                pct(b.afr(FailureType::Protocol)),
+                pct(b.afr(FailureType::Performance)),
+                pct(b.total_afr()),
+                format!("{:.0}", b.disk_years()),
+            ]);
+        }
+        let _ = write!(out, "{t}");
+    }
+    out.push_str(
+        "\nPaper: most subsystems 2-4% AFR; Disk H-1/H-2 subsystems 3.9-8.3% (about 2x); \
+         disk AFR stable per model across environments.\n",
+    );
+    out
+}
+
+/// Figure 6: low-end AFR by shelf enclosure model for each disk model.
+pub fn render_fig6(study: &Study) -> String {
+    let mut out =
+        section("Figure 6: AFR by shelf enclosure model (low-end, same disk models)");
+    for panel in study.fig6_panels() {
+        let _ = writeln!(out, "\n-- Disk {} --", panel.disk_model);
+        let mut t = TextTable::new([
+            "Shelf Model", "Disk", "Phys. Inter. (99.5% CI)", "Protocol", "Performance",
+            "Total",
+        ]);
+        for (shelf, b) in &panel.rows {
+            let ci = b
+                .afr_ci(FailureType::PhysicalInterconnect, 0.995)
+                .map(|ci| pct_ci(ci.estimate, ci.half_width()))
+                .unwrap_or_else(|_| pct(b.afr(FailureType::PhysicalInterconnect)));
+            t.row([
+                format!("Shelf Enclosure Model {}", shelf.letter()),
+                pct(b.afr(FailureType::Disk)),
+                ci,
+                pct(b.afr(FailureType::Protocol)),
+                pct(b.afr(FailureType::Performance)),
+                pct(b.total_afr()),
+            ]);
+        }
+        let _ = write!(out, "{t}");
+        if let Some(test) = &panel.interconnect_test {
+            let _ = writeln!(
+                out,
+                "interconnect-rate difference: z = {:.2}, p = {:.2e} ({}significant at 99.5%)",
+                test.t,
+                test.p_value,
+                if test.significant_at(0.995) { "" } else { "NOT " }
+            );
+        }
+    }
+    out.push_str(
+        "\nPaper: e.g. Disk A-2: 2.66%±0.23% (shelf A) vs 2.18%±0.13% (shelf B), significant \
+         at 99.5%+; best shelf differs by disk model.\n",
+    );
+    out
+}
+
+/// Figure 7: AFR by number of paths for mid-range and high-end systems.
+pub fn render_fig7(study: &Study) -> String {
+    let mut out = section("Figure 7: AFR by path configuration (mid-range, high-end)");
+    for panel in study.fig7_panels() {
+        let _ = writeln!(out, "\n-- {} systems --", panel.class.label());
+        let mut t = TextTable::new([
+            "Paths", "Disk", "Phys. Inter. (99.9% CI)", "Protocol", "Performance", "Total",
+        ]);
+        for (label, b) in [("Single Path", &panel.single), ("Dual Paths", &panel.dual)] {
+            let ci = b
+                .afr_ci(FailureType::PhysicalInterconnect, 0.999)
+                .map(|ci| pct_ci(ci.estimate, ci.half_width()))
+                .unwrap_or_else(|_| pct(b.afr(FailureType::PhysicalInterconnect)));
+            t.row([
+                label.to_owned(),
+                pct(b.afr(FailureType::Disk)),
+                ci,
+                pct(b.afr(FailureType::Protocol)),
+                pct(b.afr(FailureType::Performance)),
+                pct(b.total_afr()),
+            ]);
+        }
+        let _ = write!(out, "{t}");
+        let ic = FailureType::PhysicalInterconnect;
+        let ic_cut = 1.0 - panel.dual.afr(ic) / panel.single.afr(ic).max(1e-12);
+        let total_cut = 1.0 - panel.dual.total_afr() / panel.single.total_afr().max(1e-12);
+        let _ = writeln!(
+            out,
+            "reduction: interconnect -{:.0}%, subsystem -{:.0}%{}",
+            ic_cut * 100.0,
+            total_cut * 100.0,
+            panel
+                .interconnect_test
+                .as_ref()
+                .map(|t| format!(
+                    " (z = {:.2}, {}significant at 99.9%)",
+                    t.t,
+                    if t.significant_at(0.999) { "" } else { "NOT " }
+                ))
+                .unwrap_or_default()
+        );
+    }
+    out.push_str(
+        "\nPaper: mid-range interconnect 1.82%±0.04% -> 0.91%±0.09%; high-end 2.13%±0.07% -> \
+         0.90%±0.06%; subsystem AFR down 30-40%; significant at 99.9%.\n",
+    );
+    out
+}
+
+/// Figure 9: CDFs of time between failures within shelves / RAID groups.
+pub fn render_fig9(study: &Study) -> String {
+    let mut out = String::new();
+    for (label, scope) in [
+        ("Figure 9(a): time between failures within a shelf", Scope::Shelf),
+        ("Figure 9(b): time between failures within a RAID group", Scope::RaidGroup),
+    ] {
+        out.push_str(&section(label));
+        let tbf = study.tbf(scope);
+        let mut t = TextTable::new([
+            "Stream", "Gaps", "P(<1e3 s)", "P(<1e4 s)", "P(<1e5 s)", "P(<1e6 s)",
+        ]);
+        let mut add_row = |name: String, g: &ssfa_core::GapAnalysis| {
+            t.row([
+                name,
+                g.len().to_string(),
+                pct(g.fraction_within(1e3)),
+                pct(g.fraction_within(1e4)),
+                pct(g.fraction_within(1e5)),
+                pct(g.fraction_within(1e6)),
+            ]);
+        };
+        for ty in FailureType::ALL {
+            add_row(ty.label().to_owned(), tbf.for_type(ty));
+        }
+        add_row("Overall Subsystem Failure".to_owned(), tbf.overall());
+        let _ = write!(out, "{t}");
+
+        // A quick visual of the overall gap distribution (log-binned).
+        if !tbf.overall().is_empty() {
+            let mut hist = ssfa_stats::histogram::Histogram::log(1.0, 1e8, 16)
+                .expect("valid range");
+            hist.extend(tbf.overall().gaps_secs.iter().map(|&g| g.max(1.0)));
+            let _ = writeln!(out, "\noverall gap histogram (seconds, log bins):");
+            let _ = write!(out, "{}", hist.render(36));
+        }
+
+        // Distribution fits for disk-failure gaps (the paper fits
+        // exponential / Weibull / Gamma and keeps Gamma).
+        let disk = tbf.for_type(FailureType::Disk);
+        if disk.len() >= 100 {
+            let _ = writeln!(out, "\ndisk-failure gap fits ({} gaps):", disk.len());
+            for (fit, gof) in disk.fit_candidates(20) {
+                let _ = writeln!(
+                    out,
+                    "  {:<12} logL = {:>12.1}  AIC = {:>12.1}  chi2 = {:>8.1} (df {}), \
+                     p = {:.3} -> {}",
+                    fit.dist.name(),
+                    fit.log_likelihood,
+                    fit.aic(),
+                    gof.statistic,
+                    gof.df,
+                    gof.p_value,
+                    if gof.rejects_at(0.05) { "rejected" } else { "not rejected" }
+                );
+            }
+        }
+    }
+    out.push_str(
+        "\nPaper: ~48% of shelf-scope gaps < 10^4 s vs ~30% RAID-group-scope; interconnect \
+         most bursty, disk least; Gamma best fits disk-failure gaps.\n",
+    );
+    out
+}
+
+/// Figure 10: empirical vs theoretical P(2) per failure type.
+pub fn render_fig10(study: &Study) -> String {
+    let mut out = String::new();
+    for (label, scope) in [
+        ("Figure 10(a): shelf enclosure failures", Scope::Shelf),
+        ("Figure 10(b): RAID group failures", Scope::RaidGroup),
+    ] {
+        out.push_str(&section(label));
+        let results = study.correlation(scope, SimDuration::from_years(1.0));
+        let mut t = TextTable::new([
+            "Failure Type", "Groups", "Empirical P(1)", "Empirical P(2)", "Theoretical P(2)",
+            "Ratio", "Significant @99.5%",
+        ]);
+        for r in results {
+            t.row([
+                r.failure_type.label().to_owned(),
+                count(r.groups as u64),
+                pct(r.empirical_p1),
+                pct(r.empirical_p2),
+                pct(r.theoretical_p2),
+                r.inflation.map(|x| format!("x{x:.1}")).unwrap_or_else(|| "-".into()),
+                r.significant_at(0.995).to_string(),
+            ]);
+        }
+        let _ = write!(out, "{t}");
+    }
+    out.push_str(
+        "\nPaper: empirical P(2) exceeds theoretical by x6 (disk) and x10-25 (other types), \
+         significant at 99.5%+.\n",
+    );
+    out
+}
+
+/// The paper's §5.2.2 robustness check: Figure 10's correlation analysis
+/// swept over window lengths T ∈ {3 months, 6 months, 1 year, 2 years}.
+pub fn render_fig10_sweep(study: &Study) -> String {
+    let mut out = section("Figure 10 robustness: correlation vs window length T (shelf scope)");
+    let windows = [
+        ("3 months", SimDuration::from_years(0.25)),
+        ("6 months", SimDuration::from_years(0.5)),
+        ("1 year", SimDuration::from_years(1.0)),
+        ("2 years", SimDuration::from_years(2.0)),
+    ];
+    let mut t = TextTable::new([
+        "Window", "Groups", "Disk ratio", "Interconnect ratio", "Protocol ratio",
+        "Performance ratio",
+    ]);
+    let sweep = study.correlation_sweep(Scope::Shelf, &windows.map(|(_, w)| w));
+    for ((label, _), (_, results)) in windows.iter().zip(&sweep) {
+        let ratio = |ty: FailureType| {
+            results[ty.index()]
+                .inflation
+                .map(|x| format!("x{x:.1}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        t.row([
+            (*label).to_owned(),
+            count(results[0].groups as u64),
+            ratio(FailureType::Disk),
+            ratio(FailureType::PhysicalInterconnect),
+            ratio(FailureType::Protocol),
+            ratio(FailureType::Performance),
+        ]);
+    }
+    let _ = write!(out, "{t}");
+    out.push_str(
+        "\nPaper: \"the conclusion is general to different values of T ... in all cases, \
+         similar correlations were observed.\"\n",
+    );
+    out
+}
+
+/// Figure 9's raw plot series: the empirical CDF sampled at log-spaced
+/// points from 1 s to 10^8 s, one column per failure type plus the overall
+/// stream - ready for a plotting tool.
+pub fn render_fig9_series(study: &Study, scope: Scope, points: usize) -> String {
+    let mut out = section(&format!(
+        "Figure 9 plot series ({scope} scope, log-spaced 1 s .. 1e8 s)"
+    ));
+    let tbf = study.tbf(scope);
+    let series: Vec<Vec<(f64, f64)>> = FailureType::ALL
+        .iter()
+        .map(|&ty| tbf.for_type(ty).cdf_series(1.0, 1e8, points))
+        .collect();
+    let overall = tbf.overall().cdf_series(1.0, 1e8, points);
+    let _ = writeln!(
+        out,
+        "{:>12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "gap_secs", "disk", "interc", "proto", "perf", "overall"
+    );
+    for i in 0..points {
+        let x = overall.get(i).map_or(0.0, |(x, _)| *x);
+        let cell = |s: &Vec<(f64, f64)>| {
+            s.get(i).map_or("-".to_owned(), |(_, y)| format!("{y:.4}"))
+        };
+        let _ = writeln!(
+            out,
+            "{:>12.1} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            x,
+            cell(&series[0]),
+            cell(&series[1]),
+            cell(&series[2]),
+            cell(&series[3]),
+            overall.get(i).map_or("-".to_owned(), |(_, y)| format!("{y:.4}")),
+        );
+    }
+    out
+}
+
+/// Findings 1–11 evaluation.
+pub fn render_findings(study: &Study) -> String {
+    let mut out = section("Findings 1-11 evaluation");
+    let report = FindingsReport::evaluate(study);
+    for f in &report.findings {
+        let _ = writeln!(
+            out,
+            "[{}] Finding {:>2}: {}\n      {}",
+            if f.pass { "PASS" } else { "FAIL" },
+            f.id,
+            f.title,
+            f.evidence
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n{}/{} findings reproduced",
+        report.findings.iter().filter(|f| f.pass).count(),
+        report.findings.len()
+    );
+    out
+}
+
+/// Ablation A1: RAID layout policy (spanning vs same-shelf) and its effect
+/// on RAID-group burstiness.
+pub fn render_ablation_layout(ctx: &ExpContext) -> String {
+    let mut out = section("Ablation A1: RAID-group layout (span-shelves vs same-shelf)");
+    let mut t = TextTable::new([
+        "Layout", "RG gaps", "RG P(gap<1e4 s)", "Shelf P(gap<1e4 s)",
+    ]);
+    for layout in [LayoutPolicy::SpanShelves, LayoutPolicy::SameShelf] {
+        let study =
+            ctx.pipeline().layout(layout).run().expect("pipeline runs");
+        let rg = study.tbf(Scope::RaidGroup);
+        let shelf = study.tbf(Scope::Shelf);
+        t.row([
+            layout.label().to_owned(),
+            rg.overall().len().to_string(),
+            pct(rg.overall().fraction_within(1e4)),
+            pct(shelf.overall().fraction_within(1e4)),
+        ]);
+    }
+    let _ = write!(out, "{t}");
+    out.push_str(
+        "\nExpected: same-shelf RAID groups are much burstier than spanning groups \
+         (the paper's Finding 9 argument for spanning).\n",
+    );
+    out
+}
+
+/// Ablation A2: multipath masking-probability sweep.
+pub fn render_ablation_multipath(ctx: &ExpContext) -> String {
+    let mut out = section("Ablation A2: multipath masking probability sweep");
+    let mut t = TextTable::new([
+        "Mask prob", "Mid-range dual IC AFR", "High-end dual IC AFR", "IC reduction (MR)",
+    ]);
+    for p in [0.0, 0.25, 0.5, 0.55, 0.75, 1.0] {
+        let study = ctx
+            .pipeline()
+            .calibration(Calibration::paper().with_mask_probability(p))
+            .run()
+            .expect("pipeline runs");
+        let panels = study.fig7_panels();
+        let ic = FailureType::PhysicalInterconnect;
+        let get = |class: SystemClass| {
+            panels.iter().find(|panel| panel.class == class).map(|panel| {
+                (panel.dual.afr(ic), 1.0 - panel.dual.afr(ic) / panel.single.afr(ic).max(1e-12))
+            })
+        };
+        let mr = get(SystemClass::MidRange);
+        let he = get(SystemClass::HighEnd);
+        t.row([
+            format!("{p:.2}"),
+            mr.map(|(a, _)| pct(a)).unwrap_or_else(|| "-".into()),
+            he.map(|(a, _)| pct(a)).unwrap_or_else(|| "-".into()),
+            mr.map(|(_, r)| format!("{:+.0}%", -r * 100.0)).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    let _ = write!(out, "{t}");
+    out.push_str("\nExpected: exposed dual-path interconnect AFR falls linearly with p.\n");
+    out
+}
+
+/// Ablation A3: disabling shock episodes restores independence.
+pub fn render_ablation_independence(ctx: &ExpContext) -> String {
+    let mut out = section("Ablation A3: episodes off -> independence restored");
+    let mut t = TextTable::new([
+        "Calibration", "Shelf P(gap<1e4 s)", "IC P(2) inflation", "Disk P(2) inflation",
+    ]);
+    for (label, cal) in [
+        ("paper (episodes on)", Calibration::paper()),
+        ("episodes off", Calibration::paper().without_episodes()),
+    ] {
+        let study = ctx.pipeline().calibration(cal).run().expect("pipeline runs");
+        let tbf = study.tbf(Scope::Shelf);
+        let corr = study.correlation(Scope::Shelf, SimDuration::from_years(1.0));
+        let inflation = |ty: FailureType| {
+            corr[ty.index()]
+                .inflation
+                .map(|x| format!("x{x:.1}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        t.row([
+            label.to_owned(),
+            pct(tbf.overall().fraction_within(1e4)),
+            inflation(FailureType::PhysicalInterconnect),
+            inflation(FailureType::Disk),
+        ]);
+    }
+    let _ = write!(out, "{t}");
+    out.push_str(
+        "\nExpected: with episodes off, burstiness collapses and P(2) inflation drops to ~x1 \
+         (the analysis does not fabricate correlation).\n",
+    );
+    out
+}
+
+/// Extension E1 (paper §7 future work): RAID data-loss risk under the
+/// observed correlated failures vs the classic independence assumption.
+pub fn render_raid_risk(study: &Study) -> String {
+    use ssfa_core::{raid_data_loss_risk, RiskFailureSet};
+    let mut out = section("Extension E1: RAID concurrent-failure risk vs independence model");
+    let mut t = TextTable::new([
+        "RAID", "Failure set", "Repair window", "Groups", "Incidents",
+        "Empirical /grp-yr", "Independent /grp-yr", "Underestimated by",
+    ]);
+    for window_days in [1.0, 3.0] {
+        for set in [RiskFailureSet::DiskOnly, RiskFailureSet::DiskAndInterconnect] {
+            let results = raid_data_loss_risk(
+                study.input(),
+                ssfa_model::SimDuration::from_days(window_days),
+                set,
+            );
+            for r in results {
+                t.row([
+                    r.raid_type.label().to_owned(),
+                    r.failure_set.label().to_owned(),
+                    format!("{window_days:.0} d"),
+                    count(r.groups as u64),
+                    count(r.incidents),
+                    format!("{:.2e}", r.empirical_rate),
+                    format!("{:.2e}", r.independent_rate),
+                    r.underestimation_factor()
+                        .map(|x| format!("x{x:.0}"))
+                        .unwrap_or_else(|| "-".into()),
+                ]);
+            }
+        }
+    }
+    let _ = write!(out, "{t}");
+
+    // Textbook MTTDL for reference: what the classic model promises for a
+    // representative group built from the fleet's average disk AFR.
+    let by_class = study.afr_by_class(true);
+    let mut merged = ssfa_core::AfrBreakdown::empty();
+    for b in by_class.values() {
+        merged.merge(b);
+    }
+    let disk_afr = merged.afr(FailureType::Disk).max(1e-6);
+    let params = ssfa_core::MttdlParams::from_afr(
+        disk_afr,
+        ssfa_model::SimDuration::from_days(1.0),
+        8,
+    );
+    let _ = writeln!(
+        out,
+        "\ntextbook MTTDL at the fleet's disk AFR ({}) for an 8-disk group, 24 h rebuild:",
+        pct(disk_afr)
+    );
+    for raid in ssfa_model::RaidType::ALL {
+        let _ = writeln!(
+            out,
+            "  {}: {:.1e} years ({:.1e} losses per group-year)",
+            raid.label(),
+            params.mttdl_hours(raid) / 8_766.0,
+            params.loss_rate_per_group_year(raid),
+        );
+    }
+    out.push_str(
+        "\nThe paper's motivation made quantitative: once interconnect failures and\n\
+         correlation are accounted for, concurrent member loss is orders of magnitude\n\
+         more common than MTTDL-style independence math predicts.\n",
+    );
+    out
+}
+
+/// Availability arithmetic (the paper's SLA motivation): Figure 4's AFRs
+/// translated into expected path downtime per class, and Figure 7's
+/// multipath effect in "nines".
+pub fn render_availability(study: &Study) -> String {
+    use ssfa_core::{estimate_availability, RepairTimes};
+    let mut out = section("Availability: expected data-path downtime from the measured AFRs");
+    let repairs = RepairTimes::typical();
+    let mut t = TextTable::new([
+        "Population", "Subsystem AFR", "Downtime (h / disk-yr)", "Availability", "Nines",
+    ]);
+    let by_class = study.afr_by_class(true);
+    for class in SystemClass::ALL {
+        let Some(b) = by_class.get(&class) else { continue };
+        let est = estimate_availability(b, &repairs);
+        t.row([
+            class.label().to_owned(),
+            pct(b.total_afr()),
+            format!("{:.3}", est.downtime_hours_per_disk_year),
+            format!("{:.5}%", est.availability * 100.0),
+            format!("{:.1}", est.nines()),
+        ]);
+    }
+    for panel in study.fig7_panels() {
+        for (label, b) in [("single path", &panel.single), ("dual paths", &panel.dual)] {
+            let est = estimate_availability(b, &repairs);
+            t.row([
+                format!("{} ({label})", panel.class.label()),
+                pct(b.total_afr()),
+                format!("{:.3}", est.downtime_hours_per_disk_year),
+                format!("{:.5}%", est.availability * 100.0),
+                format!("{:.1}", est.nines()),
+            ]);
+        }
+    }
+    let _ = write!(out, "{t}");
+    out.push_str(
+        "\nRepair-time assumptions: 12 h disk, 4 h interconnect, 8 h protocol, 2 h\n\
+         performance (service restoration of the affected path, not full rebuild).\n",
+    );
+    out
+}
+
+/// Extension E2 (paper §7 future work): failure prediction from low-layer
+/// precursor events, threshold sweep with precision/recall.
+pub fn render_prediction(ctx: &ExpContext) -> String {
+    use ssfa_core::{evaluate_predictor, PrecursorPredictor};
+    use ssfa_logs::{classify, render_support_log_noisy, NoiseParams};
+    let mut out = section("Extension E2: disk-failure prediction from medium-error precursors");
+
+    // Full cascades + realistic benign noise; the predictor sees only text.
+    // Capped at 5% scale: a full-cascade noisy corpus of the whole fleet is
+    // hundreds of MB of text, and the precision/recall sweep is stable well
+    // below that.
+    let ctx = &ExpContext { scale: ctx.scale.min(0.05), seed: ctx.seed };
+    let pipeline = ctx.pipeline().cascade_style(CascadeStyle::Full);
+    let fleet = pipeline.build_fleet();
+    let output = pipeline.simulate(&fleet);
+    let book = render_support_log_noisy(
+        &fleet,
+        &output,
+        CascadeStyle::Full,
+        NoiseParams::realistic(),
+        ctx.seed,
+    );
+    let input = classify(&book).expect("corpus classifies");
+    let _ = writeln!(
+        out,
+        "corpus: {} lines incl. benign noise; {} disk failures to predict",
+        count(book.len() as u64),
+        count(
+            input
+                .failures
+                .iter()
+                .filter(|r| r.failure_type == FailureType::Disk)
+                .count() as u64
+        )
+    );
+
+    let mut t = TextTable::new([
+        "Threshold", "Alarms", "Precision", "Recall", "Median lead time",
+    ]);
+    for threshold in [1u32, 2, 3, 4, 5] {
+        let eval = evaluate_predictor(
+            &book,
+            &input,
+            PrecursorPredictor { threshold, ..PrecursorPredictor::default() },
+        );
+        t.row([
+            threshold.to_string(),
+            count(eval.alarms.len() as u64),
+            eval.precision().map(pct).unwrap_or_else(|| "-".into()),
+            eval.recall().map(pct).unwrap_or_else(|| "-".into()),
+            eval.median_lead_time_hours()
+                .map(|h| format!("{h:.0} h"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    let _ = write!(out, "{t}");
+    out.push_str(
+        "\nThreshold 3 within 30 days gives days of warning at high precision even\n\
+         against benign medium-error noise - the paper's proposed direction works\n\
+         on this corpus because failing disks degrade before they die.\n",
+    );
+    out
+}
+
+/// Runs every experiment and concatenates the reports.
+pub fn run_all(ctx: &ExpContext) -> String {
+    let study = ctx.study();
+    let mut out = format!(
+        "ssfa experiment campaign: scale {} of the paper fleet, seed {}\n\
+         systems: {}, disks (ever installed): {}, failures: {}, disk-years: {:.0}\n",
+        ctx.scale,
+        ctx.seed,
+        study.input().topology.systems.len(),
+        study.input().lifetimes.len(),
+        study.input().failures.len(),
+        study.input().total_disk_years(),
+    );
+    out.push_str(&render_table1(&study));
+    out.push_str(&render_fig4(&study));
+    out.push_str(&render_fig5(&study));
+    out.push_str(&render_fig6(&study));
+    out.push_str(&render_fig7(&study));
+    out.push_str(&render_fig9(&study));
+    out.push_str(&render_fig10(&study));
+    out.push_str(&render_findings(&study));
+    out.push_str(&render_fig10_sweep(&study));
+    out.push_str(&render_availability(&study));
+    out.push_str(&render_raid_risk(&study));
+    out.push_str(&render_prediction(ctx));
+    out.push_str(&render_ablation_layout(ctx));
+    out.push_str(&render_ablation_multipath(ctx));
+    out.push_str(&render_ablation_independence(ctx));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpContext {
+        ExpContext { scale: 0.002, seed: 99 }
+    }
+
+    #[test]
+    fn every_renderer_produces_output() {
+        let ctx = tiny();
+        let study = ctx.study();
+        for text in [
+            render_table1(&study),
+            render_fig4(&study),
+            render_fig5(&study),
+            render_fig6(&study),
+            render_fig7(&study),
+            render_fig9(&study),
+            render_fig10(&study),
+            render_findings(&study),
+        ] {
+            assert!(text.len() > 100, "suspiciously short report: {text}");
+        }
+    }
+
+    #[test]
+    fn ablation_renderers_produce_output() {
+        let ctx = tiny();
+        assert!(render_ablation_layout(&ctx).contains("same-shelf"));
+        assert!(render_ablation_independence(&ctx).contains("episodes off"));
+    }
+}

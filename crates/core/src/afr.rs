@@ -1,0 +1,195 @@
+//! Annualized failure rates with per-type breakdowns.
+//!
+//! The paper's AFR is events per disk-year: each failure event is tagged
+//! with an affected disk, and exposure is the summed service time of every
+//! disk instance (Table 1 note: "we account for that ... by calculating the
+//! life time of each individual disk"). A stacked-bar panel of the paper
+//! (Figures 4–7) is an [`AfrBreakdown`] here.
+
+use ssfa_model::{FailureCounts, FailureType};
+use ssfa_stats::hypothesis::{poisson_rate_ci, ConfidenceInterval};
+
+/// Failure counts over an exposure, yielding per-type and total AFRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AfrBreakdown {
+    counts: FailureCounts,
+    disk_years: f64,
+}
+
+impl AfrBreakdown {
+    /// Creates a breakdown from counts and exposure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disk_years` is negative or not finite (zero is allowed —
+    /// rates are then reported as zero).
+    pub fn new(counts: FailureCounts, disk_years: f64) -> Self {
+        assert!(
+            disk_years.is_finite() && disk_years >= 0.0,
+            "exposure must be non-negative, got {disk_years}"
+        );
+        AfrBreakdown { counts, disk_years }
+    }
+
+    /// An empty breakdown (no events, no exposure).
+    pub fn empty() -> Self {
+        AfrBreakdown { counts: FailureCounts::new(), disk_years: 0.0 }
+    }
+
+    /// Records one failure of the given type.
+    pub fn record(&mut self, ty: FailureType) {
+        self.counts.record(ty);
+    }
+
+    /// Adds exposure (disk-years).
+    pub fn add_exposure(&mut self, disk_years: f64) {
+        debug_assert!(disk_years >= 0.0);
+        self.disk_years += disk_years;
+    }
+
+    /// The event counts.
+    pub fn counts(&self) -> &FailureCounts {
+        &self.counts
+    }
+
+    /// Total exposure in disk-years.
+    pub fn disk_years(&self) -> f64 {
+        self.disk_years
+    }
+
+    /// AFR of one failure type (fraction per disk-year).
+    pub fn afr(&self, ty: FailureType) -> f64 {
+        if self.disk_years == 0.0 {
+            0.0
+        } else {
+            self.counts.get(ty) as f64 / self.disk_years
+        }
+    }
+
+    /// Total storage-subsystem AFR (all four types).
+    pub fn total_afr(&self) -> f64 {
+        if self.disk_years == 0.0 {
+            0.0
+        } else {
+            self.counts.total() as f64 / self.disk_years
+        }
+    }
+
+    /// Share of one type within the total (`None` when no events at all).
+    pub fn share(&self, ty: FailureType) -> Option<f64> {
+        let total = self.counts.total();
+        if total == 0 {
+            None
+        } else {
+            Some(self.counts.get(ty) as f64 / total as f64)
+        }
+    }
+
+    /// Confidence interval on one type's AFR (Poisson rate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ssfa_stats::StatsError`] for zero exposure or a bad
+    /// confidence level.
+    pub fn afr_ci(
+        &self,
+        ty: FailureType,
+        confidence: f64,
+    ) -> ssfa_stats::Result<ConfidenceInterval> {
+        poisson_rate_ci(self.counts.get(ty), self.disk_years, confidence)
+    }
+
+    /// Merges another breakdown into this one (summing counts and
+    /// exposure).
+    pub fn merge(&mut self, other: &AfrBreakdown) {
+        self.counts.merge(&other.counts);
+        self.disk_years += other.disk_years;
+    }
+}
+
+impl Default for AfrBreakdown {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AfrBreakdown {
+        let mut counts = FailureCounts::new();
+        counts.add(FailureType::Disk, 90);
+        counts.add(FailureType::PhysicalInterconnect, 260);
+        counts.add(FailureType::Protocol, 42);
+        counts.add(FailureType::Performance, 31);
+        AfrBreakdown::new(counts, 10_000.0)
+    }
+
+    #[test]
+    fn rates_divide_counts_by_exposure() {
+        let b = sample();
+        assert!((b.afr(FailureType::Disk) - 0.009).abs() < 1e-12);
+        assert!((b.afr(FailureType::PhysicalInterconnect) - 0.026).abs() < 1e-12);
+        assert!((b.total_afr() - 0.0423).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let b = sample();
+        let total: f64 = FailureType::ALL.iter().map(|&t| b.share(t).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(b.share(FailureType::PhysicalInterconnect).unwrap() > 0.6);
+    }
+
+    #[test]
+    fn empty_breakdown_reports_zero() {
+        let b = AfrBreakdown::empty();
+        assert_eq!(b.total_afr(), 0.0);
+        assert_eq!(b.afr(FailureType::Disk), 0.0);
+        assert_eq!(b.share(FailureType::Disk), None);
+    }
+
+    #[test]
+    fn incremental_accumulation_matches_batch() {
+        let mut b = AfrBreakdown::empty();
+        b.add_exposure(10_000.0);
+        for _ in 0..90 {
+            b.record(FailureType::Disk);
+        }
+        for _ in 0..260 {
+            b.record(FailureType::PhysicalInterconnect);
+        }
+        for _ in 0..42 {
+            b.record(FailureType::Protocol);
+        }
+        for _ in 0..31 {
+            b.record(FailureType::Performance);
+        }
+        assert_eq!(&b, &sample());
+    }
+
+    #[test]
+    fn merge_sums_counts_and_exposure() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert!((a.disk_years() - 20_000.0).abs() < 1e-9);
+        assert_eq!(a.counts().total(), 2 * sample().counts().total());
+        // Rates unchanged after merging identical breakdowns.
+        assert!((a.total_afr() - sample().total_afr()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_the_rate() {
+        let b = sample();
+        let ci = b.afr_ci(FailureType::PhysicalInterconnect, 0.995).unwrap();
+        assert!(ci.lower < 0.026 && 0.026 < ci.upper);
+        assert!(ci.half_width() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_exposure_panics() {
+        let _ = AfrBreakdown::new(FailureCounts::new(), -1.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Availability estimation from failure rates — the study's motivating SLA
+//! arithmetic.
+//!
+//! The paper's introduction frames the point of failure-rate estimation:
+//! "accurate estimation of storage failure rate can help system designers
+//! decide how many resources should be used to tolerate failures and to
+//! meet certain service-level agreement (SLA) metrics (e.g., data
+//! availability)". This module turns an [`AfrBreakdown`] into expected
+//! downtime, given per-failure-type repair times — making the Figure 4/7
+//! differences legible as "minutes per year" instead of percentages.
+
+use ssfa_model::FailureType;
+
+use crate::afr::AfrBreakdown;
+
+/// Mean repair/restore time per failure type, in hours.
+///
+/// These are *service-restoration* times for the affected disk's data path
+/// (not full rebuild times): replacing a disk takes days, re-seating a
+/// cable or failing over takes less.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairTimes {
+    /// Hours to restore service after a disk failure (replace + rebuild).
+    pub disk_hours: f64,
+    /// Hours to restore a failed physical interconnect.
+    pub interconnect_hours: f64,
+    /// Hours to resolve a protocol failure (driver/firmware action).
+    pub protocol_hours: f64,
+    /// Hours to resolve a performance failure.
+    pub performance_hours: f64,
+}
+
+impl RepairTimes {
+    /// Field-plausible defaults: 12 h disk service restoration, 4 h
+    /// interconnect, 8 h protocol (scheduling a driver update), 2 h
+    /// performance.
+    pub fn typical() -> Self {
+        RepairTimes {
+            disk_hours: 12.0,
+            interconnect_hours: 4.0,
+            protocol_hours: 8.0,
+            performance_hours: 2.0,
+        }
+    }
+
+    /// Repair time for one failure type.
+    pub fn for_type(&self, ty: FailureType) -> f64 {
+        match ty {
+            FailureType::Disk => self.disk_hours,
+            FailureType::PhysicalInterconnect => self.interconnect_hours,
+            FailureType::Protocol => self.protocol_hours,
+            FailureType::Performance => self.performance_hours,
+        }
+    }
+}
+
+/// Availability estimate for a population of disks' data paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityEstimate {
+    /// Expected path-downtime hours per disk-year.
+    pub downtime_hours_per_disk_year: f64,
+    /// The availability fraction (1 − downtime/period) of one disk's path.
+    pub availability: f64,
+}
+
+impl AvailabilityEstimate {
+    /// The "number of nines": `−log10(1 − availability)`.
+    pub fn nines(&self) -> f64 {
+        -(1.0 - self.availability).log10()
+    }
+}
+
+/// Estimates the data-path availability implied by a failure-rate
+/// breakdown and repair times.
+///
+/// Downtime per disk-year is `Σ_type AFR_type × MTTR_type`; availability is
+/// the fraction of a year the path is up. (A small-rates approximation —
+/// exact for the rates in this study, where downtime is hours per year.)
+pub fn estimate_availability(
+    breakdown: &AfrBreakdown,
+    repairs: &RepairTimes,
+) -> AvailabilityEstimate {
+    const HOURS_PER_YEAR: f64 = 8_766.0;
+    let downtime: f64 = FailureType::ALL
+        .iter()
+        .map(|&ty| breakdown.afr(ty) * repairs.for_type(ty))
+        .sum();
+    AvailabilityEstimate {
+        downtime_hours_per_disk_year: downtime,
+        availability: 1.0 - downtime / HOURS_PER_YEAR,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssfa_model::FailureCounts;
+
+    fn breakdown(disk: u64, ic: u64, proto: u64, perf: u64, years: f64) -> AfrBreakdown {
+        let mut c = FailureCounts::new();
+        c.add(FailureType::Disk, disk);
+        c.add(FailureType::PhysicalInterconnect, ic);
+        c.add(FailureType::Protocol, proto);
+        c.add(FailureType::Performance, perf);
+        AfrBreakdown::new(c, years)
+    }
+
+    #[test]
+    fn downtime_is_rate_weighted_repair_time() {
+        // 1%/yr disk AFR only, 12 h repairs: 0.12 h downtime per disk-year.
+        let b = breakdown(100, 0, 0, 0, 10_000.0);
+        let est = estimate_availability(&b, &RepairTimes::typical());
+        assert!((est.downtime_hours_per_disk_year - 0.12).abs() < 1e-12);
+        assert!(est.availability > 0.9999);
+        assert!(est.nines() > 4.0);
+    }
+
+    #[test]
+    fn interconnect_failures_dominate_low_end_downtime() {
+        // A low-end-like profile: disk 0.9%, interconnect 3%, protocol
+        // 0.4%, performance 0.3%.
+        let b = breakdown(90, 300, 40, 30, 10_000.0);
+        let r = RepairTimes::typical();
+        let est = estimate_availability(&b, &r);
+        let disk_part = b.afr(FailureType::Disk) * r.disk_hours;
+        let ic_part = b.afr(FailureType::PhysicalInterconnect) * r.interconnect_hours;
+        assert!(ic_part > disk_part, "interconnect downtime should dominate");
+        assert!(est.downtime_hours_per_disk_year > ic_part);
+    }
+
+    #[test]
+    fn zero_failures_give_perfect_availability() {
+        let b = breakdown(0, 0, 0, 0, 1_000.0);
+        let est = estimate_availability(&b, &RepairTimes::typical());
+        assert_eq!(est.downtime_hours_per_disk_year, 0.0);
+        assert_eq!(est.availability, 1.0);
+    }
+
+    #[test]
+    fn dual_path_availability_gain_shows_in_nines() {
+        // Figure 7-like: single path 2.4% interconnect vs dual 1.1%.
+        let single = breakdown(90, 240, 30, 5, 10_000.0);
+        let dual = breakdown(90, 110, 30, 5, 10_000.0);
+        let r = RepairTimes::typical();
+        let a_single = estimate_availability(&single, &r);
+        let a_dual = estimate_availability(&dual, &r);
+        assert!(a_dual.availability > a_single.availability);
+        assert!(
+            a_dual.downtime_hours_per_disk_year < a_single.downtime_hours_per_disk_year
+        );
+        assert!(a_dual.nines() > a_single.nines());
+    }
+}

@@ -1,0 +1,63 @@
+//! Storage subsystem failure analysis — the FAST'08 study's methodology as
+//! a reusable library.
+//!
+//! Given an [`AnalysisInput`] (classified failure records, disk lifetimes,
+//! and topology — all recovered from support logs by `ssfa-logs`), this
+//! crate computes every result the paper reports:
+//!
+//! - [`afr`]: annualized failure rates with per-failure-type breakdowns and
+//!   Poisson confidence intervals, grouped by any key (system class, disk
+//!   model, shelf model, path configuration) — Figures 4–7 and Table 1.
+//! - [`tbf`]: time-between-failures within shelves and RAID groups, with
+//!   empirical CDFs, burstiness statistics, and maximum-likelihood fits of
+//!   the exponential/Weibull/Gamma candidates — Figure 9.
+//! - [`correlation`]: the P(N) independence analysis comparing empirical
+//!   against theoretical multi-failure probabilities — Figure 10.
+//! - [`findings`]: typed evaluation of the paper's Findings 1–11.
+//! - [`study`]: the [`Study`] orchestrator producing each table/figure.
+//! - [`report`]: plain-text table rendering for experiment output.
+//!
+//! # Example
+//!
+//! ```
+//! use ssfa_core::Study;
+//! use ssfa_logs::{classify::classify, render::render_support_log, CascadeStyle};
+//! use ssfa_model::{Fleet, FleetConfig, SystemClass};
+//! use ssfa_sim::Simulator;
+//!
+//! let fleet = Fleet::build(&FleetConfig::paper().scaled(0.001), 7);
+//! let output = Simulator::default().run(&fleet, 7);
+//! let book = render_support_log(&fleet, &output, CascadeStyle::RaidOnly);
+//! let study = Study::new(classify(&book)?);
+//!
+//! let fig4 = study.afr_by_class(/*include_problematic=*/ false);
+//! let low_end = &fig4[&SystemClass::LowEnd];
+//! println!("low-end subsystem AFR: {:.2}%", low_end.total_afr() * 100.0);
+//! # Ok::<(), ssfa_logs::LogError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod afr;
+pub mod availability;
+pub mod correlation;
+pub mod mttdl;
+pub mod predict;
+pub mod raid_risk;
+pub mod findings;
+pub mod report;
+pub mod study;
+pub mod tbf;
+
+pub use afr::AfrBreakdown;
+pub use availability::{estimate_availability, AvailabilityEstimate, RepairTimes};
+pub use mttdl::MttdlParams;
+pub use predict::{evaluate_predictor, Alarm, PrecursorPredictor, PredictionEval};
+pub use raid_risk::{raid_data_loss_risk, RaidRiskResult, RiskFailureSet};
+pub use correlation::{CorrelationResult, Scope};
+pub use findings::{Finding, FindingsReport};
+pub use study::Study;
+pub use tbf::{GapAnalysis, TbfAnalysis};
+
+pub use ssfa_logs::AnalysisInput;

@@ -1,0 +1,133 @@
+//! Textbook MTTDL math — the independence-based baseline the study argues
+//! against.
+//!
+//! The original RAID paper (Patterson, Gibson, Katz — the study's
+//! reference \[13\]) models disks as independent exponential failures and
+//! derives the mean time to data loss of a group from disk MTTF, group
+//! size, and repair time. The study shows the independence assumption is
+//! wrong in the field; this module implements the classic formulas so the
+//! measured incident rates of [`crate::raid_risk`] can be compared against
+//! exactly the math a designer would otherwise use.
+
+use ssfa_model::{RaidType, SimDuration};
+
+/// Inputs to the classic MTTDL model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MttdlParams {
+    /// Mean time to failure of one disk, in hours (1 / AFR, annualized:
+    /// an AFR of 1%/yr ≈ 876,000 h MTTF).
+    pub disk_mttf_hours: f64,
+    /// Mean time to repair/rebuild a failed member, in hours.
+    pub mttr_hours: f64,
+    /// Number of disks in the group (data + parity).
+    pub group_size: u32,
+}
+
+impl MttdlParams {
+    /// Builds params from an annualized failure rate (fraction per
+    /// disk-year) instead of an MTTF.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `afr` is positive and finite.
+    pub fn from_afr(afr: f64, mttr: SimDuration, group_size: u32) -> MttdlParams {
+        assert!(afr.is_finite() && afr > 0.0, "AFR must be positive, got {afr}");
+        MttdlParams {
+            disk_mttf_hours: 8_766.0 / afr, // hours per year / AFR
+            mttr_hours: mttr.as_hours(),
+            group_size,
+        }
+    }
+
+    /// Mean time to data loss, in hours, under independent exponential
+    /// failures (the standard Markov-chain result; for RAID6 the
+    /// three-state extension).
+    ///
+    /// * RAID4/5 (tolerates 1): `MTTDL = MTTF² / (N(N−1)·MTTR)`
+    /// * RAID6 (tolerates 2): `MTTDL = MTTF³ / (N(N−1)(N−2)·MTTR²)`
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is too small to hold the level's parity.
+    pub fn mttdl_hours(&self, raid_type: RaidType) -> f64 {
+        let n = self.group_size as f64;
+        let mttf = self.disk_mttf_hours;
+        let mttr = self.mttr_hours;
+        match raid_type {
+            RaidType::Raid4 => {
+                assert!(self.group_size >= 2, "RAID4 needs at least 2 disks");
+                mttf * mttf / (n * (n - 1.0) * mttr)
+            }
+            RaidType::Raid6 => {
+                assert!(self.group_size >= 3, "RAID6 needs at least 3 disks");
+                mttf * mttf * mttf / (n * (n - 1.0) * (n - 2.0) * mttr * mttr)
+            }
+        }
+    }
+
+    /// Expected data-loss events per group-year under the model
+    /// (`8766 / MTTDL`).
+    pub fn loss_rate_per_group_year(&self, raid_type: RaidType) -> f64 {
+        8_766.0 / self.mttdl_hours(raid_type)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raid4_formula_matches_hand_computation() {
+        // MTTF 1e6 h, MTTR 24 h, N = 8:
+        // MTTDL = 1e12 / (8·7·24) = 7.4405e8 h.
+        let p = MttdlParams { disk_mttf_hours: 1e6, mttr_hours: 24.0, group_size: 8 };
+        let mttdl = p.mttdl_hours(RaidType::Raid4);
+        assert!((mttdl - 1e12 / (8.0 * 7.0 * 24.0)).abs() / mttdl < 1e-12);
+        // ~85,000 years: the "you will never lose data" number vendors quote.
+        assert!(mttdl / 8_766.0 > 80_000.0);
+    }
+
+    #[test]
+    fn raid6_is_dramatically_safer_under_independence() {
+        let p = MttdlParams { disk_mttf_hours: 1e6, mttr_hours: 24.0, group_size: 8 };
+        let r4 = p.mttdl_hours(RaidType::Raid4);
+        let r6 = p.mttdl_hours(RaidType::Raid6);
+        // Extra factor ≈ MTTF / ((N−2)·MTTR) ≈ 1e6 / 144 ≈ 7000x.
+        assert!(r6 / r4 > 1_000.0);
+    }
+
+    #[test]
+    fn from_afr_inverts_annualization() {
+        let p = MttdlParams::from_afr(0.01, SimDuration::from_hours(24.0), 7);
+        assert!((p.disk_mttf_hours - 876_600.0).abs() < 1.0);
+        assert_eq!(p.group_size, 7);
+        // Rate and MTTDL are consistent inverses.
+        let rate = p.loss_rate_per_group_year(RaidType::Raid4);
+        assert!((rate * p.mttdl_hours(RaidType::Raid4) - 8_766.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn longer_rebuilds_linearly_hurt_raid4_quadratically_hurt_raid6() {
+        let fast = MttdlParams { disk_mttf_hours: 1e6, mttr_hours: 12.0, group_size: 10 };
+        let slow = MttdlParams { disk_mttf_hours: 1e6, mttr_hours: 48.0, group_size: 10 };
+        let r4_ratio =
+            fast.mttdl_hours(RaidType::Raid4) / slow.mttdl_hours(RaidType::Raid4);
+        let r6_ratio =
+            fast.mttdl_hours(RaidType::Raid6) / slow.mttdl_hours(RaidType::Raid6);
+        assert!((r4_ratio - 4.0).abs() < 1e-9);
+        assert!((r6_ratio - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "RAID6 needs")]
+    fn tiny_groups_rejected() {
+        let p = MttdlParams { disk_mttf_hours: 1e6, mttr_hours: 24.0, group_size: 2 };
+        let _ = p.mttdl_hours(RaidType::Raid6);
+    }
+
+    #[test]
+    #[should_panic(expected = "AFR must be positive")]
+    fn from_afr_rejects_zero() {
+        let _ = MttdlParams::from_afr(0.0, SimDuration::from_hours(24.0), 7);
+    }
+}

@@ -1,0 +1,197 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! The benchmark harness prints each table/figure in the same row/series
+//! structure the paper uses; this module provides the column-aligned text
+//! tables those reports are built from.
+
+use std::fmt;
+
+/// A column-aligned text table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> TextTable {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row. Rows shorter than the header are padded with empty
+    /// cells; longer rows extend the table width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as RFC-4180-style CSV (quoting cells containing
+    /// commas, quotes, or newlines), for downstream plotting tools.
+    pub fn to_csv(&self) -> String {
+        fn cell(out: &mut String, text: &str) {
+            if text.contains([',', '"', '\n']) {
+                out.push('"');
+                out.push_str(&text.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(text);
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            cell(&mut out, h);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                cell(&mut out, c);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols =
+            self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (i, width) in widths.iter().enumerate() {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                first = false;
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                write!(f, "{cell:<width$}")?;
+            }
+            writeln!(f)
+        };
+        render_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals, e.g. `4.60%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a fraction as a percentage with an absolute ± half-width,
+/// e.g. `1.82% ± 0.04%` — the paper's error-bar notation.
+pub fn pct_ci(estimate: f64, half_width: f64) -> String {
+    format!("{:.2}% ± {:.2}%", estimate * 100.0, half_width * 100.0)
+}
+
+/// Formats a count with thousands separators, e.g. `1,800,000`.
+pub fn count(n: u64) -> String {
+    let digits: Vec<char> = n.to_string().chars().rev().collect();
+    let mut out = String::new();
+    for (i, c) in digits.iter().enumerate() {
+        if i > 0 && i % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*c);
+    }
+    out.chars().rev().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(["Class", "AFR"]);
+        t.row(["Near-line", "3.40%"]);
+        t.row(["Low-end", "4.60%"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Class"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns line up: "AFR" column starts at the same offset in all rows.
+        let col = lines[0].find("AFR").unwrap();
+        assert_eq!(&lines[2][col..col + 5], "3.40%");
+        assert_eq!(&lines[3][col..col + 5], "4.60%");
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = TextTable::new(["A", "B", "C"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3", "4"]);
+        let text = t.to_string();
+        assert_eq!(text.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_round_trips_structure_and_escapes() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["plain", "1"]);
+        t.row(["with,comma", "2"]);
+        t.row(["with\"quote", "3"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",2");
+        assert_eq!(lines[3], "\"with\"\"quote\",3");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.046), "4.60%");
+        assert_eq!(pct_ci(0.0182, 0.0004), "1.82% ± 0.04%");
+    }
+
+    #[test]
+    fn count_inserts_separators() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1_000), "1,000");
+        assert_eq!(count(1_800_000), "1,800,000");
+        assert_eq!(count(12_345_678), "12,345,678");
+    }
+}

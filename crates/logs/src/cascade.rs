@@ -1,0 +1,229 @@
+//! Expansion of failures into multi-line event cascades.
+//!
+//! When a failure happens, "multiple events are generated as the failure
+//! propagates from lower layers to higher layers (Fibre Channel to SCSI to
+//! RAID)" (paper §2.5, Figure 3). The cascade generator reproduces that:
+//! the low-layer lines lead up to the RAID-layer classification event, with
+//! the inter-line delays of the paper's example. Masked failures (recovered
+//! by multipath failover) produce only the low-layer lines — they never
+//! reach the RAID layer, which is exactly why they are not storage
+//! subsystem failures.
+
+use ssfa_model::{DeviceAddr, FailureType, SimDuration, SimTime, SystemId};
+
+use crate::event::{LogEvent, LogLine};
+
+/// How much of the cascade to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CascadeStyle {
+    /// Full Figure-3-style cascades (FC → SCSI → RAID).
+    #[default]
+    Full,
+    /// Only the RAID-layer classification line (compact corpora for very
+    /// large fleets).
+    RaidOnly,
+}
+
+/// The failure to expand into log lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeInput {
+    /// Emitting system.
+    pub host: SystemId,
+    /// When the RAID layer detected the failure.
+    pub detected_at: SimTime,
+    /// Failure type (determines the cascade shape).
+    pub failure_type: FailureType,
+    /// Whether multipath failover masked the failure before it reached the
+    /// RAID layer.
+    pub masked: bool,
+    /// Affected device address.
+    pub device: DeviceAddr,
+    /// Affected disk serial number.
+    pub serial: String,
+}
+
+/// Seconds before the RAID-layer event at which each lower-layer line of
+/// the interconnect cascade fires — the gaps of the paper's Figure 3
+/// (05:43:36 → 05:46:22).
+const INTERCONNECT_OFFSETS: [u64; 5] = [166, 152, 152, 130, 120];
+
+/// Seconds before a disk failure at which its precursor medium errors are
+/// logged: roughly 12 days, 6 days, 2 days, 8 hours, and 5 minutes out.
+pub const PRECURSOR_OFFSETS: [u64; 5] = [1_036_800, 518_400, 172_800, 28_800, 340];
+
+fn back(at: SimTime, secs: u64) -> SimTime {
+    at.saturating_sub(SimDuration::from_secs(secs))
+}
+
+/// Deterministic pseudo-sector derived from the serial, for medium-error
+/// flavor lines.
+fn sector_for(serial: &str) -> u64 {
+    serial.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    }) % 976_773_168 // LBAs of a 500 GB disk
+}
+
+/// Expands one failure into its log lines, in chronological order.
+///
+/// The last line of an unmasked cascade is always the RAID-layer
+/// classification event; masked cascades end with the failover line.
+pub fn expand(input: &CascadeInput, style: CascadeStyle) -> Vec<LogLine> {
+    let CascadeInput { host, detected_at, failure_type, masked, device, serial } = input;
+    let host = *host;
+    let at = *detected_at;
+    let device = *device;
+    let line = |t: SimTime, e: LogEvent| LogLine::new(host, t, e);
+
+    if *masked {
+        // Failover recovered the path: FC noise, then the failover notice.
+        // No RAID-layer event is ever logged.
+        return vec![
+            line(back(at, 30), LogEvent::FciDeviceTimeout { device }),
+            line(back(at, 16), LogEvent::FciAdapterReset { adapter: device.adapter }),
+            line(at, LogEvent::ScsiPathFailover { device }),
+        ];
+    }
+
+    let raid_event = match failure_type {
+        FailureType::Disk => LogEvent::RaidDiskFailed { device, serial: serial.clone() },
+        FailureType::PhysicalInterconnect => {
+            LogEvent::RaidDiskMissing { device, serial: serial.clone() }
+        }
+        FailureType::Protocol => {
+            LogEvent::RaidProtocolError { device, serial: serial.clone() }
+        }
+        FailureType::Performance => LogEvent::RaidDiskSlow { device, serial: serial.clone() },
+    };
+
+    if style == CascadeStyle::RaidOnly {
+        return vec![line(at, raid_event)];
+    }
+
+    let mut lines = match failure_type {
+        FailureType::Disk => {
+            // Disks degrade before they die: sector errors accumulate over
+            // the preceding days until the storage layer proactively fails
+            // the disk (paper §2.3: "a disk has experienced too many
+            // sector errors"). These precursor lines are what failure
+            // predictors (paper §7, future work) feed on. How loudly a
+            // disk announces its death varies: deterministically per
+            // serial, it emits its last 3-5 precursors.
+            let sector = sector_for(serial);
+            let n = 3 + (sector % 3) as usize;
+            PRECURSOR_OFFSETS
+                .iter()
+                .skip(PRECURSOR_OFFSETS.len() - n)
+                .enumerate()
+                .map(|(i, &secs)| {
+                    line(
+                        back(at, secs),
+                        LogEvent::DiskMediumError { device, sector: sector + 8 * i as u64 },
+                    )
+                })
+                .collect()
+        }
+        FailureType::PhysicalInterconnect => vec![
+            line(back(at, INTERCONNECT_OFFSETS[0]), LogEvent::FciDeviceTimeout { device }),
+            line(
+                back(at, INTERCONNECT_OFFSETS[1]),
+                LogEvent::FciAdapterReset { adapter: device.adapter },
+            ),
+            line(back(at, INTERCONNECT_OFFSETS[2]), LogEvent::ScsiCmdAborted { device }),
+            line(back(at, INTERCONNECT_OFFSETS[3]), LogEvent::ScsiSelectionTimeout { device }),
+            line(back(at, INTERCONNECT_OFFSETS[4]), LogEvent::ScsiNoMorePaths { device }),
+        ],
+        FailureType::Protocol => vec![
+            line(back(at, 45), LogEvent::ScsiProtocolViolation { device }),
+            line(back(at, 20), LogEvent::ScsiProtocolViolation { device }),
+        ],
+        FailureType::Performance => vec![
+            line(back(at, 120), LogEvent::ScsiSlowResponse { device, latency_ms: 12_400 }),
+            line(back(at, 40), LogEvent::ScsiSlowResponse { device, latency_ms: 31_900 }),
+        ],
+    };
+    lines.push(line(at, raid_event));
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssfa_model::DiskInstanceId;
+
+    fn input(ty: FailureType, masked: bool) -> CascadeInput {
+        CascadeInput {
+            host: SystemId(3),
+            detected_at: SimTime::from_secs(80_000_000),
+            failure_type: ty,
+            masked,
+            device: DeviceAddr::new(8, 24),
+            serial: DiskInstanceId(500).serial(),
+        }
+    }
+
+    #[test]
+    fn interconnect_cascade_matches_figure_3_shape() {
+        let lines = expand(&input(FailureType::PhysicalInterconnect, false), CascadeStyle::Full);
+        assert_eq!(lines.len(), 6);
+        let tags: Vec<&str> = lines.iter().map(|l| l.event.tag()).collect();
+        assert_eq!(
+            tags,
+            vec![
+                "fci.device.timeout",
+                "fci.adapter.reset",
+                "scsi.cmd.abortedByHost",
+                "scsi.cmd.selectionTimeout",
+                "scsi.cmd.noMorePaths",
+                "raid.config.filesystem.disk.missing",
+            ]
+        );
+        // Chronological and ending exactly at detection.
+        for pair in lines.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        assert_eq!(lines.last().unwrap().at, SimTime::from_secs(80_000_000));
+    }
+
+    #[test]
+    fn each_type_ends_with_its_raid_event() {
+        let expect = [
+            (FailureType::Disk, "raid.config.filesystem.disk.failed"),
+            (FailureType::PhysicalInterconnect, "raid.config.filesystem.disk.missing"),
+            (FailureType::Protocol, "raid.config.filesystem.disk.protocolError"),
+            (FailureType::Performance, "raid.config.filesystem.disk.slow"),
+        ];
+        for (ty, tag) in expect {
+            let lines = expand(&input(ty, false), CascadeStyle::Full);
+            assert_eq!(lines.last().unwrap().event.tag(), tag, "{ty}");
+            assert!(lines.len() >= 3, "{ty} cascade too short");
+        }
+    }
+
+    #[test]
+    fn masked_cascades_never_reach_the_raid_layer() {
+        let lines = expand(&input(FailureType::PhysicalInterconnect, true), CascadeStyle::Full);
+        assert!(lines.iter().all(|l| !l.event.tag().starts_with("raid.")));
+        assert_eq!(lines.last().unwrap().event.tag(), "scsi.path.failover");
+    }
+
+    #[test]
+    fn raid_only_style_is_one_line() {
+        let lines = expand(&input(FailureType::Disk, false), CascadeStyle::RaidOnly);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].event.tag(), "raid.config.filesystem.disk.failed");
+    }
+
+    #[test]
+    fn early_detection_times_saturate_instead_of_underflowing() {
+        let mut i = input(FailureType::PhysicalInterconnect, false);
+        i.detected_at = SimTime::from_secs(10);
+        let lines = expand(&i, CascadeStyle::Full);
+        assert_eq!(lines[0].at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn sectors_are_deterministic_per_serial() {
+        assert_eq!(sector_for("3EL00000001"), sector_for("3EL00000001"));
+        assert_ne!(sector_for("3EL00000001"), sector_for("3EL00000002"));
+    }
+}

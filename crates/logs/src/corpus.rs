@@ -1,0 +1,340 @@
+//! The log corpus: an ordered collection of log lines with text I/O.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::event::LogLine;
+
+/// Errors from corpus I/O and classification.
+#[derive(Debug)]
+pub enum LogError {
+    /// A line failed to parse.
+    Malformed {
+        /// 1-based line number within the corpus text.
+        line_no: usize,
+        /// The offending line (truncated).
+        line: String,
+    },
+    /// A failure event referenced topology the corpus never declared.
+    MissingTopology {
+        /// What was being resolved.
+        what: String,
+    },
+    /// Underlying I/O error.
+    Io(io::Error),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Malformed { line_no, line } => {
+                write!(f, "malformed log line {line_no}: {line}")
+            }
+            LogError::MissingTopology { what } => {
+                write!(f, "event references undeclared topology: {what}")
+            }
+            LogError::Io(e) => write!(f, "log i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LogError {
+    fn from(e: io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// An ordered support-log corpus.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LogBook {
+    lines: Vec<LogLine>,
+}
+
+impl LogBook {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one line.
+    pub fn push(&mut self, line: LogLine) {
+        self.lines.push(line);
+    }
+
+    /// Appends many lines.
+    pub fn extend_lines<I: IntoIterator<Item = LogLine>>(&mut self, lines: I) {
+        self.lines.extend(lines);
+    }
+
+    /// Sorts lines chronologically (stable, so cascade-internal order at
+    /// equal timestamps is preserved).
+    pub fn sort_chronological(&mut self) {
+        self.lines.sort_by_key(|l| l.at);
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the corpus holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Iterates the lines in corpus order.
+    pub fn iter(&self) -> std::slice::Iter<'_, LogLine> {
+        self.lines.iter()
+    }
+
+    /// Iterates the lines emitted by one host.
+    pub fn lines_for_host(
+        &self,
+        host: ssfa_model::SystemId,
+    ) -> impl Iterator<Item = &LogLine> + '_ {
+        self.lines.iter().filter(move |l| l.host == host)
+    }
+
+    /// Iterates the lines within a half-open time window `[from, to)`.
+    pub fn lines_between(
+        &self,
+        from: ssfa_model::SimTime,
+        to: ssfa_model::SimTime,
+    ) -> impl Iterator<Item = &LogLine> + '_ {
+        self.lines.iter().filter(move |l| l.at >= from && l.at < to)
+    }
+
+    /// Iterates the lines whose subsystem tag starts with `prefix`
+    /// (e.g. `"raid."` for the classification-bearing events).
+    pub fn lines_with_tag_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = &'a LogLine> + 'a {
+        self.lines.iter().filter(move |l| l.event.tag().starts_with(prefix))
+    }
+
+    /// Counts lines per subsystem tag.
+    pub fn count_by_tag(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for line in &self.lines {
+            *counts.entry(line.event.tag()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Renders the whole corpus as text, one line per event.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.lines.len() * 96);
+        for line in &self.lines {
+            out.push_str(&line.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a corpus from text. Blank lines are skipped; anything else
+    /// that fails to parse is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] with the offending line number.
+    pub fn from_text(text: &str) -> Result<LogBook, LogError> {
+        let mut book = LogBook::new();
+        for (idx, raw) in text.lines().enumerate() {
+            if raw.trim().is_empty() {
+                continue;
+            }
+            match LogLine::parse(raw) {
+                Some(line) => book.push(line),
+                None => {
+                    return Err(LogError::Malformed {
+                        line_no: idx + 1,
+                        line: raw.chars().take(120).collect(),
+                    })
+                }
+            }
+        }
+        Ok(book)
+    }
+
+    /// Writes the corpus to a writer. Accepts `&mut` writers as well, per
+    /// the usual `io::Write` blanket impl.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), LogError> {
+        for line in &self.lines {
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Reads a corpus from a buffered reader. Accepts `&mut` readers as
+    /// well.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::Malformed`] for unparseable lines and
+    /// [`LogError::Io`] for reader failures.
+    pub fn read_from<R: BufRead>(r: R) -> Result<LogBook, LogError> {
+        let mut book = LogBook::new();
+        for (idx, raw) in r.lines().enumerate() {
+            let raw = raw?;
+            if raw.trim().is_empty() {
+                continue;
+            }
+            match LogLine::parse(&raw) {
+                Some(line) => book.push(line),
+                None => {
+                    return Err(LogError::Malformed {
+                        line_no: idx + 1,
+                        line: raw.chars().take(120).collect(),
+                    })
+                }
+            }
+        }
+        Ok(book)
+    }
+}
+
+impl FromIterator<LogLine> for LogBook {
+    fn from_iter<I: IntoIterator<Item = LogLine>>(iter: I) -> Self {
+        LogBook { lines: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<LogLine> for LogBook {
+    fn extend<I: IntoIterator<Item = LogLine>>(&mut self, iter: I) {
+        self.lines.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a LogBook {
+    type Item = &'a LogLine;
+    type IntoIter = std::slice::Iter<'a, LogLine>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lines.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LogEvent;
+    use ssfa_model::{DeviceAddr, SimTime, SystemId};
+
+    fn sample_line(t: u64) -> LogLine {
+        LogLine::new(
+            SystemId(1),
+            SimTime::from_secs(t),
+            LogEvent::FciDeviceTimeout { device: DeviceAddr::new(8, 24) },
+        )
+    }
+
+    #[test]
+    fn text_round_trip_preserves_everything() {
+        let mut book = LogBook::new();
+        book.push(sample_line(1_000));
+        book.push(sample_line(50_000));
+        let text = book.to_text();
+        let parsed = LogBook::from_text(&text).unwrap();
+        assert_eq!(parsed, book);
+    }
+
+    #[test]
+    fn io_round_trip() {
+        let book: LogBook = (0..10).map(|i| sample_line(i * 7_000)).collect();
+        let mut buf = Vec::new();
+        book.write_to(&mut buf).unwrap();
+        let parsed = LogBook::read_from(buf.as_slice()).unwrap();
+        assert_eq!(parsed, book);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_garbage_is_reported() {
+        let book: LogBook = vec![sample_line(3_600)].into_iter().collect();
+        let text = format!("\n{}\n\n", book.to_text());
+        assert_eq!(LogBook::from_text(&text).unwrap().len(), 1);
+
+        let bad = format!("{}not a log line\n", book.to_text());
+        match LogBook::from_text(&bad) {
+            Err(LogError::Malformed { line_no, .. }) => assert_eq!(line_no, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sorting_is_stable_for_equal_timestamps() {
+        let a = LogLine::new(
+            SystemId(1),
+            SimTime::from_secs(100),
+            LogEvent::FciAdapterReset { adapter: 1 },
+        );
+        let b = LogLine::new(
+            SystemId(1),
+            SimTime::from_secs(100),
+            LogEvent::FciAdapterReset { adapter: 2 },
+        );
+        let mut book: LogBook = vec![sample_line(500), a.clone(), b.clone()].into_iter().collect();
+        book.sort_chronological();
+        let lines: Vec<_> = book.iter().cloned().collect();
+        assert_eq!(lines[0], a);
+        assert_eq!(lines[1], b);
+    }
+
+    #[test]
+    fn query_api_filters_correctly() {
+        use ssfa_model::SimTime;
+        let mk = |host: u32, t: u64, adapter: u8| {
+            LogLine::new(
+                SystemId(host),
+                SimTime::from_secs(t),
+                LogEvent::FciAdapterReset { adapter },
+            )
+        };
+        let mut book: LogBook = vec![
+            mk(1, 100, 1),
+            mk(2, 200, 2),
+            mk(1, 300, 3),
+            LogLine::new(
+                SystemId(1),
+                SimTime::from_secs(400),
+                LogEvent::FciDeviceTimeout { device: DeviceAddr::new(8, 24) },
+            ),
+        ]
+        .into_iter()
+        .collect();
+        book.sort_chronological();
+
+        assert_eq!(book.lines_for_host(SystemId(1)).count(), 3);
+        assert_eq!(book.lines_for_host(SystemId(9)).count(), 0);
+        assert_eq!(
+            book.lines_between(SimTime::from_secs(150), SimTime::from_secs(400)).count(),
+            2
+        );
+        assert_eq!(book.lines_with_tag_prefix("fci.adapter").count(), 3);
+        let by_tag = book.count_by_tag();
+        assert_eq!(by_tag["fci.adapter.reset"], 3);
+        assert_eq!(by_tag["fci.device.timeout"], 1);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut book: LogBook = (0..3).map(sample_line).collect();
+        book.extend((3..5).map(sample_line));
+        assert_eq!(book.len(), 5);
+        assert!(!book.is_empty());
+        assert_eq!((&book).into_iter().count(), 5);
+    }
+}

@@ -1,0 +1,686 @@
+//! Typed log events and their text rendering.
+//!
+//! Every line in a support log is `<host> <timestamp> [<tag>:<severity>]:
+//! <message>`, matching the layout shown in the paper's Figure 3. Events
+//! come in three groups: Fibre-Channel/SCSI layer events emitted while a
+//! failure propagates, RAID-layer events that *classify* the failure (the
+//! four storage subsystem failure types), and `cfg.*` records that carry
+//! the configuration snapshots (topology, disk installs/removals) the
+//! analysis needs for exposure accounting.
+
+use std::fmt;
+
+use ssfa_model::{
+    DeviceAddr, DiskModelId, LayoutPolicy, LoopId, PathConfig, RaidGroupId, RaidType, ShelfId,
+    ShelfModel, SimTime, SlotAddr, SystemClass, SystemId,
+};
+
+/// Severity of a log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational record.
+    Info,
+    /// Warning — degraded but operating.
+    Warning,
+    /// Error — a failure happened.
+    Error,
+}
+
+impl Severity {
+    fn tag(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Severity> {
+        match tag {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One typed log event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogEvent {
+    // --- Fibre Channel layer ---------------------------------------------
+    /// FC adapter saw a device stop responding.
+    FciDeviceTimeout {
+        /// The unresponsive device.
+        device: DeviceAddr,
+    },
+    /// FC adapter was reset in an attempt to recover.
+    FciAdapterReset {
+        /// The adapter being reset.
+        adapter: u8,
+    },
+
+    // --- SCSI layer --------------------------------------------------------
+    /// Host adapter aborted an in-flight command.
+    ScsiCmdAborted {
+        /// The device whose command was aborted.
+        device: DeviceAddr,
+    },
+    /// Selection timeout: target did not respond; I/O will be retried.
+    ScsiSelectionTimeout {
+        /// The silent target.
+        device: DeviceAddr,
+    },
+    /// All retries failed; no path to the device remains.
+    ScsiNoMorePaths {
+        /// The unreachable device.
+        device: DeviceAddr,
+    },
+    /// Multipath failover rerouted I/O through the redundant network.
+    ScsiPathFailover {
+        /// The device whose primary path failed.
+        device: DeviceAddr,
+    },
+    /// A medium error was detected and the sector remapped.
+    DiskMediumError {
+        /// The disk reporting the error.
+        device: DeviceAddr,
+        /// The broken sector's LBA.
+        sector: u64,
+    },
+    /// Response violating the protocol; driver/firmware incompatibility.
+    ScsiProtocolViolation {
+        /// The misbehaving device.
+        device: DeviceAddr,
+    },
+    /// An I/O took longer than the service threshold.
+    ScsiSlowResponse {
+        /// The slow device.
+        device: DeviceAddr,
+        /// Observed completion latency in milliseconds.
+        latency_ms: u32,
+    },
+
+    // --- RAID layer (classification-bearing) -------------------------------
+    /// Disk is missing from the filesystem: a physical interconnect
+    /// failure (paper Figure 3).
+    RaidDiskMissing {
+        /// The missing disk's address.
+        device: DeviceAddr,
+        /// The missing disk's serial number.
+        serial: String,
+    },
+    /// Disk failed (media/mechanics or proactive fail-out): a disk failure.
+    RaidDiskFailed {
+        /// The failed disk's address.
+        device: DeviceAddr,
+        /// The failed disk's serial number.
+        serial: String,
+    },
+    /// Disk visible but requests misbehaving: a protocol failure.
+    RaidProtocolError {
+        /// The affected disk's address.
+        device: DeviceAddr,
+        /// The affected disk's serial number.
+        serial: String,
+    },
+    /// Disk cannot serve I/O in time: a performance failure.
+    RaidDiskSlow {
+        /// The slow disk's address.
+        device: DeviceAddr,
+        /// The slow disk's serial number.
+        serial: String,
+    },
+
+    // --- Configuration snapshot records ------------------------------------
+    /// System-level configuration record.
+    CfgSystem {
+        /// Capability class.
+        class: SystemClass,
+        /// Disk model populated throughout the system.
+        disk_model: DiskModelId,
+        /// Shelf enclosure model in use.
+        shelf_model: ShelfModel,
+        /// Single or dual FC paths.
+        paths: PathConfig,
+        /// RAID layout policy.
+        layout: LayoutPolicy,
+    },
+    /// Shelf enclosure record.
+    CfgShelf {
+        /// Fleet-unique shelf id.
+        shelf: ShelfId,
+        /// Enclosure model.
+        model: ShelfModel,
+        /// FC loop the shelf is chained on.
+        fc_loop: LoopId,
+        /// Host adapter number.
+        adapter: u8,
+        /// Position on the loop.
+        position: u8,
+        /// Populated bays.
+        bays: u8,
+    },
+    /// RAID group membership record.
+    CfgRaidGroup {
+        /// Fleet-unique RAID group id.
+        rg: RaidGroupId,
+        /// RAID level.
+        raid_type: RaidType,
+        /// Member slots.
+        slots: Vec<SlotAddr>,
+    },
+    /// A disk instance entered service in a slot.
+    CfgDiskInstall {
+        /// Serial of the installed disk.
+        serial: String,
+        /// Product model.
+        model: DiskModelId,
+        /// Slot occupied.
+        slot: SlotAddr,
+        /// Device address of the slot.
+        device: DeviceAddr,
+    },
+    /// A disk instance left service.
+    CfgDiskRemove {
+        /// Serial of the removed disk.
+        serial: String,
+        /// `failed` or `study_end`.
+        reason: String,
+    },
+}
+
+impl LogEvent {
+    /// The subsystem tag rendered inside `[tag:severity]`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LogEvent::FciDeviceTimeout { .. } => "fci.device.timeout",
+            LogEvent::FciAdapterReset { .. } => "fci.adapter.reset",
+            LogEvent::ScsiCmdAborted { .. } => "scsi.cmd.abortedByHost",
+            LogEvent::ScsiSelectionTimeout { .. } => "scsi.cmd.selectionTimeout",
+            LogEvent::ScsiNoMorePaths { .. } => "scsi.cmd.noMorePaths",
+            LogEvent::ScsiPathFailover { .. } => "scsi.path.failover",
+            LogEvent::DiskMediumError { .. } => "disk.ioMediumError",
+            LogEvent::ScsiProtocolViolation { .. } => "scsi.cmd.protocolViolation",
+            LogEvent::ScsiSlowResponse { .. } => "scsi.cmd.slowResponse",
+            LogEvent::RaidDiskMissing { .. } => "raid.config.filesystem.disk.missing",
+            LogEvent::RaidDiskFailed { .. } => "raid.config.filesystem.disk.failed",
+            LogEvent::RaidProtocolError { .. } => "raid.config.filesystem.disk.protocolError",
+            LogEvent::RaidDiskSlow { .. } => "raid.config.filesystem.disk.slow",
+            LogEvent::CfgSystem { .. } => "cfg.system",
+            LogEvent::CfgShelf { .. } => "cfg.shelf",
+            LogEvent::CfgRaidGroup { .. } => "cfg.raidgroup",
+            LogEvent::CfgDiskInstall { .. } => "cfg.disk.install",
+            LogEvent::CfgDiskRemove { .. } => "cfg.disk.remove",
+        }
+    }
+
+    /// The line severity.
+    pub fn severity(&self) -> Severity {
+        match self {
+            LogEvent::FciDeviceTimeout { .. }
+            | LogEvent::ScsiCmdAborted { .. }
+            | LogEvent::ScsiSelectionTimeout { .. }
+            | LogEvent::ScsiNoMorePaths { .. }
+            | LogEvent::ScsiProtocolViolation { .. }
+            | LogEvent::RaidDiskFailed { .. }
+            | LogEvent::RaidProtocolError { .. } => Severity::Error,
+            LogEvent::DiskMediumError { .. }
+            | LogEvent::ScsiSlowResponse { .. }
+            | LogEvent::RaidDiskSlow { .. } => Severity::Warning,
+            _ => Severity::Info,
+        }
+    }
+
+    /// Renders the human-readable message after `]: `.
+    pub fn message(&self) -> String {
+        match self {
+            LogEvent::FciDeviceTimeout { device } => format!(
+                "Adapter {} encountered a device timeout on device {device}",
+                device.adapter
+            ),
+            LogEvent::FciAdapterReset { adapter } => {
+                format!("Resetting Fibre Channel adapter {adapter}.")
+            }
+            LogEvent::ScsiCmdAborted { device } => {
+                format!("Device {device}: Command aborted by host adapter:")
+            }
+            LogEvent::ScsiSelectionTimeout { device } => format!(
+                "Device {device}: Adapter/target error: Targeted device did not respond \
+                 to requested I/O. I/O will be retried."
+            ),
+            LogEvent::ScsiNoMorePaths { device } => format!(
+                "Device {device}: No more paths to device. All retries have failed."
+            ),
+            LogEvent::ScsiPathFailover { device } => format!(
+                "Device {device}: Primary path failed. I/O rerouted through redundant path."
+            ),
+            LogEvent::DiskMediumError { device, sector } => format!(
+                "Device {device}: Medium error detected on sector {sector}. Sector remapped."
+            ),
+            LogEvent::ScsiProtocolViolation { device } => format!(
+                "Device {device}: Protocol violation in command response. \
+                 Driver or firmware incompatibility suspected."
+            ),
+            LogEvent::ScsiSlowResponse { device, latency_ms } => format!(
+                "Device {device}: I/O completion exceeded service threshold ({latency_ms} ms)."
+            ),
+            LogEvent::RaidDiskMissing { device, serial } => {
+                format!("File system Disk {device} S/N [{serial}] is missing.")
+            }
+            LogEvent::RaidDiskFailed { device, serial } => {
+                format!("File system Disk {device} S/N [{serial}] has failed.")
+            }
+            LogEvent::RaidProtocolError { device, serial } => format!(
+                "File system Disk {device} S/N [{serial}] is not responding correctly \
+                 to I/O requests."
+            ),
+            LogEvent::RaidDiskSlow { device, serial } => format!(
+                "File system Disk {device} S/N [{serial}] cannot serve I/O requests \
+                 in a timely manner."
+            ),
+            LogEvent::CfgSystem { class, disk_model, shelf_model, paths, layout } => format!(
+                "class={} disk_model={} shelf_model={} paths={} layout={}",
+                class.tag(),
+                disk_model,
+                shelf_model.letter(),
+                paths.paths(),
+                layout.label()
+            ),
+            LogEvent::CfgShelf { shelf, model, fc_loop, adapter, position, bays } => format!(
+                "shelf={} model={} loop={} adapter={} position={} bays={}",
+                shelf.0,
+                model.letter(),
+                fc_loop.0,
+                adapter,
+                position,
+                bays
+            ),
+            LogEvent::CfgRaidGroup { rg, raid_type, slots } => {
+                let slots_text: Vec<String> =
+                    slots.iter().map(|s| format!("{}:{}", s.shelf.0, s.bay)).collect();
+                format!(
+                    "rg={} type={} slots={}",
+                    rg.0,
+                    raid_type.label(),
+                    slots_text.join(",")
+                )
+            }
+            LogEvent::CfgDiskInstall { serial, model, slot, device } => format!(
+                "serial={} model={} shelf={} bay={} device={}",
+                serial, model, slot.shelf.0, slot.bay, device
+            ),
+            LogEvent::CfgDiskRemove { serial, reason } => {
+                format!("serial={serial} reason={reason}")
+            }
+        }
+    }
+
+    /// Parses a message back into an event, given the subsystem tag.
+    ///
+    /// Returns `None` when the tag is unknown or the message does not match
+    /// the tag's layout.
+    pub fn parse(tag: &str, message: &str) -> Option<LogEvent> {
+        fn device_after(msg: &str, prefix: &str) -> Option<DeviceAddr> {
+            let rest = msg.strip_prefix(prefix)?;
+            let end = rest.find([':', ' '])?;
+            rest[..end].parse().ok()
+        }
+        fn device_and_serial(msg: &str) -> Option<(DeviceAddr, String)> {
+            let rest = msg.strip_prefix("File system Disk ")?;
+            let sp = rest.find(' ')?;
+            let device: DeviceAddr = rest[..sp].parse().ok()?;
+            let open = rest.find('[')?;
+            let close = rest.find(']')?;
+            if close <= open + 1 {
+                return None;
+            }
+            Some((device, rest[open + 1..close].to_owned()))
+        }
+        fn kv(msg: &str) -> std::collections::HashMap<&str, &str> {
+            msg.split_whitespace().filter_map(|t| t.split_once('=')).collect()
+        }
+
+        match tag {
+            "fci.device.timeout" => {
+                let idx = message.rfind(" on device ")?;
+                let device: DeviceAddr = message[idx + 11..].trim().parse().ok()?;
+                Some(LogEvent::FciDeviceTimeout { device })
+            }
+            "fci.adapter.reset" => {
+                let rest = message.strip_prefix("Resetting Fibre Channel adapter ")?;
+                let adapter: u8 = rest.trim_end_matches('.').parse().ok()?;
+                Some(LogEvent::FciAdapterReset { adapter })
+            }
+            "scsi.cmd.abortedByHost" => {
+                Some(LogEvent::ScsiCmdAborted { device: device_after(message, "Device ")? })
+            }
+            "scsi.cmd.selectionTimeout" => Some(LogEvent::ScsiSelectionTimeout {
+                device: device_after(message, "Device ")?,
+            }),
+            "scsi.cmd.noMorePaths" => {
+                Some(LogEvent::ScsiNoMorePaths { device: device_after(message, "Device ")? })
+            }
+            "scsi.path.failover" => {
+                Some(LogEvent::ScsiPathFailover { device: device_after(message, "Device ")? })
+            }
+            "disk.ioMediumError" => {
+                let device = device_after(message, "Device ")?;
+                let idx = message.find("sector ")?;
+                let rest = &message[idx + 7..];
+                let end = rest.find('.')?;
+                let sector: u64 = rest[..end].parse().ok()?;
+                Some(LogEvent::DiskMediumError { device, sector })
+            }
+            "scsi.cmd.protocolViolation" => Some(LogEvent::ScsiProtocolViolation {
+                device: device_after(message, "Device ")?,
+            }),
+            "scsi.cmd.slowResponse" => {
+                let device = device_after(message, "Device ")?;
+                let open = message.find('(')?;
+                let end = message.find(" ms)")?;
+                let latency_ms: u32 = message[open + 1..end].parse().ok()?;
+                Some(LogEvent::ScsiSlowResponse { device, latency_ms })
+            }
+            "raid.config.filesystem.disk.missing" => {
+                let (device, serial) = device_and_serial(message)?;
+                Some(LogEvent::RaidDiskMissing { device, serial })
+            }
+            "raid.config.filesystem.disk.failed" => {
+                let (device, serial) = device_and_serial(message)?;
+                Some(LogEvent::RaidDiskFailed { device, serial })
+            }
+            "raid.config.filesystem.disk.protocolError" => {
+                let (device, serial) = device_and_serial(message)?;
+                Some(LogEvent::RaidProtocolError { device, serial })
+            }
+            "raid.config.filesystem.disk.slow" => {
+                let (device, serial) = device_and_serial(message)?;
+                Some(LogEvent::RaidDiskSlow { device, serial })
+            }
+            "cfg.system" => {
+                let kv = kv(message);
+                Some(LogEvent::CfgSystem {
+                    class: SystemClass::from_tag(kv.get("class")?)?,
+                    disk_model: DiskModelId::parse(kv.get("disk_model")?)?,
+                    shelf_model: ShelfModel::from_letter(
+                        kv.get("shelf_model")?.chars().next()?,
+                    )?,
+                    paths: match *kv.get("paths")? {
+                        "1" => PathConfig::SinglePath,
+                        "2" => PathConfig::DualPath,
+                        _ => return None,
+                    },
+                    layout: match *kv.get("layout")? {
+                        "span-shelves" => LayoutPolicy::SpanShelves,
+                        "same-shelf" => LayoutPolicy::SameShelf,
+                        _ => return None,
+                    },
+                })
+            }
+            "cfg.shelf" => {
+                let kv = kv(message);
+                Some(LogEvent::CfgShelf {
+                    shelf: ShelfId(kv.get("shelf")?.parse().ok()?),
+                    model: ShelfModel::from_letter(kv.get("model")?.chars().next()?)?,
+                    fc_loop: LoopId(kv.get("loop")?.parse().ok()?),
+                    adapter: kv.get("adapter")?.parse().ok()?,
+                    position: kv.get("position")?.parse().ok()?,
+                    bays: kv.get("bays")?.parse().ok()?,
+                })
+            }
+            "cfg.raidgroup" => {
+                let kv = kv(message);
+                let slots = kv
+                    .get("slots")?
+                    .split(',')
+                    .map(|pair| {
+                        let (shelf, bay) = pair.split_once(':')?;
+                        Some(SlotAddr {
+                            shelf: ShelfId(shelf.parse().ok()?),
+                            bay: bay.parse().ok()?,
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some(LogEvent::CfgRaidGroup {
+                    rg: RaidGroupId(kv.get("rg")?.parse().ok()?),
+                    raid_type: match *kv.get("type")? {
+                        "RAID4" => RaidType::Raid4,
+                        "RAID6" => RaidType::Raid6,
+                        _ => return None,
+                    },
+                    slots,
+                })
+            }
+            "cfg.disk.install" => {
+                let kv = kv(message);
+                Some(LogEvent::CfgDiskInstall {
+                    serial: (*kv.get("serial")?).to_owned(),
+                    model: DiskModelId::parse(kv.get("model")?)?,
+                    slot: SlotAddr {
+                        shelf: ShelfId(kv.get("shelf")?.parse().ok()?),
+                        bay: kv.get("bay")?.parse().ok()?,
+                    },
+                    device: kv.get("device")?.parse().ok()?,
+                })
+            }
+            "cfg.disk.remove" => {
+                let kv = kv(message);
+                Some(LogEvent::CfgDiskRemove {
+                    serial: (*kv.get("serial")?).to_owned(),
+                    reason: (*kv.get("reason")?).to_owned(),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One complete log line: host, timestamp, event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogLine {
+    /// The storage system that emitted the line.
+    pub host: SystemId,
+    /// When the line was emitted.
+    pub at: SimTime,
+    /// The typed event.
+    pub event: LogEvent,
+}
+
+impl LogLine {
+    /// Creates a line.
+    pub fn new(host: SystemId, at: SimTime, event: LogEvent) -> Self {
+        LogLine { host, at, event }
+    }
+
+    /// Parses one rendered line.
+    ///
+    /// Returns `None` for malformed lines (the classifier skips them, as
+    /// real log pipelines must).
+    pub fn parse(line: &str) -> Option<LogLine> {
+        let line = line.trim_end();
+        let (host_tok, rest) = line.split_once(' ')?;
+        let host = SystemId(host_tok.strip_prefix("sys-")?.parse().ok()?);
+        // Timestamp: "Sun Jul 23 05:43:36 PDT 2006" = 6 whitespace-separated
+        // tokens, but the day-of-month may be space-padded.
+        let rest = rest.trim_start();
+        let bracket = rest.find('[')?;
+        let ts_text = rest[..bracket].trim();
+        let at = ssfa_model::CivilDateTime::parse_log_timestamp(ts_text)?.to_sim_time()?;
+        let rest = &rest[bracket + 1..];
+        let close = rest.find("]: ")?;
+        let (tag, severity_tag) = rest[..close].rsplit_once(':')?;
+        let severity = Severity::from_tag(severity_tag)?;
+        let message = &rest[close + 3..];
+        let event = LogEvent::parse(tag, message)?;
+        if event.severity() != severity {
+            return None;
+        }
+        Some(LogLine { host, at, event })
+    }
+}
+
+impl fmt::Display for LogLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sys-{} {} [{}:{}]: {}",
+            self.host.0,
+            self.at.civil(),
+            self.event.tag(),
+            self.event.severity(),
+            self.event.message()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssfa_model::DiskInstanceId;
+
+    fn roundtrip(event: LogEvent) {
+        let line = LogLine::new(SystemId(42), SimTime::from_secs(79_876_543), event);
+        let text = line.to_string();
+        let parsed = LogLine::parse(&text)
+            .unwrap_or_else(|| panic!("failed to parse: {text}"));
+        assert_eq!(parsed, line, "round-trip mismatch for: {text}");
+    }
+
+    #[test]
+    fn figure_3_interconnect_cascade_lines_round_trip() {
+        let d = DeviceAddr::new(8, 24);
+        roundtrip(LogEvent::FciDeviceTimeout { device: d });
+        roundtrip(LogEvent::FciAdapterReset { adapter: 8 });
+        roundtrip(LogEvent::ScsiCmdAborted { device: d });
+        roundtrip(LogEvent::ScsiSelectionTimeout { device: d });
+        roundtrip(LogEvent::ScsiNoMorePaths { device: d });
+        roundtrip(LogEvent::RaidDiskMissing {
+            device: d,
+            serial: DiskInstanceId(12345).serial(),
+        });
+    }
+
+    #[test]
+    fn all_other_events_round_trip() {
+        let d = DeviceAddr::new(9, 31);
+        let serial = DiskInstanceId(7).serial();
+        roundtrip(LogEvent::ScsiPathFailover { device: d });
+        roundtrip(LogEvent::DiskMediumError { device: d, sector: 123_456_789 });
+        roundtrip(LogEvent::ScsiProtocolViolation { device: d });
+        roundtrip(LogEvent::ScsiSlowResponse { device: d, latency_ms: 30_000 });
+        roundtrip(LogEvent::RaidDiskFailed { device: d, serial: serial.clone() });
+        roundtrip(LogEvent::RaidProtocolError { device: d, serial: serial.clone() });
+        roundtrip(LogEvent::RaidDiskSlow { device: d, serial });
+    }
+
+    #[test]
+    fn cfg_records_round_trip() {
+        roundtrip(LogEvent::CfgSystem {
+            class: SystemClass::MidRange,
+            disk_model: DiskModelId::new('D', 2),
+            shelf_model: ShelfModel::B,
+            paths: PathConfig::DualPath,
+            layout: LayoutPolicy::SpanShelves,
+        });
+        roundtrip(LogEvent::CfgShelf {
+            shelf: ShelfId(1234),
+            model: ShelfModel::C,
+            fc_loop: LoopId(88),
+            adapter: 9,
+            position: 2,
+            bays: 13,
+        });
+        roundtrip(LogEvent::CfgRaidGroup {
+            rg: RaidGroupId(55),
+            raid_type: RaidType::Raid6,
+            slots: vec![
+                SlotAddr { shelf: ShelfId(1), bay: 0 },
+                SlotAddr { shelf: ShelfId(2), bay: 0 },
+                SlotAddr { shelf: ShelfId(3), bay: 1 },
+            ],
+        });
+        roundtrip(LogEvent::CfgDiskInstall {
+            serial: DiskInstanceId(31337).serial(),
+            model: DiskModelId::new('H', 2),
+            slot: SlotAddr { shelf: ShelfId(9), bay: 13 },
+            device: DeviceAddr::new(8, 45),
+        });
+        roundtrip(LogEvent::CfgDiskRemove {
+            serial: DiskInstanceId(31337).serial(),
+            reason: "failed".to_owned(),
+        });
+    }
+
+    #[test]
+    fn rendered_line_matches_paper_layout() {
+        // The paper's Figure 3 example.
+        let at = ssfa_model::CivilDateTime {
+            year: 2006,
+            month: 7,
+            day: 23,
+            hour: 5,
+            minute: 43,
+            second: 36,
+            weekday: 0,
+        }
+        .to_sim_time()
+        .unwrap();
+        let line = LogLine::new(
+            SystemId(7),
+            at,
+            LogEvent::FciDeviceTimeout { device: DeviceAddr::new(8, 24) },
+        );
+        assert_eq!(
+            line.to_string(),
+            "sys-7 Sun Jul 23 05:43:36 PDT 2006 [fci.device.timeout:error]: \
+             Adapter 8 encountered a device timeout on device 8.24"
+        );
+    }
+
+    #[test]
+    fn malformed_lines_parse_to_none() {
+        assert!(LogLine::parse("").is_none());
+        assert!(LogLine::parse("garbage line").is_none());
+        assert!(LogLine::parse("sys-x Sun Jul 23 05:43:36 PDT 2006 [a:info]: b").is_none());
+        assert!(LogLine::parse(
+            "sys-1 Sun Jul 23 05:43:36 PDT 2006 [unknown.tag:error]: whatever"
+        )
+        .is_none());
+        // Severity mismatch is rejected.
+        assert!(LogLine::parse(
+            "sys-1 Sun Jul 23 05:43:36 PDT 2006 [fci.device.timeout:info]: \
+             Adapter 8 encountered a device timeout on device 8.24"
+        )
+        .is_none());
+        // Truncated payload.
+        assert!(LogLine::parse(
+            "sys-1 Sun Jul 23 05:43:36 PDT 2006 [raid.config.filesystem.disk.missing:info]: \
+             File system Disk 8.24 S/N ["
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn raid_events_carry_classifiable_tags() {
+        let d = DeviceAddr::new(1, 2);
+        let s = "3EL00000001".to_owned();
+        assert_eq!(
+            LogEvent::RaidDiskMissing { device: d, serial: s.clone() }.tag(),
+            "raid.config.filesystem.disk.missing"
+        );
+        assert!(LogEvent::RaidDiskFailed { device: d, serial: s.clone() }
+            .tag()
+            .starts_with("raid."));
+        assert!(LogEvent::RaidProtocolError { device: d, serial: s.clone() }
+            .tag()
+            .starts_with("raid."));
+        assert!(LogEvent::RaidDiskSlow { device: d, serial: s }.tag().starts_with("raid."));
+    }
+}

@@ -1,0 +1,327 @@
+//! Renders a simulated fleet's history into a support-log corpus.
+//!
+//! This is the bridge between the simulator's ground truth and the
+//! analysis pipeline: configuration records at install time, disk
+//! install/remove records as replacements happen, and a Figure-3-style
+//! cascade per failure occurrence. The resulting [`LogBook`] is all the
+//! analysis ever sees.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ssfa_model::time::SECS_PER_YEAR;
+use ssfa_model::{Fleet, SimDuration, SimTime};
+use ssfa_sim::{RemovalReason, SimOutput};
+
+use crate::cascade::{expand, CascadeInput, CascadeStyle};
+use crate::corpus::LogBook;
+use crate::event::{LogEvent, LogLine};
+
+/// Benign log noise: events healthy components emit without failing.
+///
+/// Real support logs are mostly noise — occasional remapped sectors on
+/// disks that never die, transient FC timeouts that recover on retry.
+/// Rendering noise makes the corpus realistic and gives failure
+/// *predictors* (paper §7, future work) genuine false-positive pressure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseParams {
+    /// Benign medium-error lines per disk-year.
+    pub medium_errors_per_disk_year: f64,
+    /// Recovered FC timeout lines per disk-year.
+    pub transient_timeouts_per_disk_year: f64,
+}
+
+impl NoiseParams {
+    /// No noise at all (the default corpus).
+    pub fn none() -> Self {
+        NoiseParams { medium_errors_per_disk_year: 0.0, transient_timeouts_per_disk_year: 0.0 }
+    }
+
+    /// A realistic noise floor: one remapped sector per ~3 disk-years and
+    /// one recovered timeout per ~5 disk-years.
+    pub fn realistic() -> Self {
+        NoiseParams { medium_errors_per_disk_year: 0.35, transient_timeouts_per_disk_year: 0.2 }
+    }
+}
+
+impl Default for NoiseParams {
+    fn default() -> Self {
+        NoiseParams::none()
+    }
+}
+
+/// Renders the full support-log corpus for a simulated run.
+///
+/// The corpus contains, in chronological order:
+/// 1. per-system configuration snapshots (`cfg.system`, `cfg.shelf`,
+///    `cfg.raidgroup`) at system install time;
+/// 2. `cfg.disk.install` / `cfg.disk.remove` records for every disk
+///    instance lifecycle event;
+/// 3. one event cascade per failure occurrence (masked occurrences render
+///    their low-layer lines only).
+pub fn render_support_log(fleet: &Fleet, output: &SimOutput, style: CascadeStyle) -> LogBook {
+    render_support_log_noisy(fleet, output, style, NoiseParams::none(), 0)
+}
+
+/// [`render_support_log`] plus benign log noise at the given rates,
+/// deterministic for `noise_seed`.
+pub fn render_support_log_noisy(
+    fleet: &Fleet,
+    output: &SimOutput,
+    style: CascadeStyle,
+    noise: NoiseParams,
+    noise_seed: u64,
+) -> LogBook {
+    let mut book = LogBook::new();
+
+    // Configuration snapshots at install time.
+    for sys in fleet.systems() {
+        let t = sys.installed_at;
+        book.push(LogLine::new(
+            sys.id,
+            t,
+            LogEvent::CfgSystem {
+                class: sys.class,
+                disk_model: sys.disk_model,
+                shelf_model: sys.shelf_model,
+                paths: sys.path_config,
+                layout: ssfa_model::LayoutPolicy::SpanShelves,
+            },
+        ));
+        for &shelf_id in &sys.shelves {
+            let shelf = fleet.shelf(shelf_id);
+            book.push(LogLine::new(
+                sys.id,
+                t,
+                LogEvent::CfgShelf {
+                    shelf: shelf.id,
+                    model: shelf.model,
+                    fc_loop: shelf.fc_loop,
+                    adapter: shelf.adapter,
+                    position: shelf.loop_position,
+                    bays: shelf.bays,
+                },
+            ));
+        }
+        for &rg_id in &sys.raid_groups {
+            let rg = fleet.raid_group(rg_id);
+            book.push(LogLine::new(
+                sys.id,
+                t,
+                LogEvent::CfgRaidGroup {
+                    rg: rg.id,
+                    raid_type: rg.raid_type,
+                    slots: rg.slots.clone(),
+                },
+            ));
+        }
+    }
+
+    // Disk lifecycle records.
+    let study_end = SimTime::study_end();
+    for disk in output.disks() {
+        book.push(LogLine::new(
+            disk.system,
+            disk.installed_at,
+            LogEvent::CfgDiskInstall {
+                serial: disk.id.serial(),
+                model: disk.model,
+                slot: disk.slot,
+                device: fleet.device_addr(disk.slot),
+            },
+        ));
+        // End-of-study removals are not events — the study window just
+        // closes; the classifier fills those in.
+        if disk.removal_reason == RemovalReason::Failed && disk.removed_at < study_end {
+            book.push(LogLine::new(
+                disk.system,
+                disk.removed_at,
+                LogEvent::CfgDiskRemove { serial: disk.id.serial(), reason: "failed".into() },
+            ));
+        }
+    }
+
+    // Benign noise, sampled per disk lifetime.
+    let total_noise =
+        noise.medium_errors_per_disk_year + noise.transient_timeouts_per_disk_year;
+    if total_noise > 0.0 {
+        let mut rng = StdRng::seed_from_u64(noise_seed ^ 0x4E01_5E00);
+        let medium_share = noise.medium_errors_per_disk_year / total_noise;
+        let rate_per_sec = total_noise / SECS_PER_YEAR as f64;
+        for disk in output.disks() {
+            let mut t = disk.installed_at;
+            loop {
+                let u: f64 = rng.gen();
+                let gap = (-(1.0 - u).ln() / rate_per_sec).ceil().max(1.0);
+                t += SimDuration::from_secs(gap as u64);
+                if t >= disk.removed_at {
+                    break;
+                }
+                let device = fleet.device_addr(disk.slot);
+                let event = if rng.gen::<f64>() < medium_share {
+                    LogEvent::DiskMediumError {
+                        device,
+                        sector: rng.gen::<u64>() % 976_773_168,
+                    }
+                } else {
+                    LogEvent::FciDeviceTimeout { device }
+                };
+                book.push(LogLine::new(disk.system, t, event));
+            }
+        }
+    }
+
+    // Failure cascades.
+    for occ in output.occurrences() {
+        let input = CascadeInput {
+            host: occ.system,
+            detected_at: occ.detected_at,
+            failure_type: occ.failure_type,
+            masked: occ.masked,
+            device: occ.device,
+            serial: occ.disk.serial(),
+        };
+        book.extend_lines(expand(&input, style));
+    }
+
+    book.sort_chronological();
+    book
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use ssfa_model::{FailureType, FleetConfig};
+    use ssfa_sim::Simulator;
+
+    fn small_run() -> (Fleet, SimOutput) {
+        let fleet = Fleet::build(&FleetConfig::paper().scaled(0.001), 21);
+        let out = Simulator::default().run(&fleet, 21);
+        (fleet, out)
+    }
+
+    #[test]
+    fn corpus_round_trips_through_text() {
+        let (fleet, out) = small_run();
+        let book = render_support_log(&fleet, &out, CascadeStyle::Full);
+        assert!(book.len() > fleet.disk_count());
+        let text = book.to_text();
+        let parsed = LogBook::from_text(&text).expect("every rendered line parses");
+        assert_eq!(parsed.len(), book.len());
+    }
+
+    #[test]
+    fn classifier_recovers_exactly_the_exposed_failures() {
+        let (fleet, out) = small_run();
+        let book = render_support_log(&fleet, &out, CascadeStyle::Full);
+        let input = classify(&book).expect("classification succeeds");
+
+        let mut truth = out.exposed_records();
+        truth.sort_by(ssfa_model::FailureRecord::chronological);
+        assert_eq!(input.failures, truth, "classifier must re-derive ground truth");
+    }
+
+    #[test]
+    fn classifier_recovers_disk_lifetimes() {
+        let (fleet, out) = small_run();
+        let book = render_support_log(&fleet, &out, CascadeStyle::Full);
+        let input = classify(&book).unwrap();
+        assert_eq!(input.lifetimes.len(), out.disks().len());
+        let truth_years = out.total_disk_years();
+        let got_years = input.total_disk_years();
+        assert!(
+            (got_years - truth_years).abs() / truth_years < 1e-6,
+            "disk-years mismatch: {got_years} vs {truth_years}"
+        );
+    }
+
+    #[test]
+    fn raid_only_style_shrinks_the_corpus() {
+        let (fleet, out) = small_run();
+        let full = render_support_log(&fleet, &out, CascadeStyle::Full);
+        let compact = render_support_log(&fleet, &out, CascadeStyle::RaidOnly);
+        assert!(compact.len() < full.len());
+        // Classification results are identical.
+        let a = classify(&full).unwrap();
+        let b = classify(&compact).unwrap();
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn noise_adds_lines_but_never_failures() {
+        let (fleet, out) = small_run();
+        let clean = render_support_log(&fleet, &out, CascadeStyle::RaidOnly);
+        let noisy = render_support_log_noisy(
+            &fleet,
+            &out,
+            CascadeStyle::RaidOnly,
+            NoiseParams::realistic(),
+            9,
+        );
+        assert!(noisy.len() > clean.len() + 100, "noise should add many lines");
+        // Classification is untouched: noise lines carry no RAID events.
+        let a = classify(&clean).unwrap();
+        let b = classify(&noisy).unwrap();
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.lifetimes.len(), b.lifetimes.len());
+        // Noise volume tracks the configured rate.
+        let noise_lines = noisy.len() - clean.len();
+        let expected = a.total_disk_years() * 0.55;
+        let ratio = noise_lines as f64 / expected;
+        assert!((0.8..1.2).contains(&ratio), "noise volume off: {noise_lines} vs {expected}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let (fleet, out) = small_run();
+        let a = render_support_log_noisy(
+            &fleet, &out, CascadeStyle::RaidOnly, NoiseParams::realistic(), 1,
+        );
+        let b = render_support_log_noisy(
+            &fleet, &out, CascadeStyle::RaidOnly, NoiseParams::realistic(), 1,
+        );
+        assert_eq!(a, b);
+        let c = render_support_log_noisy(
+            &fleet, &out, CascadeStyle::RaidOnly, NoiseParams::realistic(), 2,
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn disk_cascades_carry_precursor_medium_errors() {
+        let (fleet, out) = small_run();
+        let book = render_support_log(&fleet, &out, CascadeStyle::Full);
+        let disk_failures = out
+            .occurrences()
+            .iter()
+            .filter(|o| o.failure_type == ssfa_model::FailureType::Disk)
+            .count();
+        let medium_errors =
+            book.iter().filter(|l| l.event.tag() == "disk.ioMediumError").count();
+        // Each failed disk announces itself with 3-5 precursors.
+        assert!(medium_errors >= disk_failures * 3);
+        assert!(medium_errors <= disk_failures * crate::cascade::PRECURSOR_OFFSETS.len());
+    }
+
+    #[test]
+    fn masked_failures_never_appear_as_records() {
+        let (fleet, out) = small_run();
+        let masked_types: Vec<FailureType> = out
+            .occurrences()
+            .iter()
+            .filter(|o| o.masked)
+            .map(|o| o.failure_type)
+            .collect();
+        let book = render_support_log(&fleet, &out, CascadeStyle::Full);
+        let input = classify(&book).unwrap();
+        let exposed = out.exposed_records().len();
+        assert_eq!(input.failures.len(), exposed);
+        // If any masking happened, the corpus must contain failover lines.
+        if !masked_types.is_empty() {
+            let failovers =
+                book.iter().filter(|l| l.event.tag() == "scsi.path.failover").count();
+            assert_eq!(failovers, masked_types.len());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Robustness fuzzing for the log parser: arbitrary and corrupted input
+//! must never panic, and valid lines must survive mutation detection.
+
+use proptest::prelude::*;
+
+use ssfa_logs::{LogBook, LogLine};
+
+proptest! {
+    /// Absolutely any string must parse to `Some`/`None` without panicking.
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(line in ".{0,200}") {
+        let _ = LogLine::parse(&line);
+    }
+
+    /// Arbitrary byte soup formatted as "almost a log line" must not panic.
+    #[test]
+    fn parse_never_panics_on_near_miss_lines(
+        host in 0u32..100,
+        ts_garbage in "[A-Za-z0-9 :]{0,40}",
+        tag in "[a-z.]{0,40}",
+        sev in "[a-z]{0,10}",
+        payload in ".{0,120}",
+    ) {
+        let line = format!("sys-{host} {ts_garbage} [{tag}:{sev}]: {payload}");
+        let _ = LogLine::parse(&line);
+    }
+
+    /// Deleting any single character from a valid rendered line either
+    /// fails to parse or parses to a (different but valid) line — never
+    /// panics, never misattributes the original.
+    #[test]
+    fn single_character_deletion_is_detected_or_harmless(
+        serial_raw in 0u64..1_000_000,
+        t in 0u64..100_000_000,
+        idx in 0usize..60,
+    ) {
+        use ssfa_logs::LogEvent;
+        use ssfa_model::{DeviceAddr, DiskInstanceId, SimTime, SystemId};
+        let original = LogLine::new(
+            SystemId(7),
+            SimTime::from_secs(t),
+            LogEvent::RaidDiskFailed {
+                device: DeviceAddr::new(8, 24),
+                serial: DiskInstanceId(serial_raw).serial(),
+            },
+        );
+        let text = original.to_string();
+        if idx < text.len() && text.is_char_boundary(idx) && text.is_char_boundary(idx + 1) {
+            let mut mutated = String::with_capacity(text.len());
+            mutated.push_str(&text[..idx]);
+            mutated.push_str(&text[idx + 1..]);
+            // Must not panic; if it parses, it must be a structurally valid
+            // line (we don't require inequality: deleting e.g. a space can
+            // be cosmetic).
+            let _ = LogLine::parse(&mutated);
+        }
+    }
+
+    /// A corpus containing one corrupted line reports that line's number.
+    #[test]
+    fn corpus_reports_first_bad_line(good_before in 0usize..5, garbage in "[a-z ]{1,30}") {
+        use ssfa_logs::LogEvent;
+        use ssfa_model::{SimTime, SystemId};
+        let good = LogLine::new(
+            SystemId(1),
+            SimTime::from_secs(3_600),
+            LogEvent::FciAdapterReset { adapter: 3 },
+        )
+        .to_string();
+        let mut text = String::new();
+        for _ in 0..good_before {
+            text.push_str(&good);
+            text.push('\n');
+        }
+        text.push_str(&garbage);
+        text.push('\n');
+        match LogBook::from_text(&text) {
+            Err(ssfa_logs::LogError::Malformed { line_no, .. }) => {
+                prop_assert_eq!(line_no, good_before + 1);
+            }
+            Ok(book) => {
+                // The garbage accidentally parsed (extremely unlikely but
+                // legal); corpus length then includes it.
+                prop_assert!(book.len() >= good_before);
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected: {other}"))),
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Storage system classes (paper §2.2, §2.4).
+//!
+//! The study covers four commercially-deployed classes: near-line (backup)
+//! systems built from SATA disks, and low-end / mid-range / high-end primary
+//! systems built from FC disks. Classes differ in scale, component quality,
+//! and which redundancy mechanisms (multipathing) they support.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::disk::DiskType;
+
+/// The capability/usage class of a storage system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SystemClass {
+    /// Cost-efficient archival or backup systems using SATA disks.
+    NearLine,
+    /// Primary storage with embedded storage heads; FC disks.
+    LowEnd,
+    /// Primary storage with external shelves; FC disks; supports dual paths.
+    MidRange,
+    /// Largest primary systems; FC disks; supports dual paths.
+    HighEnd,
+}
+
+impl SystemClass {
+    /// All four classes, in the paper's canonical presentation order.
+    pub const ALL: [SystemClass; 4] = [
+        SystemClass::NearLine,
+        SystemClass::LowEnd,
+        SystemClass::MidRange,
+        SystemClass::HighEnd,
+    ];
+
+    /// Stable dense index (0..4) for array-keyed tallies.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            SystemClass::NearLine => 0,
+            SystemClass::LowEnd => 1,
+            SystemClass::MidRange => 2,
+            SystemClass::HighEnd => 3,
+        }
+    }
+
+    /// Display label as used in the paper's tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemClass::NearLine => "Near-line",
+            SystemClass::LowEnd => "Low-end",
+            SystemClass::MidRange => "Mid-range",
+            SystemClass::HighEnd => "High-end",
+        }
+    }
+
+    /// Short machine-friendly tag used in config log records.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SystemClass::NearLine => "nearline",
+            SystemClass::LowEnd => "lowend",
+            SystemClass::MidRange => "midrange",
+            SystemClass::HighEnd => "highend",
+        }
+    }
+
+    /// Parses the short tag produced by [`SystemClass::tag`].
+    pub fn from_tag(tag: &str) -> Option<SystemClass> {
+        SystemClass::ALL.into_iter().find(|c| c.tag() == tag)
+    }
+
+    /// The disk technology this class is built from.
+    pub fn disk_type(self) -> DiskType {
+        match self {
+            SystemClass::NearLine => DiskType::Sata,
+            _ => DiskType::Fc,
+        }
+    }
+
+    /// Whether FC drivers of this class support active/passive multipathing
+    /// (paper §4.3: only mid-range and high-end systems do).
+    pub fn supports_multipathing(self) -> bool {
+        matches!(self, SystemClass::MidRange | SystemClass::HighEnd)
+    }
+}
+
+impl fmt::Display for SystemClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Interconnect configuration of a storage subsystem: one FC network, or two
+/// independent networks with active/passive failover (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PathConfig {
+    /// Shelves are connected through a single FC network.
+    SinglePath,
+    /// Shelves are connected to two independent FC networks; I/O is
+    /// redirected through the redundant network on component failure.
+    DualPath,
+}
+
+impl PathConfig {
+    /// Both configurations.
+    pub const ALL: [PathConfig; 2] = [PathConfig::SinglePath, PathConfig::DualPath];
+
+    /// Display label as used in the paper's Figure 7.
+    pub fn label(self) -> &'static str {
+        match self {
+            PathConfig::SinglePath => "Single Path",
+            PathConfig::DualPath => "Dual Paths",
+        }
+    }
+
+    /// Number of independent FC networks.
+    pub fn paths(self) -> u8 {
+        match self {
+            PathConfig::SinglePath => 1,
+            PathConfig::DualPath => 2,
+        }
+    }
+}
+
+impl fmt::Display for PathConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_are_dense_and_ordered() {
+        let idx: Vec<usize> = SystemClass::ALL.iter().map(|c| c.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nearline_uses_sata_primaries_use_fc() {
+        assert_eq!(SystemClass::NearLine.disk_type(), DiskType::Sata);
+        assert_eq!(SystemClass::LowEnd.disk_type(), DiskType::Fc);
+        assert_eq!(SystemClass::MidRange.disk_type(), DiskType::Fc);
+        assert_eq!(SystemClass::HighEnd.disk_type(), DiskType::Fc);
+    }
+
+    #[test]
+    fn only_mid_and_high_end_support_multipathing() {
+        assert!(!SystemClass::NearLine.supports_multipathing());
+        assert!(!SystemClass::LowEnd.supports_multipathing());
+        assert!(SystemClass::MidRange.supports_multipathing());
+        assert!(SystemClass::HighEnd.supports_multipathing());
+    }
+
+    #[test]
+    fn path_config_labels_match_figure_7() {
+        assert_eq!(PathConfig::SinglePath.label(), "Single Path");
+        assert_eq!(PathConfig::DualPath.label(), "Dual Paths");
+        assert_eq!(PathConfig::SinglePath.paths(), 1);
+        assert_eq!(PathConfig::DualPath.paths(), 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! Disk families, models, and the anonymized disk catalog of the study.
+//!
+//! The paper (§2.2, §4.1) anonymizes disk products as *families* `A`..`K`
+//! (e.g. "Seagate Cheetah 10k.7") with numbered capacity points forming
+//! *models* (e.g. `A-2`). Twenty models appear across the four system
+//! classes; family `H` is a known problematic family whose subsystems show
+//! roughly twice the average failure rate (Finding 3).
+//!
+//! Reliability characteristics attached to each model are *calibration
+//! targets* in failures per disk-year, chosen so the synthetic fleet
+//! reproduces the shapes reported in the paper: FC models below 1% disk AFR,
+//! SATA models around 1.9%, and family H far above its peers with elevated
+//! protocol/performance couplings.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Disk interface technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DiskType {
+    /// Fibre Channel (enterprise) disks, used by primary storage classes.
+    Fc,
+    /// SATA (near-line) disks, used by backup/archival systems.
+    Sata,
+}
+
+impl fmt::Display for DiskType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DiskType::Fc => "FC",
+            DiskType::Sata => "SATA",
+        })
+    }
+}
+
+/// An anonymized disk family (a particular disk product line), `A`..`K`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DiskFamily(pub char);
+
+impl DiskFamily {
+    /// The problematic family called out by the paper (Finding 3 and its ref. \[2\]).
+    pub const PROBLEMATIC: DiskFamily = DiskFamily('H');
+
+    /// Whether this is the problematic family `H`.
+    pub fn is_problematic(self) -> bool {
+        self == Self::PROBLEMATIC
+    }
+}
+
+impl fmt::Display for DiskFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Disk {}", self.0)
+    }
+}
+
+/// A disk model: a family plus a capacity point, e.g. `H-2`.
+///
+/// Within a family, larger `capacity_point` means larger capacity
+/// (paper §4.1: "the relative capacity within a family is ordered by the
+/// number").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DiskModelId {
+    /// The product family.
+    pub family: DiskFamily,
+    /// 1-based capacity index within the family.
+    pub capacity_point: u8,
+}
+
+impl DiskModelId {
+    /// Creates a model id from a family letter and capacity point.
+    pub fn new(family: char, capacity_point: u8) -> Self {
+        DiskModelId { family: DiskFamily(family), capacity_point }
+    }
+
+    /// Parses the paper's notation, e.g. `"H-2"` or `"Disk H-2"`.
+    pub fn parse(s: &str) -> Option<DiskModelId> {
+        let s = s.trim().strip_prefix("Disk ").unwrap_or(s.trim());
+        let (fam, num) = s.split_once('-')?;
+        let fam = fam.trim();
+        if fam.len() != 1 {
+            return None;
+        }
+        let family = fam.chars().next()?;
+        if !family.is_ascii_uppercase() {
+            return None;
+        }
+        let capacity_point: u8 = num.trim().parse().ok()?;
+        if capacity_point == 0 {
+            return None;
+        }
+        Some(DiskModelId::new(family, capacity_point))
+    }
+}
+
+impl fmt::Display for DiskModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.family.0, self.capacity_point)
+    }
+}
+
+/// Reliability and identity characteristics of a disk model.
+///
+/// Rates are expressed in expected failures per disk-year (i.e. AFR as a
+/// fraction) and act as *base hazards*; the simulator layers shared-factor
+/// shock processes on top of them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskModelSpec {
+    /// Which model this spec describes.
+    pub id: DiskModelId,
+    /// Interface technology.
+    pub disk_type: DiskType,
+    /// Formatted capacity in gigabytes (used only for realism in snapshots).
+    pub capacity_gb: u32,
+    /// Base disk-failure hazard, failures per disk-year.
+    pub disk_afr: f64,
+    /// Multiplier applied to the class protocol-failure hazard for disks of
+    /// this model (problematic firmware triggers corner-case protocol bugs,
+    /// paper Finding 3 discussion).
+    pub protocol_factor: f64,
+    /// Multiplier applied to the class performance-failure hazard (failing
+    /// disks spend time in recovery and respond slowly).
+    pub performance_factor: f64,
+}
+
+impl DiskModelSpec {
+    /// Whether the model belongs to the problematic family `H`.
+    pub fn is_problematic(&self) -> bool {
+        self.id.family.is_problematic()
+    }
+}
+
+/// The catalog of the twenty disk models used across the studied fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskCatalog {
+    specs: Vec<DiskModelSpec>,
+}
+
+impl DiskCatalog {
+    /// Builds the calibrated catalog of the paper's twenty models.
+    ///
+    /// FC families `A`..`G` sit at 0.6–0.95% disk AFR (vendor-datasheet
+    /// territory, Finding: FC disk AFR consistently below 1%); the `H`
+    /// family is problematic (≈3× the AFR of its peers, with protocol and
+    /// performance couplings); SATA families `I`..`K` sit around 1.8–2.0%.
+    pub fn paper() -> Self {
+        let fc = |fam: char, point: u8, cap: u32, afr: f64| DiskModelSpec {
+            id: DiskModelId::new(fam, point),
+            disk_type: DiskType::Fc,
+            capacity_gb: cap,
+            disk_afr: afr,
+            protocol_factor: 1.0,
+            performance_factor: 1.0,
+        };
+        let problematic = |point: u8, cap: u32, afr: f64| DiskModelSpec {
+            id: DiskModelId::new('H', point),
+            disk_type: DiskType::Fc,
+            capacity_gb: cap,
+            disk_afr: afr,
+            protocol_factor: 2.6,
+            performance_factor: 2.8,
+        };
+        let sata = |fam: char, point: u8, cap: u32, afr: f64| DiskModelSpec {
+            id: DiskModelId::new(fam, point),
+            disk_type: DiskType::Sata,
+            capacity_gb: cap,
+            disk_afr: afr,
+            protocol_factor: 1.0,
+            performance_factor: 1.0,
+        };
+        DiskCatalog {
+            specs: vec![
+                // FC primary-storage families. Note D-2 is calibrated *below*
+                // D-1 so that AFR visibly does not grow with capacity
+                // (Finding 5).
+                fc('A', 1, 72, 0.0095),
+                fc('A', 2, 144, 0.0085),
+                fc('A', 3, 300, 0.0080),
+                fc('B', 1, 72, 0.0090),
+                fc('C', 1, 72, 0.0075),
+                fc('C', 2, 144, 0.0070),
+                fc('D', 1, 72, 0.0082),
+                fc('D', 2, 144, 0.0068),
+                fc('D', 3, 300, 0.0073),
+                fc('E', 1, 144, 0.0075),
+                fc('F', 1, 144, 0.0070),
+                fc('F', 2, 300, 0.0065),
+                fc('G', 1, 72, 0.0085),
+                problematic(1, 144, 0.0260),
+                problematic(2, 300, 0.0290),
+                // SATA near-line families.
+                sata('I', 1, 250, 0.0200),
+                sata('I', 2, 500, 0.0180),
+                sata('J', 1, 250, 0.0190),
+                sata('J', 2, 500, 0.0185),
+                sata('K', 1, 320, 0.0195),
+            ],
+        }
+    }
+
+    /// Looks up the spec for a model id.
+    pub fn get(&self, id: DiskModelId) -> Option<&DiskModelSpec> {
+        self.specs.iter().find(|s| s.id == id)
+    }
+
+    /// Iterates all specs in catalog order.
+    pub fn iter(&self) -> impl Iterator<Item = &DiskModelSpec> {
+        self.specs.iter()
+    }
+
+    /// Number of models in the catalog.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// All models of a given interface technology.
+    pub fn models_of_type(&self, ty: DiskType) -> Vec<DiskModelId> {
+        self.specs.iter().filter(|s| s.disk_type == ty).map(|s| s.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_twenty_models_fifteen_fc_five_sata() {
+        let cat = DiskCatalog::paper();
+        assert_eq!(cat.len(), 20);
+        assert_eq!(cat.models_of_type(DiskType::Fc).len(), 15);
+        assert_eq!(cat.models_of_type(DiskType::Sata).len(), 5);
+    }
+
+    #[test]
+    fn family_h_is_problematic_and_much_worse() {
+        let cat = DiskCatalog::paper();
+        let h1 = cat.get(DiskModelId::new('H', 1)).unwrap();
+        let h2 = cat.get(DiskModelId::new('H', 2)).unwrap();
+        assert!(h1.is_problematic() && h2.is_problematic());
+        // Problematic family at least 2.5x the worst healthy FC model.
+        let worst_healthy = cat
+            .iter()
+            .filter(|s| s.disk_type == DiskType::Fc && !s.is_problematic())
+            .map(|s| s.disk_afr)
+            .fold(0.0, f64::max);
+        assert!(h1.disk_afr > 2.5 * worst_healthy);
+        assert!(h1.protocol_factor > 2.0 && h1.performance_factor > 2.0);
+    }
+
+    #[test]
+    fn healthy_fc_models_sit_below_one_percent() {
+        let cat = DiskCatalog::paper();
+        for spec in cat.iter().filter(|s| s.disk_type == DiskType::Fc && !s.is_problematic()) {
+            assert!(spec.disk_afr < 0.01, "{} has AFR {}", spec.id, spec.disk_afr);
+            assert!(spec.disk_afr > 0.004);
+        }
+    }
+
+    #[test]
+    fn sata_models_sit_near_two_percent() {
+        let cat = DiskCatalog::paper();
+        for spec in cat.iter().filter(|s| s.disk_type == DiskType::Sata) {
+            assert!((0.017..0.021).contains(&spec.disk_afr), "{}", spec.id);
+        }
+    }
+
+    #[test]
+    fn afr_does_not_grow_with_capacity_in_family_d() {
+        // Finding 5: D-2 (bigger than D-1) has lower AFR.
+        let cat = DiskCatalog::paper();
+        let d1 = cat.get(DiskModelId::new('D', 1)).unwrap();
+        let d2 = cat.get(DiskModelId::new('D', 2)).unwrap();
+        assert!(d2.capacity_gb > d1.capacity_gb);
+        assert!(d2.disk_afr < d1.disk_afr);
+    }
+
+    #[test]
+    fn model_notation_parses_and_displays() {
+        let id = DiskModelId::new('H', 2);
+        assert_eq!(id.to_string(), "H-2");
+        assert_eq!(DiskModelId::parse("H-2"), Some(id));
+        assert_eq!(DiskModelId::parse("Disk H-2"), Some(id));
+        assert_eq!(DiskModelId::parse(" A - 1 "), Some(DiskModelId::new('A', 1)));
+        assert_eq!(DiskModelId::parse("h-2"), None);
+        assert_eq!(DiskModelId::parse("H2"), None);
+        assert_eq!(DiskModelId::parse("H-0"), None);
+        assert_eq!(DiskModelId::parse("HH-1"), None);
+    }
+
+    #[test]
+    fn capacity_ordering_within_families_is_monotonic() {
+        let cat = DiskCatalog::paper();
+        for fam in ['A', 'C', 'D', 'F', 'H', 'I', 'J'] {
+            let mut caps: Vec<(u8, u32)> = cat
+                .iter()
+                .filter(|s| s.id.family.0 == fam)
+                .map(|s| (s.id.capacity_point, s.capacity_gb))
+                .collect();
+            caps.sort();
+            for pair in caps.windows(2) {
+                assert!(
+                    pair[1].1 > pair[0].1,
+                    "capacity not increasing within family {fam}"
+                );
+            }
+        }
+    }
+}

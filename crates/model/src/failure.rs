@@ -1,0 +1,264 @@
+//! The four-way failure taxonomy of the study and classified failure records.
+//!
+//! The study partitions storage subsystem failures along the I/O request path
+//! (paper §2.3): **disk failures** (media/mechanics, or proactive fail-outs),
+//! **physical interconnect failures** (HBA, cables, shelf power/backplane —
+//! disks appear *missing*), **protocol failures** (driver/firmware
+//! incompatibilities and bugs — disks visible but requests misbehave), and
+//! **performance failures** (disks too slow while none of the former apply).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{DeviceAddr, DiskInstanceId, LoopId, RaidGroupId, ShelfId, SystemId};
+use crate::time::SimTime;
+
+/// One of the four storage subsystem failure types of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FailureType {
+    /// Failure triggered by mechanisms internal to a disk (imperfect media,
+    /// loose particles, rotational vibration), including proactive fail-outs
+    /// based on on-disk health monitoring.
+    Disk,
+    /// Failure of the network connecting disks and storage heads: HBA
+    /// failures, broken cables, shelf power outage, backplane errors, shelf
+    /// FC driver errors. Affected disks appear missing.
+    PhysicalInterconnect,
+    /// Incompatibility between protocols in disk drivers / shelves / storage
+    /// heads, or software bugs in disk drivers. Disks stay visible but I/O
+    /// requests are not correctly responded to.
+    Protocol,
+    /// A disk cannot serve I/O in a timely manner while none of the other
+    /// three failure types is detected (partial failures, unstable
+    /// connectivity, heavy disk-level recovery).
+    Performance,
+}
+
+impl FailureType {
+    /// All four failure types, in the paper's canonical order.
+    pub const ALL: [FailureType; 4] = [
+        FailureType::Disk,
+        FailureType::PhysicalInterconnect,
+        FailureType::Protocol,
+        FailureType::Performance,
+    ];
+
+    /// Stable dense index (0..4) for array-keyed tallies.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FailureType::Disk => 0,
+            FailureType::PhysicalInterconnect => 1,
+            FailureType::Protocol => 2,
+            FailureType::Performance => 3,
+        }
+    }
+
+    /// Human-readable label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureType::Disk => "Disk Failure",
+            FailureType::PhysicalInterconnect => "Physical Interconnect Failure",
+            FailureType::Protocol => "Protocol Failure",
+            FailureType::Performance => "Performance Failure",
+        }
+    }
+
+    /// Short machine-friendly tag used in log records and report keys.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FailureType::Disk => "disk",
+            FailureType::PhysicalInterconnect => "interconnect",
+            FailureType::Protocol => "protocol",
+            FailureType::Performance => "performance",
+        }
+    }
+
+    /// Parses the short tag produced by [`FailureType::tag`].
+    pub fn from_tag(tag: &str) -> Option<FailureType> {
+        FailureType::ALL.into_iter().find(|t| t.tag() == tag)
+    }
+}
+
+impl fmt::Display for FailureType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A per-failure-type tally; the workhorse accumulator of the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FailureCounts {
+    counts: [u64; 4],
+}
+
+impl FailureCounts {
+    /// An all-zero tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the tally for `ty` by one.
+    pub fn record(&mut self, ty: FailureType) {
+        self.counts[ty.index()] += 1;
+    }
+
+    /// Adds `n` events of type `ty`.
+    pub fn add(&mut self, ty: FailureType, n: u64) {
+        self.counts[ty.index()] += n;
+    }
+
+    /// Count for one failure type.
+    #[inline]
+    pub fn get(&self, ty: FailureType) -> u64 {
+        self.counts[ty.index()]
+    }
+
+    /// Total events across all four types.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(type, count)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (FailureType, u64)> + '_ {
+        FailureType::ALL.into_iter().map(move |ty| (ty, self.get(ty)))
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &FailureCounts) {
+        for (slot, v) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += v;
+        }
+    }
+}
+
+impl FromIterator<FailureType> for FailureCounts {
+    fn from_iter<I: IntoIterator<Item = FailureType>>(iter: I) -> Self {
+        let mut counts = FailureCounts::new();
+        for ty in iter {
+            counts.record(ty);
+        }
+        counts
+    }
+}
+
+impl Extend<FailureType> for FailureCounts {
+    fn extend<I: IntoIterator<Item = FailureType>>(&mut self, iter: I) {
+        for ty in iter {
+            self.record(ty);
+        }
+    }
+}
+
+/// A fully-attributed storage subsystem failure, as produced either by the
+/// simulator (ground truth) or by the log classifier (re-derived).
+///
+/// This is the study's unit of analysis: one RAID-layer-visible failure event
+/// tagged with its type, the affected disk, and the disk's placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// When the failure was *detected* (occurrence + scrub lag, paper §2.5).
+    pub detected_at: SimTime,
+    /// Which of the four failure types this event is.
+    pub failure_type: FailureType,
+    /// The disk instance affected by (or reporting) the failure.
+    pub disk: DiskInstanceId,
+    /// The storage system the disk belongs to.
+    pub system: SystemId,
+    /// The shelf enclosure hosting the disk.
+    pub shelf: ShelfId,
+    /// The RAID group the disk belongs to.
+    pub raid_group: RaidGroupId,
+    /// The FC loop (physical interconnect) the shelf is attached to.
+    pub fc_loop: LoopId,
+    /// Adapter-relative device address as printed in logs.
+    pub device: DeviceAddr,
+}
+
+impl FailureRecord {
+    /// Orders records by detection time (ties broken by disk id), the order
+    /// in which the analysis pipeline expects streams.
+    pub fn chronological(a: &FailureRecord, b: &FailureRecord) -> std::cmp::Ordering {
+        a.detected_at.cmp(&b.detected_at).then(a.disk.cmp(&b.disk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_types_in_canonical_order() {
+        let idx: Vec<usize> = FailureType::ALL.iter().map(|t| t.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for ty in FailureType::ALL {
+            assert_eq!(FailureType::from_tag(ty.tag()), Some(ty));
+        }
+        assert_eq!(FailureType::from_tag("gremlin"), None);
+    }
+
+    #[test]
+    fn labels_match_paper_terms() {
+        assert_eq!(FailureType::Disk.label(), "Disk Failure");
+        assert_eq!(
+            FailureType::PhysicalInterconnect.label(),
+            "Physical Interconnect Failure"
+        );
+        assert_eq!(FailureType::Protocol.label(), "Protocol Failure");
+        assert_eq!(FailureType::Performance.label(), "Performance Failure");
+    }
+
+    #[test]
+    fn counts_accumulate_and_merge() {
+        let mut a = FailureCounts::new();
+        a.record(FailureType::Disk);
+        a.record(FailureType::Disk);
+        a.record(FailureType::Protocol);
+        let mut b = FailureCounts::new();
+        b.add(FailureType::PhysicalInterconnect, 5);
+        a.merge(&b);
+        assert_eq!(a.get(FailureType::Disk), 2);
+        assert_eq!(a.get(FailureType::PhysicalInterconnect), 5);
+        assert_eq!(a.get(FailureType::Protocol), 1);
+        assert_eq!(a.get(FailureType::Performance), 0);
+        assert_eq!(a.total(), 8);
+    }
+
+    #[test]
+    fn counts_collect_from_iterator() {
+        let counts: FailureCounts = [
+            FailureType::Disk,
+            FailureType::Performance,
+            FailureType::Performance,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(counts.get(FailureType::Performance), 2);
+        assert_eq!(counts.total(), 3);
+    }
+
+    #[test]
+    fn chronological_order_breaks_ties_by_disk() {
+        use crate::id::*;
+        let rec = |t: u64, d: u64| FailureRecord {
+            detected_at: SimTime::from_secs(t),
+            failure_type: FailureType::Disk,
+            disk: DiskInstanceId(d),
+            system: SystemId(0),
+            shelf: ShelfId(0),
+            raid_group: RaidGroupId(0),
+            fc_loop: LoopId(0),
+            device: DeviceAddr::new(0, 0),
+        };
+        let mut v = [rec(5, 2), rec(5, 1), rec(1, 9)];
+        v.sort_by(FailureRecord::chronological);
+        assert_eq!(v[0].disk, DiskInstanceId(9));
+        assert_eq!(v[1].disk, DiskInstanceId(1));
+        assert_eq!(v[2].disk, DiskInstanceId(2));
+    }
+}

@@ -1,0 +1,250 @@
+//! Typed identifiers for storage subsystem components.
+//!
+//! Every component that can appear in a log line or an analysis grouping key
+//! gets its own newtype so the compiler keeps shelf indexes, RAID-group
+//! indexes, and disk-instance numbers from being confused with one another
+//! (C-NEWTYPE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! index_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+index_id!(
+    /// Identifier of a storage system (a head plus its storage subsystem),
+    /// unique across the whole fleet.
+    SystemId,
+    "sys-"
+);
+index_id!(
+    /// Identifier of a shelf enclosure, unique across the whole fleet.
+    ShelfId,
+    "shelf-"
+);
+index_id!(
+    /// Identifier of a RAID group, unique across the whole fleet.
+    RaidGroupId,
+    "rg-"
+);
+index_id!(
+    /// Identifier of an FC loop (a physical interconnect shared by one or
+    /// more shelves), unique across the whole fleet.
+    LoopId,
+    "loop-"
+);
+
+/// Identifier of one physical disk *instance*.
+///
+/// A disk slot can host several instances over the study period as failed
+/// disks are replaced; each replacement gets a fresh `DiskInstanceId`. The
+/// study's "number of disks" (Table 1) counts instances, not slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DiskInstanceId(pub u64);
+
+impl DiskInstanceId {
+    /// Returns the raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Renders the manufacturer-style serial number used in support logs,
+    /// e.g. `3EL0000042AB`.
+    pub fn serial(self) -> String {
+        // Base-36-ish encoding with a family prefix so serials look like the
+        // real thing but stay deterministic and collision-free.
+        const ALPHABET: &[u8] = b"0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+        let mut n = self.0;
+        let mut tail = [b'0'; 8];
+        for slot in tail.iter_mut().rev() {
+            *slot = ALPHABET[(n % 36) as usize];
+            n /= 36;
+        }
+        format!("3EL{}", std::str::from_utf8(&tail).expect("ascii"))
+    }
+
+    /// Decodes a serial number produced by [`DiskInstanceId::serial`].
+    pub fn from_serial(serial: &str) -> Option<DiskInstanceId> {
+        let tail = serial.strip_prefix("3EL")?;
+        if tail.len() != 8 {
+            return None;
+        }
+        let mut n: u64 = 0;
+        for c in tail.bytes() {
+            let digit = match c {
+                b'0'..=b'9' => (c - b'0') as u64,
+                b'A'..=b'Z' => (c - b'A') as u64 + 10,
+                _ => return None,
+            };
+            n = n * 36 + digit;
+        }
+        Some(DiskInstanceId(n))
+    }
+}
+
+impl fmt::Display for DiskInstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disk-{}", self.0)
+    }
+}
+
+/// Physical position of a disk: a shelf plus a bay (0-based, < 14 for all
+/// shelf models in the study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SlotAddr {
+    /// The shelf enclosure holding the bay.
+    pub shelf: ShelfId,
+    /// The bay number within the shelf (0-based).
+    pub bay: u8,
+}
+
+impl fmt::Display for SlotAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/bay{}", self.shelf, self.bay)
+    }
+}
+
+/// Host-adapter-relative device address as printed in support logs,
+/// e.g. `8.24` (adapter 8, target 24).
+///
+/// The adapter number identifies the FC host adapter (and therefore the loop)
+/// within a system; the target number is the device's loop ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceAddr {
+    /// FC host adapter number within the storage system.
+    pub adapter: u8,
+    /// SCSI/FC target (loop ID) of the device on that adapter.
+    pub target: u8,
+}
+
+impl DeviceAddr {
+    /// Creates a device address from adapter and target numbers.
+    pub fn new(adapter: u8, target: u8) -> Self {
+        DeviceAddr { adapter, target }
+    }
+}
+
+impl fmt::Display for DeviceAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.adapter, self.target)
+    }
+}
+
+impl std::str::FromStr for DeviceAddr {
+    type Err = ParseDeviceAddrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, t) = s.split_once('.').ok_or(ParseDeviceAddrError)?;
+        Ok(DeviceAddr {
+            adapter: a.parse().map_err(|_| ParseDeviceAddrError)?,
+            target: t.parse().map_err(|_| ParseDeviceAddrError)?,
+        })
+    }
+}
+
+/// Error returned when a device address string is not of the form
+/// `<adapter>.<target>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseDeviceAddrError;
+
+impl fmt::Display for ParseDeviceAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid device address syntax, expected `adapter.target`")
+    }
+}
+
+impl std::error::Error for ParseDeviceAddrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(SystemId(7).to_string(), "sys-7");
+        assert_eq!(ShelfId(0).to_string(), "shelf-0");
+        assert_eq!(RaidGroupId(12).to_string(), "rg-12");
+        assert_eq!(LoopId(3).to_string(), "loop-3");
+        assert_eq!(DiskInstanceId(99).to_string(), "disk-99");
+        assert_eq!(DeviceAddr::new(8, 24).to_string(), "8.24");
+    }
+
+    #[test]
+    fn serials_are_unique_and_fixed_width() {
+        let a = DiskInstanceId(0).serial();
+        let b = DiskInstanceId(1).serial();
+        let c = DiskInstanceId(36u64.pow(8) - 1).serial();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 11);
+        assert_eq!(b.len(), 11);
+        assert_eq!(c.len(), 11);
+        assert!(a.starts_with("3EL"));
+    }
+
+    #[test]
+    fn serials_round_trip() {
+        for raw in [0u64, 1, 42, 1_800_000, 36u64.pow(8) - 1] {
+            let id = DiskInstanceId(raw);
+            assert_eq!(DiskInstanceId::from_serial(&id.serial()), Some(id));
+        }
+        assert_eq!(DiskInstanceId::from_serial("XYZ00000000"), None);
+        assert_eq!(DiskInstanceId::from_serial("3EL0000"), None);
+        assert_eq!(DiskInstanceId::from_serial("3EL0000000!"), None);
+    }
+
+    #[test]
+    fn device_addr_round_trips_through_str() {
+        let addr = DeviceAddr::new(8, 24);
+        let parsed: DeviceAddr = addr.to_string().parse().unwrap();
+        assert_eq!(parsed, addr);
+    }
+
+    #[test]
+    fn device_addr_rejects_garbage() {
+        assert!("824".parse::<DeviceAddr>().is_err());
+        assert!("8.x".parse::<DeviceAddr>().is_err());
+        assert!("".parse::<DeviceAddr>().is_err());
+        assert!("8.24.1".parse::<DeviceAddr>().is_err());
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(SystemId(1) < SystemId(2));
+        assert!(DiskInstanceId(10) > DiskInstanceId(9));
+    }
+
+    #[test]
+    fn slot_addr_display() {
+        let slot = SlotAddr { shelf: ShelfId(4), bay: 11 };
+        assert_eq!(slot.to_string(), "shelf-4/bay11");
+    }
+}

@@ -1,0 +1,163 @@
+//! Disk-to-RAID-group layout policies (paper §5, Figure 8).
+//!
+//! It is common practice to build a RAID group from disks spanning multiple
+//! shelf enclosures so that no single shelf is a single point of failure for
+//! the whole group; the study finds spanning also reduces how *bursty* the
+//! failures hitting one RAID group are (Finding 9). The simulator supports
+//! both layouts so the comparison can be reproduced as an ablation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{ShelfId, SlotAddr};
+
+/// How RAID groups are carved out of a set of shelves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum LayoutPolicy {
+    /// Interleave group members across the shelves of an FC loop (the
+    /// common practice, and the study's observed average of ~3 shelves per
+    /// RAID group). This is the layout in the paper's Figure 8.
+    #[default]
+    SpanShelves,
+    /// Fill each RAID group from a single shelf (the less resilient
+    /// alternative the paper argues against).
+    SameShelf,
+}
+
+impl LayoutPolicy {
+    /// Assigns every bay of the given shelves to RAID groups of (at most)
+    /// `group_size` disks, returning one slot list per group.
+    ///
+    /// `bays_per_shelf` bays are populated on each shelf. Remainder slots
+    /// form a final, smaller group; groups are never empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero or `bays_per_shelf` is zero while
+    /// shelves are non-empty.
+    pub fn assign(
+        self,
+        shelves: &[ShelfId],
+        bays_per_shelf: u8,
+        group_size: u8,
+    ) -> Vec<Vec<SlotAddr>> {
+        assert!(group_size > 0, "group_size must be positive");
+        if shelves.is_empty() {
+            return Vec::new();
+        }
+        assert!(bays_per_shelf > 0, "bays_per_shelf must be positive");
+        match self {
+            // Bay-major order: bay 0 of every shelf, then bay 1 of every
+            // shelf, ... so consecutive slots live on different shelves and
+            // a chunk of `group_size` spans min(group_size, #shelves)
+            // shelves.
+            LayoutPolicy::SpanShelves => {
+                let slots: Vec<SlotAddr> = (0..bays_per_shelf)
+                    .flat_map(|bay| shelves.iter().map(move |&shelf| SlotAddr { shelf, bay }))
+                    .collect();
+                slots.chunks(group_size as usize).map(<[SlotAddr]>::to_vec).collect()
+            }
+            // Chunk *within* each shelf so no group ever crosses a shelf
+            // boundary, even when bays don't divide evenly by group size.
+            LayoutPolicy::SameShelf => shelves
+                .iter()
+                .flat_map(|&shelf| {
+                    let slots: Vec<SlotAddr> =
+                        (0..bays_per_shelf).map(|bay| SlotAddr { shelf, bay }).collect();
+                    slots
+                        .chunks(group_size as usize)
+                        .map(<[SlotAddr]>::to_vec)
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+        }
+    }
+
+    /// Display label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LayoutPolicy::SpanShelves => "span-shelves",
+            LayoutPolicy::SameShelf => "same-shelf",
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Number of distinct shelves touched by a slot list.
+pub fn shelves_spanned(slots: &[SlotAddr]) -> usize {
+    let mut shelves: Vec<ShelfId> = slots.iter().map(|s| s.shelf).collect();
+    shelves.sort_unstable();
+    shelves.dedup();
+    shelves.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shelves(n: u32) -> Vec<ShelfId> {
+        (0..n).map(ShelfId).collect()
+    }
+
+    #[test]
+    fn span_layout_spreads_groups_across_shelves() {
+        let groups = LayoutPolicy::SpanShelves.assign(&shelves(3), 12, 7);
+        // 36 slots -> 6 groups (5 of 7, 1 of 1).
+        assert_eq!(groups.len(), 6);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 36);
+        // A full group spans all 3 shelves.
+        assert_eq!(shelves_spanned(&groups[0]), 3);
+    }
+
+    #[test]
+    fn same_shelf_layout_keeps_groups_on_one_shelf() {
+        let groups = LayoutPolicy::SameShelf.assign(&shelves(3), 12, 6);
+        assert_eq!(groups.len(), 6);
+        for g in &groups {
+            assert_eq!(shelves_spanned(g), 1, "group crosses shelves: {g:?}");
+        }
+    }
+
+    #[test]
+    fn all_slots_assigned_exactly_once() {
+        for policy in [LayoutPolicy::SpanShelves, LayoutPolicy::SameShelf] {
+            let groups = policy.assign(&shelves(4), 13, 9);
+            let mut all: Vec<SlotAddr> = groups.into_iter().flatten().collect();
+            assert_eq!(all.len(), 4 * 13);
+            all.sort();
+            all.dedup();
+            assert_eq!(all.len(), 4 * 13, "{policy}: duplicate slot assignment");
+        }
+    }
+
+    #[test]
+    fn single_shelf_degenerates_gracefully() {
+        let groups = LayoutPolicy::SpanShelves.assign(&shelves(1), 7, 7);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(shelves_spanned(&groups[0]), 1);
+    }
+
+    #[test]
+    fn empty_shelf_list_yields_no_groups() {
+        assert!(LayoutPolicy::SpanShelves.assign(&[], 12, 7).is_empty());
+    }
+
+    #[test]
+    fn no_group_is_empty_and_none_exceeds_size() {
+        let groups = LayoutPolicy::SpanShelves.assign(&shelves(5), 11, 8);
+        for g in &groups {
+            assert!(!g.is_empty());
+            assert!(g.len() <= 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "group_size")]
+    fn zero_group_size_panics() {
+        let _ = LayoutPolicy::SpanShelves.assign(&shelves(2), 12, 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! RAID resiliency types supported by the studied systems.
+//!
+//! All four system classes support RAID4 and RAID6 (paper Table 1). RAID is
+//! the resiliency mechanism sitting *on top of* the storage subsystem; the
+//! study's point is that it is designed for disk failures and is challenged
+//! by the other three failure types' bursty, correlated behaviour.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// RAID level of a RAID group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RaidType {
+    /// Single dedicated parity disk; tolerates one concurrent disk failure.
+    Raid4,
+    /// Double parity (row-diagonal); tolerates two concurrent disk failures.
+    Raid6,
+}
+
+impl RaidType {
+    /// Both RAID types in the study.
+    pub const ALL: [RaidType; 2] = [RaidType::Raid4, RaidType::Raid6];
+
+    /// Number of parity disks in a group of this type.
+    pub fn parity_disks(self) -> u8 {
+        match self {
+            RaidType::Raid4 => 1,
+            RaidType::Raid6 => 2,
+        }
+    }
+
+    /// Number of concurrent whole-disk losses the group survives.
+    pub fn fault_tolerance(self) -> u8 {
+        self.parity_disks()
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RaidType::Raid4 => "RAID4",
+            RaidType::Raid6 => "RAID6",
+        }
+    }
+}
+
+impl fmt::Display for RaidType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_counts() {
+        assert_eq!(RaidType::Raid4.parity_disks(), 1);
+        assert_eq!(RaidType::Raid6.parity_disks(), 2);
+        assert_eq!(RaidType::Raid4.fault_tolerance(), 1);
+        assert_eq!(RaidType::Raid6.fault_tolerance(), 2);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RaidType::Raid4.to_string(), "RAID4");
+        assert_eq!(RaidType::Raid6.to_string(), "RAID6");
+    }
+}

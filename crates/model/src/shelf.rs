@@ -1,0 +1,215 @@
+//! Shelf enclosure models and the disk/shelf interoperability matrix.
+//!
+//! Shelf enclosures provide power, cooling and a prewired backplane for up to
+//! 14 disks (paper §2.2). The study finds (Finding 6) that the shelf model
+//! has a strong impact on *physical interconnect* failures — and that which
+//! shelf model works best depends on the disk model mounted in it
+//! (interoperability effects). The catalog here encodes three anonymized
+//! shelf models `A`..`C` with interconnect-hazard factors and a small
+//! interoperability table reproducing the paper's Figure 6 pattern.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::disk::DiskModelId;
+
+/// Maximum number of disk bays per shelf across all studied models.
+pub const SHELF_BAYS: u8 = 14;
+
+/// An anonymized shelf enclosure model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ShelfModel {
+    /// Shelf enclosure model A (used with low-end systems).
+    A,
+    /// Shelf enclosure model B (used with low-end, mid-range, and high-end).
+    B,
+    /// Shelf enclosure model C (used with near-line and mid-range systems).
+    C,
+}
+
+impl ShelfModel {
+    /// All shelf models in the study.
+    pub const ALL: [ShelfModel; 3] = [ShelfModel::A, ShelfModel::B, ShelfModel::C];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShelfModel::A => "Shelf Enclosure Model A",
+            ShelfModel::B => "Shelf Enclosure Model B",
+            ShelfModel::C => "Shelf Enclosure Model C",
+        }
+    }
+
+    /// Single-letter tag.
+    pub fn letter(self) -> char {
+        match self {
+            ShelfModel::A => 'A',
+            ShelfModel::B => 'B',
+            ShelfModel::C => 'C',
+        }
+    }
+
+    /// Parses the single-letter tag.
+    pub fn from_letter(c: char) -> Option<ShelfModel> {
+        match c {
+            'A' => Some(ShelfModel::A),
+            'B' => Some(ShelfModel::B),
+            'C' => Some(ShelfModel::C),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ShelfModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Reliability characteristics of a shelf enclosure model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShelfModelSpec {
+    /// Which model this spec describes.
+    pub model: ShelfModel,
+    /// Multiplier on the class base physical-interconnect hazard contributed
+    /// by this shelf's backplane/power/FC-driver design (1.0 = neutral).
+    pub interconnect_factor: f64,
+    /// Multiplier on shelf-episode arrival rate (cooling/backplane
+    /// transients); shakier enclosures see more correlated bursts.
+    pub episode_rate_factor: f64,
+}
+
+/// The catalog of shelf models plus the disk-model interoperability matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShelfCatalog {
+    specs: Vec<ShelfModelSpec>,
+    /// `(shelf, disk family letter, capacity point, multiplier)` —
+    /// interconnect-hazard adjustments for specific pairings (Finding 6:
+    /// different shelves work better with different disk models).
+    interop: Vec<(ShelfModel, DiskModelId, f64)>,
+}
+
+impl ShelfCatalog {
+    /// Builds the calibrated catalog for the paper's three shelf models.
+    ///
+    /// The interoperability entries encode Figure 6's observed pattern for
+    /// low-end systems: with disk `A-2`, shelf B is the more reliable choice
+    /// (2.18% vs 2.66% interconnect AFR), while for `A-3`, `D-2` and `D-3`
+    /// shelf A wins.
+    pub fn paper() -> Self {
+        let m = DiskModelId::parse;
+        ShelfCatalog {
+            specs: vec![
+                ShelfModelSpec {
+                    model: ShelfModel::A,
+                    interconnect_factor: 1.00,
+                    episode_rate_factor: 1.00,
+                },
+                ShelfModelSpec {
+                    model: ShelfModel::B,
+                    interconnect_factor: 1.08,
+                    episode_rate_factor: 1.10,
+                },
+                ShelfModelSpec {
+                    model: ShelfModel::C,
+                    interconnect_factor: 0.92,
+                    episode_rate_factor: 0.95,
+                },
+            ],
+            interop: vec![
+                // Figure 6(a): A-2 pairs badly with shelf A, well with B.
+                (ShelfModel::A, m("A-2").expect("valid"), 1.32),
+                (ShelfModel::B, m("A-2").expect("valid"), 0.92),
+                // Figure 6(b)-(d): A-3, D-2, D-3 pair better with shelf A.
+                (ShelfModel::A, m("A-3").expect("valid"), 0.90),
+                (ShelfModel::B, m("A-3").expect("valid"), 1.18),
+                (ShelfModel::A, m("D-2").expect("valid"), 0.88),
+                (ShelfModel::B, m("D-2").expect("valid"), 1.22),
+                (ShelfModel::A, m("D-3").expect("valid"), 0.90),
+                (ShelfModel::B, m("D-3").expect("valid"), 1.20),
+            ],
+        }
+    }
+
+    /// Looks up the spec for a shelf model.
+    pub fn get(&self, model: ShelfModel) -> Option<&ShelfModelSpec> {
+        self.specs.iter().find(|s| s.model == model)
+    }
+
+    /// Interconnect-hazard multiplier for a (shelf model, disk model)
+    /// pairing: the shelf's own factor times any interoperability
+    /// adjustment (1.0 when the pairing has no special entry).
+    pub fn interconnect_multiplier(&self, shelf: ShelfModel, disk: DiskModelId) -> f64 {
+        let base = self.get(shelf).map_or(1.0, |s| s.interconnect_factor);
+        let interop = self
+            .interop
+            .iter()
+            .find(|(s, d, _)| *s == shelf && *d == disk)
+            .map_or(1.0, |(_, _, f)| *f);
+        base * interop
+    }
+
+    /// Iterates all shelf specs.
+    pub fn iter(&self) -> impl Iterator<Item = &ShelfModelSpec> {
+        self.specs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_models_all_within_14_bays() {
+        let cat = ShelfCatalog::paper();
+        assert_eq!(cat.iter().count(), 3);
+        assert_eq!(SHELF_BAYS, 14);
+    }
+
+    #[test]
+    fn letters_round_trip() {
+        for model in ShelfModel::ALL {
+            assert_eq!(ShelfModel::from_letter(model.letter()), Some(model));
+        }
+        assert_eq!(ShelfModel::from_letter('Z'), None);
+    }
+
+    #[test]
+    fn interop_reproduces_figure_6_pattern() {
+        let cat = ShelfCatalog::paper();
+        let a2 = DiskModelId::parse("A-2").unwrap();
+        let a3 = DiskModelId::parse("A-3").unwrap();
+        let d2 = DiskModelId::parse("D-2").unwrap();
+        let d3 = DiskModelId::parse("D-3").unwrap();
+        // For A-2 shelf B is better (lower multiplier)...
+        assert!(
+            cat.interconnect_multiplier(ShelfModel::B, a2)
+                < cat.interconnect_multiplier(ShelfModel::A, a2)
+        );
+        // ...while for A-3, D-2, D-3 shelf A is better.
+        for disk in [a3, d2, d3] {
+            assert!(
+                cat.interconnect_multiplier(ShelfModel::A, disk)
+                    < cat.interconnect_multiplier(ShelfModel::B, disk),
+                "{disk}"
+            );
+        }
+    }
+
+    #[test]
+    fn unlisted_pairings_fall_back_to_shelf_factor() {
+        let cat = ShelfCatalog::paper();
+        let e1 = DiskModelId::parse("E-1").unwrap();
+        let spec_b = cat.get(ShelfModel::B).unwrap();
+        assert!(
+            (cat.interconnect_multiplier(ShelfModel::B, e1) - spec_b.interconnect_factor).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(ShelfModel::A.label(), "Shelf Enclosure Model A");
+    }
+}

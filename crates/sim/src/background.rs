@@ -1,0 +1,255 @@
+//! Independent background failure processes.
+//!
+//! Each (disk, failure type) pair carries a homogeneous Poisson process —
+//! exponential interarrivals at the calibrated rate. This is the
+//! memoryless, independent component of the failure phenomenology; the
+//! correlated component lives in [`crate::episodes`].
+
+use rand::Rng;
+
+use ssfa_model::time::SECS_PER_YEAR;
+use ssfa_model::{SimDuration, SimTime};
+
+/// Samples the event times of a homogeneous Poisson process with the given
+/// rate (events per year) over the window `[from, to)`.
+///
+/// Returns an empty vector when the rate is zero or the window is empty.
+///
+/// # Panics
+///
+/// Panics if `rate_per_year` is negative or not finite.
+pub fn poisson_process_times<R: Rng + ?Sized>(
+    rate_per_year: f64,
+    from: SimTime,
+    to: SimTime,
+    rng: &mut R,
+) -> Vec<SimTime> {
+    assert!(
+        rate_per_year.is_finite() && rate_per_year >= 0.0,
+        "rate must be non-negative, got {rate_per_year}"
+    );
+    let mut times = Vec::new();
+    if rate_per_year == 0.0 || from >= to {
+        return times;
+    }
+    let rate_per_sec = rate_per_year / SECS_PER_YEAR as f64;
+    let mut t = from;
+    loop {
+        // Exponential interarrival via inversion; `1 - gen` keeps the
+        // argument of ln strictly positive.
+        let u: f64 = rng.gen();
+        let gap = -(1.0 - u).ln() / rate_per_sec;
+        if !gap.is_finite() {
+            break;
+        }
+        let next = t + SimDuration::from_secs(gap.ceil().max(1.0) as u64);
+        if next >= to {
+            break;
+        }
+        times.push(next);
+        t = next;
+    }
+    times
+}
+
+/// A contiguous service span of one disk instance in a slot, produced by
+/// walking the slot's disk-failure times through the replacement process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceSpan {
+    /// Start of service.
+    pub start: SimTime,
+    /// End of service (disk-failure time, or study end).
+    pub end: SimTime,
+    /// The disk-failure time that ended this span, if any.
+    pub failed_at: Option<SimTime>,
+}
+
+/// Resolves a slot's candidate disk-failure times into a sequence of
+/// service spans separated by replacement delays.
+///
+/// `candidates` are *potential* disk-failure instants from any process
+/// (background or episode), in any order. A candidate kills the instance in
+/// service at that instant; candidates landing inside a replacement gap
+/// (no disk present) are discarded. The final span ends at `study_end`
+/// without a failure.
+pub fn resolve_replacements(
+    install: SimTime,
+    study_end: SimTime,
+    replacement_delay: SimDuration,
+    candidates: &mut [SimTime],
+) -> Vec<ServiceSpan> {
+    candidates.sort_unstable();
+    let mut spans = Vec::new();
+    let mut start = install;
+    if start >= study_end {
+        return spans;
+    }
+    for &t in candidates.iter() {
+        if t < start {
+            // Before install or inside the replacement gap: no disk to kill.
+            continue;
+        }
+        if t >= study_end {
+            break;
+        }
+        spans.push(ServiceSpan { start, end: t, failed_at: Some(t) });
+        start = t + replacement_delay;
+        if start >= study_end {
+            return spans;
+        }
+    }
+    spans.push(ServiceSpan { start, end: study_end, failed_at: None });
+    spans
+}
+
+/// Finds the service span active at instant `t`, if any.
+pub fn span_at(spans: &[ServiceSpan], t: SimTime) -> Option<usize> {
+    // Spans are ordered and non-overlapping; linear scan is fine for the
+    // handful of spans a slot ever has, but binary search keeps worst
+    // cases (pathological calibrations) comfortable.
+    let idx = spans.partition_point(|s| s.end <= t);
+    if idx < spans.len() && spans[idx].start <= t {
+        Some(idx)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn poisson_process_rate_is_respected() {
+        let mut rng = rng();
+        let from = SimTime::ZERO;
+        let to = SimTime::from_years(100.0);
+        let times = poisson_process_times(5.0, from, to, &mut rng);
+        // Expect ~500 events over 100 years at rate 5/yr.
+        assert!((400..600).contains(&times.len()), "{} events", times.len());
+        // Strictly increasing, inside the window.
+        for pair in times.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        assert!(times.iter().all(|&t| t > from && t < to));
+    }
+
+    #[test]
+    fn zero_rate_and_empty_window_produce_nothing() {
+        let mut r = rng();
+        assert!(poisson_process_times(0.0, SimTime::ZERO, SimTime::from_years(1.0), &mut r)
+            .is_empty());
+        assert!(poisson_process_times(10.0, SimTime::from_secs(100), SimTime::from_secs(100), &mut r)
+            .is_empty());
+        assert!(poisson_process_times(10.0, SimTime::from_secs(200), SimTime::from_secs(100), &mut r)
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        let mut r = rng();
+        let _ = poisson_process_times(-1.0, SimTime::ZERO, SimTime::from_years(1.0), &mut r);
+    }
+
+    #[test]
+    fn interarrivals_look_exponential() {
+        let mut r = rng();
+        let times =
+            poisson_process_times(50.0, SimTime::ZERO, SimTime::from_years(200.0), &mut r);
+        let gaps: Vec<f64> = times
+            .windows(2)
+            .map(|w| w[1].duration_since(w[0]).as_years())
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 0.02).abs() < 0.002, "mean gap {mean}");
+        // Memorylessness: CV of exponential is 1.
+        let var =
+            gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / (gaps.len() - 1) as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.1, "cv {cv}");
+    }
+
+    #[test]
+    fn replacement_walk_splits_spans() {
+        let install = SimTime::from_secs(0);
+        let end = SimTime::from_secs(1_000_000);
+        let delay = SimDuration::from_secs(1_000);
+        let mut candidates =
+            vec![SimTime::from_secs(500_000), SimTime::from_secs(100_000)];
+        let spans = resolve_replacements(install, end, delay, &mut candidates);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].start, install);
+        assert_eq!(spans[0].failed_at, Some(SimTime::from_secs(100_000)));
+        assert_eq!(spans[1].start, SimTime::from_secs(101_000));
+        assert_eq!(spans[1].failed_at, Some(SimTime::from_secs(500_000)));
+        assert_eq!(spans[2].start, SimTime::from_secs(501_000));
+        assert_eq!(spans[2].end, end);
+        assert_eq!(spans[2].failed_at, None);
+    }
+
+    #[test]
+    fn candidates_in_replacement_gap_are_dropped() {
+        let install = SimTime::ZERO;
+        let end = SimTime::from_secs(1_000_000);
+        let delay = SimDuration::from_secs(10_000);
+        // Second candidate lands while the slot is empty.
+        let mut candidates =
+            vec![SimTime::from_secs(100_000), SimTime::from_secs(105_000)];
+        let spans = resolve_replacements(install, end, delay, &mut candidates);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].failed_at, None);
+    }
+
+    #[test]
+    fn late_install_yields_no_spans() {
+        let end = SimTime::from_secs(1_000);
+        let spans = resolve_replacements(
+            SimTime::from_secs(2_000),
+            end,
+            SimDuration::from_secs(10),
+            &mut [],
+        );
+        assert!(spans.is_empty());
+    }
+
+    #[test]
+    fn failure_just_before_study_end_truncates() {
+        let end = SimTime::from_secs(1_000);
+        let mut candidates = vec![SimTime::from_secs(990)];
+        let spans =
+            resolve_replacements(SimTime::ZERO, end, SimDuration::from_secs(100), &mut candidates);
+        // Replacement would come online after the study: only the failed
+        // span exists.
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].failed_at, Some(SimTime::from_secs(990)));
+    }
+
+    #[test]
+    fn span_lookup_finds_active_instance() {
+        let spans = vec![
+            ServiceSpan {
+                start: SimTime::from_secs(0),
+                end: SimTime::from_secs(100),
+                failed_at: Some(SimTime::from_secs(100)),
+            },
+            ServiceSpan {
+                start: SimTime::from_secs(150),
+                end: SimTime::from_secs(400),
+                failed_at: None,
+            },
+        ];
+        assert_eq!(span_at(&spans, SimTime::from_secs(50)), Some(0));
+        assert_eq!(span_at(&spans, SimTime::from_secs(100)), None); // gap start
+        assert_eq!(span_at(&spans, SimTime::from_secs(120)), None); // in gap
+        assert_eq!(span_at(&spans, SimTime::from_secs(150)), Some(1));
+        assert_eq!(span_at(&spans, SimTime::from_secs(399)), Some(1));
+        assert_eq!(span_at(&spans, SimTime::from_secs(400)), None);
+    }
+}

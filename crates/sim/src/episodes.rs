@@ -1,0 +1,293 @@
+//! Correlated shock episodes: the compound-Poisson processes behind the
+//! paper's burstiness and correlation findings.
+//!
+//! The paper attributes correlated failures to *shared factors*: shelf
+//! cooling and power feeding every disk in an enclosure, host adapters and
+//! cables shared by every shelf on a loop, and driver versions updated in
+//! lockstep (§5.2.3). An episode models one misbehaving shared factor:
+//! it arrives by a Poisson process at its scope (shelf or loop), lasts a
+//! log-normal duration, and fires a batch of `1 + Poisson(extra_mean)`
+//! same-type failures spread uniformly over that duration across the disks
+//! sharing the factor.
+
+use rand::Rng;
+
+use ssfa_model::{FailureType, SimDuration, SimTime};
+use ssfa_stats::dist::{ContinuousDist, LogNormal, Poisson};
+
+use crate::background::poisson_process_times;
+use crate::calibration::EpisodeParams;
+use crate::occurrence::FailureSource;
+
+/// One materialized episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Episode {
+    /// When the shared factor started misbehaving.
+    pub start: SimTime,
+    /// How long the episode lasted.
+    pub duration: SimDuration,
+    /// The failure type this episode produces.
+    pub failure_type: FailureType,
+    /// Scope tag recorded into ground truth.
+    pub source: FailureSource,
+    /// Failure instants, each within `[start, start + duration)`, sorted.
+    pub hits: Vec<SimTime>,
+}
+
+/// Generates the episodes of one scope (a shelf or a loop) over a window.
+///
+/// * `type_rate_per_disk_year` — the failure type's total calibrated rate;
+/// * `scope_disks` — number of disks sharing the misbehaving factor;
+/// * `params` — the process's share/batch/duration calibration.
+///
+/// The episode arrival rate is chosen so that this process delivers
+/// `params.rate_share` of the type's total rate across the scope:
+/// `λ = share · rate · disks / E[batch]`.
+pub fn generate_episodes<R: Rng>(
+    type_rate_per_disk_year: f64,
+    scope_disks: usize,
+    window: (SimTime, SimTime),
+    params: &EpisodeParams,
+    failure_type: FailureType,
+    source: FailureSource,
+    rng: &mut R,
+) -> Vec<Episode> {
+    if params.rate_share <= 0.0 || scope_disks == 0 || type_rate_per_disk_year <= 0.0 {
+        return Vec::new();
+    }
+    let arrival_rate = params.rate_share * type_rate_per_disk_year * scope_disks as f64
+        / params.mean_batch();
+    let starts = poisson_process_times(arrival_rate, window.0, window.1, rng);
+    if starts.is_empty() {
+        return Vec::new();
+    }
+    let duration_dist = LogNormal::from_median_spread(
+        params.duration_median_hours * 3_600.0,
+        params.duration_spread,
+    )
+    .expect("calibration validated");
+    let batch_extra = Poisson::new(params.extra_mean.max(1e-12)).expect("positive mean");
+
+    starts
+        .into_iter()
+        .map(|start| {
+            let duration =
+                SimDuration::from_secs((duration_dist.sample(rng).max(60.0)) as u64);
+            let batch = if params.extra_mean > 0.0 {
+                1 + batch_extra.sample(rng) as usize
+            } else {
+                1
+            };
+            // Batches cannot hit more disks than share the factor.
+            let batch = batch.min(scope_disks);
+            let mut hits: Vec<SimTime> = (0..batch)
+                .map(|_| {
+                    let offset = (rng.gen::<f64>() * duration.as_secs() as f64) as u64;
+                    start + SimDuration::from_secs(offset)
+                })
+                .collect();
+            hits.sort_unstable();
+            Episode { start, duration, failure_type, source, hits }
+        })
+        .collect()
+}
+
+/// Assigns the hits of an episode to distinct disk indices in `0..scope`
+/// (partial Fisher–Yates). Returns one scope-relative index per hit, in
+/// hit order.
+///
+/// # Panics
+///
+/// Panics if the episode has more hits than `scope` (prevented by
+/// [`generate_episodes`]'s batch cap).
+pub fn assign_hits_to_disks<R: Rng>(
+    episode: &Episode,
+    scope: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let k = episode.hits.len();
+    assert!(k <= scope, "more hits than disks in scope");
+    let mut indices: Vec<usize> = (0..scope).collect();
+    for i in 0..k {
+        let j = i + (rng.gen::<f64>() * (scope - i) as f64) as usize;
+        let j = j.min(scope - 1);
+        indices.swap(i, j);
+    }
+    indices.truncate(k);
+    indices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::Calibration;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn window_years(y: f64) -> (SimTime, SimTime) {
+        (SimTime::ZERO, SimTime::from_years(y))
+    }
+
+    #[test]
+    fn episode_process_delivers_its_rate_share() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = Calibration::paper().shelf_backplane;
+        let rate = 0.02; // per disk-year
+        let disks = 13;
+        let years = 2_000.0;
+        let episodes = generate_episodes(
+            rate,
+            disks,
+            window_years(years),
+            &params,
+            FailureType::PhysicalInterconnect,
+            FailureSource::ShelfEpisode,
+            &mut rng,
+        );
+        let hits: usize = episodes.iter().map(|e| e.hits.len()).sum();
+        let expected = params.rate_share * rate * disks as f64 * years;
+        let ratio = hits as f64 / expected;
+        assert!((0.85..1.15).contains(&ratio), "delivered {hits}, expected {expected}");
+    }
+
+    #[test]
+    fn hits_fall_within_episode_duration() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let params = Calibration::paper().loop_network;
+        let episodes = generate_episodes(
+            0.05,
+            39,
+            window_years(500.0),
+            &params,
+            FailureType::PhysicalInterconnect,
+            FailureSource::LoopEpisode,
+            &mut rng,
+        );
+        assert!(!episodes.is_empty());
+        for e in &episodes {
+            for &h in &e.hits {
+                assert!(h >= e.start);
+                assert!(h <= e.start + e.duration);
+            }
+            // Sorted.
+            for pair in e.hits.windows(2) {
+                assert!(pair[0] <= pair[1]);
+            }
+            assert!(!e.hits.is_empty());
+        }
+    }
+
+    #[test]
+    fn batch_sizes_average_one_plus_extra_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = EpisodeParams {
+            rate_share: 0.5,
+            extra_mean: 2.0,
+            duration_median_hours: 2.0,
+            duration_spread: 3.0,
+        };
+        let episodes = generate_episodes(
+            0.1,
+            100, // large scope so the cap never binds
+            window_years(3_000.0),
+            &params,
+            FailureType::Protocol,
+            FailureSource::ShelfEpisode,
+            &mut rng,
+        );
+        let mean =
+            episodes.iter().map(|e| e.hits.len()).sum::<usize>() as f64 / episodes.len() as f64;
+        assert!((mean - 3.0).abs() < 0.2, "mean batch {mean}");
+    }
+
+    #[test]
+    fn batch_capped_at_scope_size() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let params = EpisodeParams {
+            rate_share: 1.0,
+            extra_mean: 50.0,
+            duration_median_hours: 2.0,
+            duration_spread: 3.0,
+        };
+        let episodes = generate_episodes(
+            0.5,
+            4,
+            window_years(200.0),
+            &params,
+            FailureType::Performance,
+            FailureSource::ShelfEpisode,
+            &mut rng,
+        );
+        for e in &episodes {
+            assert!(e.hits.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn disabled_process_produces_nothing() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let episodes = generate_episodes(
+            0.5,
+            13,
+            window_years(100.0),
+            &EpisodeParams::disabled(),
+            FailureType::Disk,
+            FailureSource::ShelfEpisode,
+            &mut rng,
+        );
+        assert!(episodes.is_empty());
+        let none = generate_episodes(
+            0.0,
+            13,
+            window_years(100.0),
+            &Calibration::paper().shelf_cooling,
+            FailureType::Disk,
+            FailureSource::ShelfEpisode,
+            &mut rng,
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn hit_assignment_yields_distinct_disks() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let episode = Episode {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_hours(1.0),
+            failure_type: FailureType::PhysicalInterconnect,
+            source: FailureSource::ShelfEpisode,
+            hits: vec![SimTime::from_secs(1); 8],
+        };
+        for _ in 0..50 {
+            let assigned = assign_hits_to_disks(&episode, 13, &mut rng);
+            assert_eq!(assigned.len(), 8);
+            let mut sorted = assigned.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 8, "duplicate disk in {assigned:?}");
+            assert!(assigned.iter().all(|&i| i < 13));
+        }
+    }
+
+    #[test]
+    fn hit_assignment_covers_scope_uniformly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let episode = Episode {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_hours(1.0),
+            failure_type: FailureType::Disk,
+            source: FailureSource::ShelfEpisode,
+            hits: vec![SimTime::from_secs(1); 2],
+        };
+        let mut counts = [0usize; 6];
+        for _ in 0..6_000 {
+            for idx in assign_hits_to_disks(&episode, 6, &mut rng) {
+                counts[idx] += 1;
+            }
+        }
+        // Each disk should be hit ~2000 times (2 hits * 6000 / 6).
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((1700..2300).contains(&c), "disk {i}: {c}");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Event-driven storage-fleet failure simulator.
+//!
+//! The FAST'08 study analyzed 44 months of support logs from ~39,000
+//! deployed storage systems. That corpus is proprietary, so this crate
+//! synthesizes a statistically-faithful substitute: given a
+//! [`ssfa_model::Fleet`], it drives per-component failure processes over the
+//! study window and emits a ground-truth stream of failure occurrences plus
+//! per-disk lifetime records, from which the `ssfa-logs` crate renders
+//! AutoSupport-style text logs.
+//!
+//! # Failure phenomenology
+//!
+//! Two processes generate failures, mirroring the causes the paper
+//! identifies (§5.2.3):
+//!
+//! 1. **Background hazards** — independent, exponentially-distributed
+//!    per-disk processes, one per failure type, calibrated per disk model /
+//!    shelf model / system class.
+//! 2. **Shock episodes** — compound Poisson processes at *shelf* scope
+//!    (cooling degradation, backplane/HBA transients, driver-bug windows)
+//!    and at *FC-loop* scope (network transients). Each episode produces a
+//!    batch of same-type failures spread over the episode's duration across
+//!    the disks sharing the component. Episodes are what make failures
+//!    bursty and correlated (paper Findings 8–11); disable them via
+//!    [`Calibration::without_episodes`] to recover independence.
+//!
+//! Mid-range/high-end subsystems configured with dual paths mask a fraction
+//! of physical-interconnect failures (failover recovers the I/O path before
+//! the RAID layer notices — paper §4.3). Failures are *detected* up to an
+//! hour after they occur (hourly verification scrubs, §2.5), and failed
+//! disks are replaced after a repair delay, starting a fresh disk lifetime
+//! (Table 1 counts disks "ever installed").
+//!
+//! # Example
+//!
+//! ```
+//! use ssfa_model::{Fleet, FleetConfig};
+//! use ssfa_sim::{Calibration, Simulator};
+//!
+//! let fleet = Fleet::build(&FleetConfig::paper().scaled(0.002), 1);
+//! let output = Simulator::new(Calibration::paper()).run(&fleet, 1);
+//! assert!(output.occurrences().len() > 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod calibration;
+pub mod engine;
+pub mod episodes;
+pub mod occurrence;
+pub mod rng;
+
+pub use calibration::{Calibration, ClassRates, EpisodeParams};
+pub use engine::Simulator;
+pub use occurrence::{DiskRecord, FailureOccurrence, RemovalReason, SimOutput};

@@ -1,0 +1,233 @@
+//! Ground-truth simulation output: failure occurrences and disk lifetimes.
+
+use serde::{Deserialize, Serialize};
+
+use ssfa_model::{
+    DeviceAddr, DiskInstanceId, DiskModelId, FailureRecord, FailureType, LoopId, RaidGroupId,
+    SimTime, SlotAddr, SystemId,
+};
+
+/// What generated a failure occurrence (kept in ground truth so tests can
+/// verify mechanism-level behaviour; invisible to the analysis pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureSource {
+    /// Independent background hazard.
+    Background,
+    /// A shelf-scope episode (cooling / backplane / driver / perf glitch).
+    ShelfEpisode,
+    /// A loop-scope FC-network episode.
+    LoopEpisode,
+}
+
+/// One ground-truth failure occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureOccurrence {
+    /// When the underlying fault fired.
+    pub occurred_at: SimTime,
+    /// When the hourly scrub detected it (`occurred_at` + lag).
+    pub detected_at: SimTime,
+    /// Which failure type it is.
+    pub failure_type: FailureType,
+    /// What process generated it.
+    pub source: FailureSource,
+    /// Whether multipath failover masked it from the RAID layer (masked
+    /// occurrences are logged at the FC layer but are *not* storage
+    /// subsystem failures).
+    pub masked: bool,
+    /// The affected disk instance.
+    pub disk: DiskInstanceId,
+    /// The affected disk's slot.
+    pub slot: SlotAddr,
+    /// Owning system.
+    pub system: SystemId,
+    /// RAID group of the slot.
+    pub raid_group: RaidGroupId,
+    /// FC loop of the shelf.
+    pub fc_loop: LoopId,
+    /// Adapter-relative device address for log rendering.
+    pub device: DeviceAddr,
+}
+
+impl FailureOccurrence {
+    /// Converts an *exposed* (unmasked) occurrence into the analysis-side
+    /// record type. Returns `None` for masked occurrences.
+    pub fn to_record(&self) -> Option<FailureRecord> {
+        if self.masked {
+            return None;
+        }
+        Some(FailureRecord {
+            detected_at: self.detected_at,
+            failure_type: self.failure_type,
+            disk: self.disk,
+            system: self.system,
+            shelf: self.slot.shelf,
+            raid_group: self.raid_group,
+            fc_loop: self.fc_loop,
+            device: self.device,
+        })
+    }
+}
+
+/// Why a disk instance left service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RemovalReason {
+    /// The disk failed and was replaced.
+    Failed,
+    /// Still in service at the end of the study window.
+    StudyEnded,
+}
+
+/// Lifetime record of one disk instance (initial install or replacement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskRecord {
+    /// The disk instance.
+    pub id: DiskInstanceId,
+    /// Product model.
+    pub model: DiskModelId,
+    /// Slot occupied.
+    pub slot: SlotAddr,
+    /// Owning system.
+    pub system: SystemId,
+    /// RAID group of the slot.
+    pub raid_group: RaidGroupId,
+    /// When the instance entered service.
+    pub installed_at: SimTime,
+    /// When it left service (replacement or study end).
+    pub removed_at: SimTime,
+    /// Why it left service.
+    pub removal_reason: RemovalReason,
+}
+
+impl DiskRecord {
+    /// Time in service, in years — the disk's contribution to the
+    /// fleet's exposure (denominator of every AFR).
+    pub fn service_years(&self) -> f64 {
+        self.removed_at.duration_since(self.installed_at).as_years()
+    }
+}
+
+/// Complete output of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimOutput {
+    occurrences: Vec<FailureOccurrence>,
+    disks: Vec<DiskRecord>,
+}
+
+impl SimOutput {
+    /// Assembles output from raw parts, sorting occurrences
+    /// chronologically by detection time.
+    pub fn new(mut occurrences: Vec<FailureOccurrence>, disks: Vec<DiskRecord>) -> Self {
+        occurrences.sort_by(|a, b| {
+            a.detected_at.cmp(&b.detected_at).then(a.disk.cmp(&b.disk))
+        });
+        SimOutput { occurrences, disks }
+    }
+
+    /// All ground-truth occurrences (masked and exposed), in detection
+    /// order.
+    pub fn occurrences(&self) -> &[FailureOccurrence] {
+        &self.occurrences
+    }
+
+    /// All disk lifetime records.
+    pub fn disks(&self) -> &[DiskRecord] {
+        &self.disks
+    }
+
+    /// The exposed storage-subsystem failures, as analysis-side records.
+    pub fn exposed_records(&self) -> Vec<FailureRecord> {
+        self.occurrences.iter().filter_map(FailureOccurrence::to_record).collect()
+    }
+
+    /// Total fleet exposure in disk-years.
+    pub fn total_disk_years(&self) -> f64 {
+        self.disks.iter().map(DiskRecord::service_years).sum()
+    }
+
+    /// Number of exposed failures of each type.
+    pub fn exposed_counts(&self) -> ssfa_model::FailureCounts {
+        self.occurrences
+            .iter()
+            .filter(|o| !o.masked)
+            .map(|o| o.failure_type)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssfa_model::{ShelfId, SimDuration};
+
+    fn occurrence(t: u64, masked: bool) -> FailureOccurrence {
+        FailureOccurrence {
+            occurred_at: SimTime::from_secs(t),
+            detected_at: SimTime::from_secs(t + 100),
+            failure_type: FailureType::PhysicalInterconnect,
+            source: FailureSource::Background,
+            masked,
+            disk: DiskInstanceId(t),
+            slot: SlotAddr { shelf: ShelfId(0), bay: 0 },
+            system: SystemId(0),
+            raid_group: RaidGroupId(0),
+            fc_loop: LoopId(0),
+            device: DeviceAddr::new(8, 24),
+        }
+    }
+
+    #[test]
+    fn output_sorts_by_detection_time() {
+        let out = SimOutput::new(vec![occurrence(50, false), occurrence(10, false)], vec![]);
+        assert!(out.occurrences()[0].detected_at < out.occurrences()[1].detected_at);
+    }
+
+    #[test]
+    fn masked_occurrences_produce_no_record() {
+        assert!(occurrence(5, true).to_record().is_none());
+        let rec = occurrence(5, false).to_record().unwrap();
+        assert_eq!(rec.detected_at, SimTime::from_secs(105));
+        assert_eq!(rec.failure_type, FailureType::PhysicalInterconnect);
+    }
+
+    #[test]
+    fn exposed_records_filter_masked() {
+        let out = SimOutput::new(
+            vec![occurrence(1, true), occurrence(2, false), occurrence(3, true)],
+            vec![],
+        );
+        assert_eq!(out.exposed_records().len(), 1);
+        assert_eq!(out.exposed_counts().total(), 1);
+        assert_eq!(out.occurrences().len(), 3);
+    }
+
+    #[test]
+    fn disk_record_service_years() {
+        let rec = DiskRecord {
+            id: DiskInstanceId(0),
+            model: DiskModelId::new('A', 1),
+            slot: SlotAddr { shelf: ShelfId(0), bay: 0 },
+            system: SystemId(0),
+            raid_group: RaidGroupId(0),
+            installed_at: SimTime::ZERO,
+            removed_at: SimTime::ZERO + SimDuration::from_years(2.0),
+            removal_reason: RemovalReason::StudyEnded,
+        };
+        assert!((rec.service_years() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_disk_years_sums_lifetimes() {
+        let mk = |years: f64| DiskRecord {
+            id: DiskInstanceId(0),
+            model: DiskModelId::new('A', 1),
+            slot: SlotAddr { shelf: ShelfId(0), bay: 0 },
+            system: SystemId(0),
+            raid_group: RaidGroupId(0),
+            installed_at: SimTime::ZERO,
+            removed_at: SimTime::ZERO + SimDuration::from_years(years),
+            removal_reason: RemovalReason::StudyEnded,
+        };
+        let out = SimOutput::new(vec![], vec![mk(1.0), mk(0.5), mk(2.0)]);
+        assert!((out.total_disk_years() - 3.5).abs() < 1e-9);
+    }
+}

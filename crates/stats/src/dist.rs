@@ -1,0 +1,798 @@
+//! Probability distributions with pdf/cdf/moments/sampling.
+//!
+//! The paper fits exponential, Weibull, and Gamma distributions to
+//! time-between-failure data (Figure 9) and the simulator samples from
+//! exponential (hazard interarrivals), log-normal (episode durations),
+//! Poisson (episode counts), and uniform (detection lag) distributions.
+//! `rand` is only used for uniform bits; all shaping is done here.
+
+use rand::Rng;
+
+use crate::special::{ln_gamma, lower_gamma_reg, std_normal_cdf};
+use crate::{Result, StatsError};
+
+/// A continuous distribution over (a subset of) the real line.
+///
+/// Object safe so fitting harnesses can treat candidate models uniformly.
+pub trait ContinuousDist {
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+    /// Cumulative probability `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+    /// Distribution mean.
+    fn mean(&self) -> f64;
+    /// Distribution variance.
+    fn variance(&self) -> f64;
+    /// Natural log of the density at `x` (more stable than `pdf(x).ln()`).
+    fn ln_pdf(&self, x: f64) -> f64 {
+        self.pdf(x).ln()
+    }
+    /// Draws one sample.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+    /// Short display name for reports ("Exponential", "Gamma", ...).
+    fn name(&self) -> &'static str;
+    /// The `p`-quantile (inverse CDF), `p ∈ (0, 1)`.
+    ///
+    /// The default implementation bisects the CDF, which converges for any
+    /// monotone CDF; implementations override it with closed forms where
+    /// they exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+        // Bracket the quantile starting from the mean.
+        let mut lo = 0.0_f64;
+        let mut hi = self.mean().max(1e-9);
+        for _ in 0..200 {
+            if self.cdf(hi) >= p {
+                break;
+            }
+            hi *= 2.0;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) <= 1e-12 * hi.max(1.0) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+fn check_positive(name: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(StatsError::BadParameter { name, value })
+    }
+}
+
+/// Uniform sample in (0, 1), excluding exact zero so logs never blow up.
+fn open_unit(rng: &mut dyn rand::RngCore) -> f64 {
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exponential
+// ---------------------------------------------------------------------------
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless `rate` is finite and
+    /// positive.
+    pub fn new(rate: f64) -> Result<Self> {
+        Ok(Exponential { rate: check_positive("rate", rate)? })
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDist for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        -open_unit(rng).ln() / self.rate
+    }
+
+    fn name(&self) -> &'static str {
+        "Exponential"
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+        -(1.0 - p).ln() / self.rate
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Weibull
+// ---------------------------------------------------------------------------
+
+/// Weibull distribution with shape `k` and scale `λ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless both parameters are
+    /// finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        Ok(Weibull {
+            shape: check_positive("shape", shape)?,
+            scale: check_positive("scale", scale)?,
+        })
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDist for Weibull {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return if self.shape < 1.0 {
+                f64::INFINITY
+            } else if self.shape == 1.0 {
+                1.0 / self.scale
+            } else {
+                0.0
+            };
+        }
+        self.ln_pdf(x).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-(x / self.scale).powf(self.shape)).exp_m1()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * (ln_gamma(1.0 + 1.0 / self.shape)).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = ln_gamma(1.0 + 1.0 / self.shape).exp();
+        let g2 = ln_gamma(1.0 + 2.0 / self.shape).exp();
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let z = x / self.scale;
+        self.shape.ln() - self.scale.ln() + (self.shape - 1.0) * z.ln() - z.powf(self.shape)
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.scale * (-open_unit(rng).ln()).powf(1.0 / self.shape)
+    }
+
+    fn name(&self) -> &'static str {
+        "Weibull"
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+        self.scale * (-(1.0 - p).ln()).powf(1.0 / self.shape)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gamma
+// ---------------------------------------------------------------------------
+
+/// Gamma distribution with shape `k` and scale `θ` (mean `kθ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a Gamma distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless both parameters are
+    /// finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        Ok(Gamma {
+            shape: check_positive("shape", shape)?,
+            scale: check_positive("scale", scale)?,
+        })
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDist for Gamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return if self.shape < 1.0 {
+                f64::INFINITY
+            } else if self.shape == 1.0 {
+                1.0 / self.scale
+            } else {
+                0.0
+            };
+        }
+        self.ln_pdf(x).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            lower_gamma_reg(self.shape, x / self.scale)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.shape - 1.0) * x.ln() - x / self.scale
+            - ln_gamma(self.shape)
+            - self.shape * self.scale.ln()
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        // Marsaglia & Tsang (2000). For shape < 1, boost via
+        // Gamma(k) = Gamma(k+1) · U^{1/k}.
+        if self.shape < 1.0 {
+            let boosted = Gamma { shape: self.shape + 1.0, scale: self.scale };
+            let u = open_unit(rng);
+            return boosted.sample(rng) * u.powf(1.0 / self.shape);
+        }
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            // Standard normal via Box-Muller.
+            let u1 = open_unit(rng);
+            let u2 = open_unit(rng);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let v = (1.0 + c * z).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = open_unit(rng);
+            if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+                return d * v * self.scale;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Gamma"
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+        self.scale * crate::special::inverse_lower_gamma_reg(self.shape, p)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Normal
+// ---------------------------------------------------------------------------
+
+/// Normal distribution with mean `μ` and standard deviation `σ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless `sigma` is finite and
+    /// positive and `mu` is finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(StatsError::BadParameter { name: "mu", value: mu });
+        }
+        Ok(Normal { mu, sigma: check_positive("sigma", sigma)? })
+    }
+
+    /// The standard normal.
+    pub fn standard() -> Self {
+        Normal { mu: 0.0, sigma: 1.0 }
+    }
+}
+
+impl ContinuousDist for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u1 = open_unit(rng);
+        let u2 = open_unit(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mu + self.sigma * z
+    }
+
+    fn name(&self) -> &'static str {
+        "Normal"
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+        self.mu + self.sigma * crate::special::std_normal_quantile(p)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LogNormal
+// ---------------------------------------------------------------------------
+
+/// Log-normal distribution: `ln X ~ Normal(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the underlying normal's mean
+    /// and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless `sigma` is finite and
+    /// positive and `mu` is finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(StatsError::BadParameter { name: "mu", value: mu });
+        }
+        Ok(LogNormal { mu, sigma: check_positive("sigma", sigma)? })
+    }
+
+    /// Constructs the log-normal with a given median and a multiplicative
+    /// spread factor (`sigma = ln(spread)`), a convenient parameterization
+    /// for episode durations ("about 6 hours, within 3x either way").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] for non-positive median/spread.
+    pub fn from_median_spread(median: f64, spread: f64) -> Result<Self> {
+        let median = check_positive("median", median)?;
+        let spread = check_positive("spread", spread)?;
+        if spread <= 1.0 {
+            return Err(StatsError::BadParameter { name: "spread", value: spread });
+        }
+        LogNormal::new(median.ln(), spread.ln())
+    }
+}
+
+impl ContinuousDist for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            std_normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u1 = open_unit(rng);
+        let u2 = open_unit(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "LogNormal"
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+        (self.mu + self.sigma * crate::special::std_normal_quantile(p)).exp()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poisson
+// ---------------------------------------------------------------------------
+
+/// Poisson distribution with mean `λ` (a discrete distribution; provided
+/// outside the [`ContinuousDist`] trait).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless `lambda` is finite and
+    /// positive.
+    pub fn new(lambda: f64) -> Result<Self> {
+        Ok(Poisson { lambda: check_positive("lambda", lambda)? })
+    }
+
+    /// The mean `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Probability mass at `k`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        (k as f64 * self.lambda.ln() - self.lambda - ln_gamma(k as f64 + 1.0)).exp()
+    }
+
+    /// Cumulative probability `P(X ≤ k)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        crate::special::upper_gamma_reg(k as f64 + 1.0, self.lambda)
+    }
+
+    /// Draws one sample: Knuth's method for small means, normal
+    /// approximation with continuity correction for large means.
+    pub fn sample(&self, rng: &mut dyn rand::RngCore) -> u64 {
+        if self.lambda < 30.0 {
+            let limit = (-self.lambda).exp();
+            let mut product: f64 = 1.0;
+            let mut count = 0u64;
+            loop {
+                product *= open_unit(rng);
+                if product <= limit {
+                    return count;
+                }
+                count += 1;
+            }
+        } else {
+            let u1 = open_unit(rng);
+            let u2 = open_unit(rng);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let x = self.lambda + self.lambda.sqrt() * z;
+            x.round().max(0.0) as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD15C)
+    }
+
+    fn sample_mean_var(dist: &dyn ContinuousDist, n: usize) -> (f64, f64) {
+        let mut rng = rng();
+        let xs: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn constructors_reject_bad_parameters() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(-2.0, 1.0).is_err());
+        assert!(LogNormal::new(f64::INFINITY, 1.0).is_err());
+        assert!(LogNormal::from_median_spread(6.0, 0.9).is_err());
+        assert!(Poisson::new(0.0).is_err());
+    }
+
+    #[test]
+    fn exponential_moments_and_cdf() {
+        let e = Exponential::new(2.0).unwrap();
+        assert!((e.mean() - 0.5).abs() < 1e-12);
+        assert!((e.variance() - 0.25).abs() < 1e-12);
+        assert!((e.cdf(0.5) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(e.cdf(-1.0), 0.0);
+        let (m, v) = sample_mean_var(&e, 40_000);
+        assert!((m - 0.5).abs() < 0.01, "mean {m}");
+        assert!((v - 0.25).abs() < 0.02, "var {v}");
+    }
+
+    #[test]
+    fn weibull_reduces_to_exponential_at_shape_one() {
+        let w = Weibull::new(1.0, 2.0).unwrap();
+        let e = Exponential::new(0.5).unwrap();
+        for &x in &[0.1, 1.0, 3.0, 8.0] {
+            assert!((w.cdf(x) - e.cdf(x)).abs() < 1e-12);
+            assert!((w.pdf(x) - e.pdf(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weibull_moments_match_samples() {
+        let w = Weibull::new(1.7, 3.0).unwrap();
+        let (m, v) = sample_mean_var(&w, 40_000);
+        assert!((m - w.mean()).abs() / w.mean() < 0.02, "mean {m} vs {}", w.mean());
+        assert!((v - w.variance()).abs() / w.variance() < 0.08);
+    }
+
+    #[test]
+    fn gamma_moments_match_samples_across_shapes() {
+        for &(k, theta) in &[(0.5, 2.0), (1.0, 1.0), (2.5, 4.0), (9.0, 0.5)] {
+            let g = Gamma::new(k, theta).unwrap();
+            let (m, v) = sample_mean_var(&g, 60_000);
+            assert!((m - g.mean()).abs() / g.mean() < 0.03, "shape {k}: mean {m}");
+            assert!((v - g.variance()).abs() / g.variance() < 0.10, "shape {k}: var {v}");
+        }
+    }
+
+    #[test]
+    fn gamma_cdf_is_monotone_and_normalized() {
+        let g = Gamma::new(3.0, 2.0).unwrap();
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let x = i as f64 * 0.25;
+            let c = g.cdf(x);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        assert!(g.cdf(100.0) > 0.999_999);
+    }
+
+    #[test]
+    fn lognormal_median_spread_parameterization() {
+        let d = LogNormal::from_median_spread(6.0, 3.0).unwrap();
+        // Median of LogNormal(μ, σ) is e^μ.
+        assert!((d.cdf(6.0) - 0.5).abs() < 1e-9);
+        // One "spread" above the median is one sigma: Φ(1) ≈ 0.8413.
+        assert!((d.cdf(18.0) - 0.841_344_746).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lognormal_moments_match_samples() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let (m, v) = sample_mean_var(&d, 60_000);
+        assert!((m - d.mean()).abs() / d.mean() < 0.02);
+        assert!((v - d.variance()).abs() / d.variance() < 0.15);
+    }
+
+    #[test]
+    fn poisson_pmf_sums_to_one_and_sampling_matches() {
+        let p = Poisson::new(4.2).unwrap();
+        let total: f64 = (0..60).map(|k| p.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((p.cdf(4) - (0..=4).map(|k| p.pmf(k)).sum::<f64>()).abs() < 1e-9);
+
+        let mut rng = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| p.sample(&mut rng)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 4.2).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_branch_sanely() {
+        let p = Poisson::new(200.0).unwrap();
+        let mut rng = rng();
+        let n = 20_000;
+        let samples: Vec<u64> = (0..n).map(|_| p.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>()
+            / (n - 1) as f64;
+        assert!((mean - 200.0).abs() < 1.0, "mean {mean}");
+        assert!((var - 200.0).abs() < 15.0, "var {var}");
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf_numerically() {
+        // Trapezoidal check that ∫pdf ≈ cdf for a couple of distributions.
+        let dists: Vec<Box<dyn ContinuousDist>> = vec![
+            Box::new(Gamma::new(2.0, 1.5).unwrap()),
+            Box::new(Weibull::new(2.0, 3.0).unwrap()),
+            Box::new(LogNormal::new(0.0, 0.8).unwrap()),
+        ];
+        for d in &dists {
+            let upper = 5.0;
+            let n = 20_000;
+            let h = upper / n as f64;
+            let mut integral = 0.0;
+            for i in 0..n {
+                let x0 = i as f64 * h;
+                let x1 = x0 + h;
+                integral += 0.5 * (d.pdf(x0.max(1e-12)) + d.pdf(x1)) * h;
+            }
+            let err = (integral - d.cdf(upper)).abs();
+            assert!(err < 1e-3, "{}: ∫pdf {integral} vs cdf {}", d.name(), d.cdf(upper));
+        }
+    }
+
+    #[test]
+    fn quantiles_invert_cdfs() {
+        let dists: Vec<Box<dyn ContinuousDist>> = vec![
+            Box::new(Exponential::new(0.7).unwrap()),
+            Box::new(Weibull::new(1.4, 2.0).unwrap()),
+            Box::new(Gamma::new(2.5, 1.5).unwrap()),
+            Box::new(Normal::new(3.0, 2.0).unwrap()),
+            Box::new(LogNormal::new(0.5, 0.9).unwrap()),
+        ];
+        for d in &dists {
+            for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+                let x = d.quantile(p);
+                assert!(
+                    (d.cdf(x) - p).abs() < 1e-7,
+                    "{}: quantile({p}) = {x}, cdf back = {}",
+                    d.name(),
+                    d.cdf(x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_bisection_quantile_matches_closed_form() {
+        // Exercise the trait default by calling it through a shim type.
+        struct Shim(Gamma);
+        impl ContinuousDist for Shim {
+            fn pdf(&self, x: f64) -> f64 { self.0.pdf(x) }
+            fn cdf(&self, x: f64) -> f64 { self.0.cdf(x) }
+            fn mean(&self) -> f64 { self.0.mean() }
+            fn variance(&self) -> f64 { self.0.variance() }
+            fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 { self.0.sample(rng) }
+            fn name(&self) -> &'static str { "Shim" }
+        }
+        let g = Gamma::new(3.0, 2.0).unwrap();
+        let shim = Shim(g);
+        for &p in &[0.05, 0.5, 0.95] {
+            assert!((shim.quantile(p) - g.quantile(p)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn normal_moments_and_symmetry() {
+        let n = Normal::new(5.0, 2.0).unwrap();
+        assert_eq!(n.mean(), 5.0);
+        assert_eq!(n.variance(), 4.0);
+        assert!((n.cdf(5.0) - 0.5).abs() < 1e-12);
+        assert!((n.cdf(7.0) + n.cdf(3.0) - 1.0).abs() < 1e-12);
+        let (m, v) = sample_mean_var(&n, 40_000);
+        assert!((m - 5.0).abs() < 0.05);
+        assert!((v - 4.0).abs() < 0.15);
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        let std = Normal::standard();
+        assert!((std.quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ln_pdf_agrees_with_pdf() {
+        let g = Gamma::new(3.3, 0.7).unwrap();
+        for &x in &[0.2, 1.0, 4.0] {
+            assert!((g.ln_pdf(x) - g.pdf(x).ln()).abs() < 1e-9);
+        }
+        let w = Weibull::new(0.8, 2.0).unwrap();
+        for &x in &[0.2, 1.0, 4.0] {
+            assert!((w.ln_pdf(x) - w.pdf(x).ln()).abs() < 1e-9);
+        }
+    }
+}

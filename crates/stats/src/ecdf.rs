@@ -1,0 +1,157 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's Figure 9 plots empirical CDFs of time between failures on a
+//! log-scaled time axis; [`Ecdf`] provides evaluation at arbitrary points,
+//! the "fraction below threshold" statistic (e.g. *48% of failures arrive
+//! within 10,000 s of the previous one*), and sampling of plot series.
+
+use crate::{Result, StatsError};
+
+/// An empirical CDF over a sample of real observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample (any order; copied and sorted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughData`] for an empty sample and
+    /// [`StatsError::BadSample`] if any observation is not finite.
+    pub fn new(data: &[f64]) -> Result<Ecdf> {
+        if data.is_empty() {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::BadSample { reason: "non-finite observation" });
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no observations (never true for a
+    /// successfully-constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F̂(x)`: fraction of observations ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of observations <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of observations strictly below `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&v| v < x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical `q`-quantile (inverse CDF), `q ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1], got {q}");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[idx - 1]
+    }
+
+    /// The underlying sorted observations.
+    pub fn observations(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Samples `(x, F̂(x))` pairs at `n` log-spaced points between `lo` and
+    /// `hi` — the series the paper plots in Figure 9 (log-scaled time axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `n ≥ 2`.
+    pub fn log_spaced_series(&self, lo: f64, hi: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+        assert!(n >= 2, "need at least two points");
+        let ratio = (hi / lo).ln();
+        (0..n)
+            .map(|i| {
+                let x = lo * (ratio * i as f64 / (n - 1) as f64).exp();
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_counts_inclusively() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(2.5), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_below_is_strict() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(e.fraction_below(2.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+    }
+
+    #[test]
+    fn quantiles_hit_order_statistics() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.25), 10.0);
+        assert_eq!(e.quantile(0.5), 20.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn construction_rejects_empty_and_nan() {
+        assert!(Ecdf::new(&[]).is_err());
+        assert!(Ecdf::new(&[1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn log_series_is_monotone_nondecreasing() {
+        let data: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let e = Ecdf::new(&data).unwrap();
+        let series = e.log_spaced_series(1.0, 1e4, 50);
+        assert_eq!(series.len(), 50);
+        for pair in series.windows(2) {
+            assert!(pair[1].0 > pair[0].0);
+            assert!(pair[1].1 >= pair[0].1);
+        }
+        assert!((series.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_converges_to_true_cdf() {
+        // ECDF of uniform data approximates F(x) = x.
+        let n = 10_000;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let e = Ecdf::new(&data).unwrap();
+        for &x in &[0.1, 0.37, 0.5, 0.93] {
+            assert!((e.eval(x) - x).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Histograms with linear or logarithmic binning and plain-text rendering.
+//!
+//! Time-between-failure data spans eight decades (seconds to years), so the
+//! paper plots it on a log axis; [`Histogram::log`] bins the same way. The
+//! text rendering gives experiment reports a quick visual of each
+//! distribution without any plotting dependency.
+
+use std::fmt;
+
+use crate::{Result, StatsError};
+
+/// How bin edges are spaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binning {
+    /// Equal-width bins over `[lo, hi)`.
+    Linear,
+    /// Log-spaced bins over `[lo, hi)` (requires `lo > 0`).
+    Log,
+}
+
+/// A fixed-bin histogram over `f64` observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    binning: Binning,
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins over
+    /// `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless `lo < hi` (finite) and
+    /// `bins ≥ 1`.
+    pub fn linear(lo: f64, hi: f64, bins: usize) -> Result<Histogram> {
+        Self::build(Binning::Linear, lo, hi, bins)
+    }
+
+    /// Creates an empty histogram with `bins` log-spaced bins over
+    /// `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadParameter`] unless `0 < lo < hi` (finite)
+    /// and `bins ≥ 1`.
+    pub fn log(lo: f64, hi: f64, bins: usize) -> Result<Histogram> {
+        if lo <= 0.0 {
+            return Err(StatsError::BadParameter { name: "lo", value: lo });
+        }
+        Self::build(Binning::Log, lo, hi, bins)
+    }
+
+    fn build(binning: Binning, lo: f64, hi: f64, bins: usize) -> Result<Histogram> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(StatsError::BadParameter { name: "hi", value: hi });
+        }
+        if bins == 0 {
+            return Err(StatsError::BadParameter { name: "bins", value: 0.0 });
+        }
+        Ok(Histogram { binning, lo, hi, counts: vec![0; bins], below: 0, above: 0 })
+    }
+
+    /// Number of bins (excluding the under/overflow counters).
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The bin index an observation falls into, or `None` for under/over
+    /// flow.
+    pub fn bin_of(&self, x: f64) -> Option<usize> {
+        if !x.is_finite() || x < self.lo || x >= self.hi {
+            return None;
+        }
+        let frac = match self.binning {
+            Binning::Linear => (x - self.lo) / (self.hi - self.lo),
+            Binning::Log => (x / self.lo).ln() / (self.hi / self.lo).ln(),
+        };
+        Some(((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1))
+    }
+
+    /// The `[start, end)` edges of a bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is out of range.
+    pub fn edges(&self, bin: usize) -> (f64, f64) {
+        assert!(bin < self.counts.len(), "bin {bin} out of range");
+        let n = self.counts.len() as f64;
+        match self.binning {
+            Binning::Linear => {
+                let w = (self.hi - self.lo) / n;
+                (self.lo + bin as f64 * w, self.lo + (bin as f64 + 1.0) * w)
+            }
+            Binning::Log => {
+                let r = (self.hi / self.lo).ln();
+                (
+                    self.lo * (r * bin as f64 / n).exp(),
+                    self.lo * (r * (bin as f64 + 1.0) / n).exp(),
+                )
+            }
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        match self.bin_of(x) {
+            Some(i) => self.counts[i] += 1,
+            None if x < self.lo => self.below += 1,
+            None => self.above += 1,
+        }
+    }
+
+    /// Adds many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Count in one bin.
+    pub fn count(&self, bin: usize) -> u64 {
+        self.counts[bin]
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.below
+    }
+
+    /// Observations at or above the range's upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.above
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.below + self.above
+    }
+
+    /// Renders a horizontal bar chart, `width` characters at full scale.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (a, b) = self.edges(i);
+            let bar_len = ((c as f64 / max as f64) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{a:>12.3e} .. {b:>12.3e} |{:<width$}| {c}\n",
+                "#".repeat(bar_len),
+            ));
+        }
+        if self.below > 0 {
+            out.push_str(&format!("{:>29} {}\n", "underflow:", self.below));
+        }
+        if self.above > 0 {
+            out.push_str(&format!("{:>29} {}\n", "overflow:", self.above));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(40))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning_partitions_the_range() {
+        let mut h = Histogram::linear(0.0, 10.0, 5).unwrap();
+        h.extend([0.0, 1.9, 2.0, 5.5, 9.999, 10.0, -1.0]);
+        assert_eq!(h.count(0), 2); // 0.0, 1.9
+        assert_eq!(h.count(1), 1); // 2.0
+        assert_eq!(h.count(2), 1); // 5.5
+        assert_eq!(h.count(4), 1); // 9.999
+        assert_eq!(h.overflow(), 1); // 10.0 (half-open)
+        assert_eq!(h.underflow(), 1); // -1.0
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn log_binning_gives_equal_decades() {
+        let h = Histogram::log(1.0, 1e4, 4).unwrap();
+        // Each bin is one decade.
+        for (i, expect) in [(0usize, (1.0, 10.0)), (3, (1e3, 1e4))] {
+            let (a, b) = h.edges(i);
+            assert!((a - expect.0).abs() / expect.0 < 1e-9);
+            assert!((b - expect.1).abs() / expect.1 < 1e-9);
+        }
+        let mut h = h;
+        h.extend([1.0, 5.0, 50.0, 5_000.0]);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(3), 1);
+    }
+
+    #[test]
+    fn bin_of_matches_edges() {
+        let h = Histogram::log(1.0, 1e8, 16).unwrap();
+        for bin in 0..16 {
+            let (a, b) = h.edges(bin);
+            let mid = (a * b).sqrt();
+            assert_eq!(h.bin_of(mid), Some(bin), "mid {mid} of bin {bin}");
+            assert_eq!(h.bin_of(a), Some(bin), "left edge of bin {bin}");
+        }
+        assert_eq!(h.bin_of(f64::NAN), None);
+        assert_eq!(h.bin_of(0.5), None);
+        assert_eq!(h.bin_of(1e8), None);
+    }
+
+    #[test]
+    fn constructors_reject_bad_ranges() {
+        assert!(Histogram::linear(5.0, 5.0, 3).is_err());
+        assert!(Histogram::linear(5.0, 1.0, 3).is_err());
+        assert!(Histogram::linear(0.0, 1.0, 0).is_err());
+        assert!(Histogram::log(0.0, 10.0, 3).is_err());
+        assert!(Histogram::log(-1.0, 10.0, 3).is_err());
+        assert!(Histogram::linear(0.0, f64::INFINITY, 3).is_err());
+    }
+
+    #[test]
+    fn render_scales_bars_and_reports_flows() {
+        let mut h = Histogram::linear(0.0, 3.0, 3).unwrap();
+        h.extend([0.5, 0.6, 0.7, 1.5, 5.0]);
+        let text = h.render(10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // 3 bins + overflow
+        assert!(lines[0].contains("##########")); // fullest bin at width
+        assert!(lines[2].contains("| 0"));
+        assert!(lines[3].contains("overflow: 1"));
+        // Display uses the default width.
+        assert!(!h.to_string().is_empty());
+    }
+}

@@ -1,0 +1,403 @@
+//! Hypothesis tests and confidence intervals used by the analysis.
+//!
+//! The paper uses Student's *t* tests to establish that shelf-model and
+//! multipathing effects are significant at 99.5–99.9% confidence
+//! (Figures 6, 7, 10), chi-square goodness-of-fit to accept the Gamma model
+//! for disk-failure interarrivals (§5.1), and confidence intervals on
+//! annualized failure rates (error bars throughout).
+
+use crate::dist::ContinuousDist;
+use crate::special::{chi_square_sf, std_normal_quantile, student_t_two_sided_p};
+use crate::{Result, StatsError};
+
+/// Result of a two-sample Welch *t* test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The *t* statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl TTestResult {
+    /// Whether the difference is significant at the given confidence level
+    /// (e.g. `0.995` for the paper's "99.5% confidence").
+    pub fn significant_at(&self, confidence: f64) -> bool {
+        self.p_value < 1.0 - confidence
+    }
+}
+
+/// Welch's two-sample *t* test from summary statistics.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] unless both groups have at least
+/// two observations, and [`StatsError::BadSample`] if both variances are
+/// zero.
+pub fn welch_t_test(
+    n1: usize,
+    mean1: f64,
+    var1: f64,
+    n2: usize,
+    mean2: f64,
+    var2: f64,
+) -> Result<TTestResult> {
+    if n1 < 2 || n2 < 2 {
+        return Err(StatsError::NotEnoughData { needed: 2, got: n1.min(n2) });
+    }
+    let se1 = var1 / n1 as f64;
+    let se2 = var2 / n2 as f64;
+    let se = se1 + se2;
+    if se <= 0.0 {
+        return Err(StatsError::BadSample { reason: "both groups have zero variance" });
+    }
+    let t = (mean1 - mean2) / se.sqrt();
+    let df = se * se / (se1 * se1 / (n1 as f64 - 1.0) + se2 * se2 / (n2 as f64 - 1.0));
+    Ok(TTestResult { t, df, p_value: student_t_two_sided_p(t, df) })
+}
+
+/// Welch's two-sample *t* test directly from raw samples.
+///
+/// # Errors
+///
+/// As [`welch_t_test`].
+pub fn welch_t_test_samples(a: &[f64], b: &[f64]) -> Result<TTestResult> {
+    let sa = crate::summary::Summary::of(a)?;
+    let sb = crate::summary::Summary::of(b)?;
+    welch_t_test(sa.n, sa.mean, sa.variance, sb.n, sb.mean, sb.variance)
+}
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareResult {
+    /// The chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used.
+    pub df: usize,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+}
+
+impl ChiSquareResult {
+    /// Whether the null hypothesis ("data follows the model") is rejected
+    /// at significance level `alpha` (the paper uses 0.05).
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Chi-square goodness-of-fit of a sample against a continuous model.
+///
+/// Observations are binned into `bins` equal-probability bins under the
+/// model (so expected counts are uniform, the textbook-recommended
+/// binning); `fitted_params` degrees of freedom are deducted for
+/// parameters estimated from the same data.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] unless the sample gives an
+/// expected count of at least 5 per bin, and [`StatsError::BadParameter`]
+/// for fewer than 3 bins or when no degrees of freedom remain.
+pub fn chi_square_gof(
+    data: &[f64],
+    model: &dyn ContinuousDist,
+    bins: usize,
+    fitted_params: usize,
+) -> Result<ChiSquareResult> {
+    if bins < 3 {
+        return Err(StatsError::BadParameter { name: "bins", value: bins as f64 });
+    }
+    let expected_per_bin = data.len() as f64 / bins as f64;
+    if expected_per_bin < 5.0 {
+        return Err(StatsError::NotEnoughData { needed: bins * 5, got: data.len() });
+    }
+    if bins <= fitted_params + 1 {
+        return Err(StatsError::BadParameter {
+            name: "fitted_params",
+            value: fitted_params as f64,
+        });
+    }
+
+    // Count observations per equal-probability bin via the model CDF.
+    let mut observed = vec![0u64; bins];
+    for &x in data {
+        let u = model.cdf(x).clamp(0.0, 1.0 - 1e-12);
+        let idx = ((u * bins as f64) as usize).min(bins - 1);
+        observed[idx] += 1;
+    }
+    let statistic: f64 = observed
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected_per_bin;
+            d * d / expected_per_bin
+        })
+        .sum();
+    let df = bins - 1 - fitted_params;
+    Ok(ChiSquareResult { statistic, df, p_value: chi_square_sf(statistic, df as f64) })
+}
+
+/// Result of a Kolmogorov–Smirnov one-sample test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F̂(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution with the usual
+    /// finite-sample correction).
+    pub p_value: f64,
+}
+
+/// One-sample Kolmogorov–Smirnov test of a sample against a model CDF.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] for samples smaller than 5.
+pub fn ks_test(data: &[f64], model: &dyn ContinuousDist) -> Result<KsResult> {
+    if data.len() < 5 {
+        return Err(StatsError::NotEnoughData { needed: 5, got: data.len() });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = model.cdf(x);
+        let above = (i as f64 + 1.0) / n - f;
+        let below = f - i as f64 / n;
+        d = d.max(above.max(below));
+    }
+    let lambda = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d;
+    // Q_KS(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}
+    let mut p = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64 * lambda).powi(2)).exp();
+        p += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    Ok(KsResult { statistic: d, p_value: (2.0 * p).clamp(0.0, 1.0) })
+}
+
+/// A symmetric confidence interval around an estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Confidence level, e.g. `0.995`.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval (the paper's "± x%" error bars).
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Whether the interval overlaps another.
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lower <= other.upper && other.lower <= self.upper
+    }
+}
+
+/// Confidence interval for a Poisson *rate* given `events` observed over
+/// `exposure` units (normal approximation on the count; adequate for the
+/// study's event counts, which are in the hundreds to thousands).
+///
+/// This is the interval behind the paper's AFR error bars: events are
+/// failure counts, exposure is disk-years, the rate is the AFR.
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadParameter`] for non-positive exposure or a
+/// confidence level outside (0, 1).
+pub fn poisson_rate_ci(
+    events: u64,
+    exposure: f64,
+    confidence: f64,
+) -> Result<ConfidenceInterval> {
+    if !(exposure.is_finite() && exposure > 0.0) {
+        return Err(StatsError::BadParameter { name: "exposure", value: exposure });
+    }
+    if !(0.0 < confidence && confidence < 1.0) {
+        return Err(StatsError::BadParameter { name: "confidence", value: confidence });
+    }
+    let rate = events as f64 / exposure;
+    let z = std_normal_quantile(0.5 + confidence / 2.0);
+    let se = (events as f64).sqrt() / exposure;
+    Ok(ConfidenceInterval {
+        estimate: rate,
+        lower: (rate - z * se).max(0.0),
+        upper: rate + z * se,
+        confidence,
+    })
+}
+
+/// Two-sided test that two Poisson rates are equal, given event counts and
+/// exposures (normal approximation).
+///
+/// Returns the z statistic and two-sided p-value.
+///
+/// # Errors
+///
+/// Returns [`StatsError::BadParameter`] for non-positive exposures, and
+/// [`StatsError::NotEnoughData`] when both groups have zero events.
+pub fn poisson_two_rate_test(
+    events1: u64,
+    exposure1: f64,
+    events2: u64,
+    exposure2: f64,
+) -> Result<TTestResult> {
+    for (name, e) in [("exposure1", exposure1), ("exposure2", exposure2)] {
+        if !(e.is_finite() && e > 0.0) {
+            return Err(StatsError::BadParameter { name, value: e });
+        }
+    }
+    if events1 == 0 && events2 == 0 {
+        return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+    }
+    let r1 = events1 as f64 / exposure1;
+    let r2 = events2 as f64 / exposure2;
+    let var = events1 as f64 / (exposure1 * exposure1)
+        + events2 as f64 / (exposure2 * exposure2);
+    let z = (r1 - r2) / var.sqrt();
+    // Large-count normal approximation == t with huge df.
+    let df = (events1 + events2) as f64;
+    Ok(TTestResult { t: z, df, p_value: student_t_two_sided_p(z, df.max(30.0)) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, Gamma};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn welch_t_test_detects_separated_means() {
+        // Two clearly different groups.
+        let r = welch_t_test(50, 10.0, 4.0, 50, 12.0, 4.0).unwrap();
+        assert!(r.p_value < 1e-4, "p = {}", r.p_value);
+        assert!(r.significant_at(0.999));
+        // And identical groups are not significant.
+        let r = welch_t_test(50, 10.0, 4.0, 50, 10.05, 4.0).unwrap();
+        assert!(r.p_value > 0.5);
+        assert!(!r.significant_at(0.95));
+    }
+
+    #[test]
+    fn welch_t_is_symmetric() {
+        let a = welch_t_test(30, 5.0, 1.0, 40, 6.0, 2.0).unwrap();
+        let b = welch_t_test(40, 6.0, 2.0, 30, 5.0, 1.0).unwrap();
+        assert!((a.t + b.t).abs() < 1e-12);
+        assert!((a.p_value - b.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_t_rejects_degenerate_input() {
+        assert!(welch_t_test(1, 1.0, 1.0, 10, 2.0, 1.0).is_err());
+        assert!(welch_t_test(10, 1.0, 0.0, 10, 2.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn welch_from_samples_matches_summary_path() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 3.0, 4.0, 5.0, 9.0];
+        let r1 = welch_t_test_samples(&a, &b).unwrap();
+        let sa = crate::summary::Summary::of(&a).unwrap();
+        let sb = crate::summary::Summary::of(&b).unwrap();
+        let r2 = welch_t_test(sa.n, sa.mean, sa.variance, sb.n, sb.mean, sb.variance).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn chi_square_accepts_true_model_rejects_wrong_model() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let truth = Gamma::new(2.0, 3.0).unwrap();
+        let data: Vec<f64> = (0..5_000).map(|_| truth.sample(&mut rng)).collect();
+
+        let good = chi_square_gof(&data, &truth, 20, 2).unwrap();
+        assert!(!good.rejects_at(0.05), "true model rejected: p = {}", good.p_value);
+
+        let wrong = Exponential::new(1.0 / truth.mean()).unwrap();
+        let bad = chi_square_gof(&data, &wrong, 20, 1).unwrap();
+        assert!(bad.rejects_at(0.05), "wrong model accepted: p = {}", bad.p_value);
+        assert!(bad.statistic > good.statistic);
+    }
+
+    #[test]
+    fn chi_square_guards_bin_counts() {
+        let data = vec![1.0; 20];
+        let model = Exponential::new(1.0).unwrap();
+        assert!(chi_square_gof(&data, &model, 10, 1).is_err()); // <5 per bin
+        assert!(chi_square_gof(&data, &model, 2, 0).is_err()); // too few bins
+        assert!(chi_square_gof(&data, &model, 4, 3).is_err()); // df <= 0
+    }
+
+    #[test]
+    fn ks_test_accepts_true_model_rejects_wrong_model() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let truth = Exponential::new(0.5).unwrap();
+        let data: Vec<f64> = (0..2_000).map(|_| truth.sample(&mut rng)).collect();
+
+        let good = ks_test(&data, &truth).unwrap();
+        assert!(good.p_value > 0.05, "true model rejected: p = {}", good.p_value);
+
+        let wrong = Exponential::new(1.0).unwrap();
+        let bad = ks_test(&data, &wrong).unwrap();
+        assert!(bad.p_value < 1e-6);
+        assert!(bad.statistic > good.statistic);
+    }
+
+    #[test]
+    fn poisson_rate_ci_covers_true_rate() {
+        // 500 events over 10_000 disk-years -> rate 5%.
+        let ci = poisson_rate_ci(500, 10_000.0, 0.995).unwrap();
+        assert!((ci.estimate - 0.05).abs() < 1e-12);
+        assert!(ci.lower < 0.05 && ci.upper > 0.05);
+        // Wider confidence -> wider interval.
+        let narrow = poisson_rate_ci(500, 10_000.0, 0.90).unwrap();
+        assert!(ci.half_width() > narrow.half_width());
+        // Zero events -> interval pinned at zero below.
+        let zero = poisson_rate_ci(0, 100.0, 0.95).unwrap();
+        assert_eq!(zero.lower, 0.0);
+        assert_eq!(zero.estimate, 0.0);
+    }
+
+    #[test]
+    fn poisson_rate_ci_validates_inputs() {
+        assert!(poisson_rate_ci(10, 0.0, 0.95).is_err());
+        assert!(poisson_rate_ci(10, 100.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn two_rate_test_mirrors_figure_7_comparison() {
+        // Figure 7(a): single path 1.82% vs dual path 0.91% interconnect
+        // AFR. With the study's exposures these differ at 99.9%.
+        let single = (1_820u64, 100_000.0); // 1.82% over 100k disk-years
+        let dual = (455u64, 50_000.0); // 0.91% over 50k disk-years
+        let r = poisson_two_rate_test(single.0, single.1, dual.0, dual.1).unwrap();
+        assert!(r.significant_at(0.999), "p = {}", r.p_value);
+
+        // Equal rates are not significant.
+        let r = poisson_two_rate_test(500, 100_000.0, 251, 50_000.0).unwrap();
+        assert!(!r.significant_at(0.95));
+    }
+
+    #[test]
+    fn confidence_interval_overlap() {
+        let a = ConfidenceInterval { estimate: 1.0, lower: 0.8, upper: 1.2, confidence: 0.95 };
+        let b = ConfidenceInterval { estimate: 1.3, lower: 1.1, upper: 1.5, confidence: 0.95 };
+        let c = ConfidenceInterval { estimate: 2.0, lower: 1.8, upper: 2.2, confidence: 0.95 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+}

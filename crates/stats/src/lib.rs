@@ -1,0 +1,101 @@
+//! Statistics substrate for storage failure analysis.
+//!
+//! The FAST'08 study leans on a small but specific statistical toolbox:
+//! empirical CDFs of time-between-failures, maximum-likelihood fits of
+//! exponential / Weibull / Gamma distributions with chi-square
+//! goodness-of-fit tests, Student's *t* tests on failure rates, and
+//! confidence intervals on annualized failure rates. None of the crates on
+//! the approved dependency list provide these, so this crate implements them
+//! from scratch on top of `rand`:
+//!
+//! - [`special`]: log-gamma, digamma/trigamma, erf, regularized incomplete
+//!   gamma and beta functions, and their inverses.
+//! - [`dist`]: continuous and discrete probability distributions with
+//!   pdf/cdf/sampling.
+//! - [`fit`]: maximum-likelihood estimation for the distributions the paper
+//!   fits against disk-failure interarrival times.
+//! - [`ecdf`]: empirical cumulative distribution functions.
+//! - [`histogram`]: linear/log-binned histograms with text rendering.
+//! - [`summary`]: descriptive statistics.
+//! - [`hypothesis`]: chi-square GOF, Kolmogorov–Smirnov, Welch's *t*,
+//!   and Poisson-rate tests/intervals.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ssfa_stats::dist::{ContinuousDist, Gamma};
+//! use ssfa_stats::fit::fit_gamma;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let g = Gamma::new(2.0, 3.0)?;
+//! let data: Vec<f64> = (0..2000).map(|_| g.sample(&mut rng)).collect();
+//! let fitted = fit_gamma(&data)?;
+//! assert!((fitted.shape - 2.0).abs() < 0.2);
+//! # Ok::<(), ssfa_stats::StatsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod ecdf;
+pub mod fit;
+pub mod histogram;
+pub mod hypothesis;
+pub mod special;
+pub mod summary;
+
+use std::fmt;
+
+/// Errors produced by statistical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter was outside its domain.
+    BadParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The input sample was empty or too small for the routine.
+    NotEnoughData {
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Number of observations provided.
+        got: usize,
+    },
+    /// The input sample contained a value outside the routine's domain
+    /// (e.g. non-positive observations for a Weibull fit).
+    BadSample {
+        /// Description of the domain violation.
+        reason: &'static str,
+    },
+    /// An iterative routine failed to converge.
+    NoConvergence {
+        /// Which routine failed.
+        routine: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::BadParameter { name, value } => {
+                write!(f, "parameter `{name}` out of domain: {value}")
+            }
+            StatsError::NotEnoughData { needed, got } => {
+                write!(f, "not enough data: needed {needed}, got {got}")
+            }
+            StatsError::BadSample { reason } => write!(f, "bad sample: {reason}"),
+            StatsError::NoConvergence { routine } => {
+                write!(f, "`{routine}` failed to converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StatsError>;

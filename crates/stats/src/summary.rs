@@ -1,0 +1,176 @@
+//! Descriptive statistics: means, variances, quantiles, and the
+//! coefficient-of-variation summaries the paper reports (e.g. Finding 4's
+//! "standard deviation of disk AFR is less than 11%").
+
+use crate::{Result, StatsError};
+
+/// Summary statistics of one sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance (n−1 denominator); 0 for n = 1.
+    pub variance: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughData`] for an empty sample and
+    /// [`StatsError::BadSample`] if any observation is not finite.
+    pub fn of(data: &[f64]) -> Result<Summary> {
+        if data.is_empty() {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::BadSample { reason: "non-finite observation" });
+        }
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Ok(Summary { n, mean, variance, min, max })
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        self.stddev() / (self.n as f64).sqrt()
+    }
+
+    /// Coefficient of variation (stddev / mean) — the paper's
+    /// "standard deviation of X%" relative measure. Returns `None` when the
+    /// mean is zero.
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.stddev() / self.mean.abs())
+        }
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation between
+/// order statistics (type-7, the common default).
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] for an empty sample and
+/// [`StatsError::BadParameter`] for `q` outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::BadParameter { name: "q", value: q });
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Median (0.5-quantile) of a sample.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] for an empty sample.
+pub fn median(data: &[f64]) -> Result<f64> {
+    quantile(data, 0.5)
+}
+
+/// Mean of a sample as a plain helper (0 for an empty slice is *not*
+/// returned — empty input is an error, matching [`Summary::of`]).
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] for an empty sample.
+pub fn mean(data: &[f64]) -> Result<f64> {
+    Summary::of(data).map(|s| s.mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic sample is 32/7.
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(matches!(Summary::of(&[]), Err(StatsError::NotEnoughData { .. })));
+        assert!(matches!(
+            Summary::of(&[1.0, f64::NAN]),
+            Err(StatsError::BadSample { .. })
+        ));
+    }
+
+    #[test]
+    fn single_observation_has_zero_variance() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.mean, 3.5);
+    }
+
+    #[test]
+    fn coefficient_of_variation_matches_paper_usage() {
+        // AFRs 0.6% .. 0.77% with ~8% relative spread (paper Finding 4).
+        let afrs = [0.0060, 0.0065, 0.0070, 0.0077];
+        let s = Summary::of(&afrs).unwrap();
+        let cv = s.coefficient_of_variation().unwrap();
+        assert!((0.05..0.15).contains(&cv), "cv = {cv}");
+        let zero = Summary::of(&[0.0, 0.0]).unwrap();
+        assert_eq!(zero.coefficient_of_variation(), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 4.0);
+        assert!((quantile(&data, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!((quantile(&data, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert!(quantile(&data, 1.5).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn median_of_odd_sample_is_middle() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn mean_helper_matches_summary() {
+        assert!((mean(&[1.0, 2.0, 6.0]).unwrap() - 3.0).abs() < 1e-12);
+        assert!(mean(&[]).is_err());
+    }
+}

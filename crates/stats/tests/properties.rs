@@ -1,0 +1,153 @@
+//! Property tests over the statistical substrate: mathematical identities
+//! that must hold for all parameter values, not just the unit-test points.
+
+use proptest::prelude::*;
+
+use ssfa_stats::dist::{ContinuousDist, Exponential, Gamma, LogNormal, Normal, Weibull};
+use ssfa_stats::special::{
+    chi_square_sf, digamma, incomplete_beta_reg, inverse_lower_gamma_reg, ln_gamma,
+    lower_gamma_reg, std_normal_cdf, std_normal_quantile, upper_gamma_reg,
+};
+
+proptest! {
+    #[test]
+    fn gamma_recurrence_holds(x in 0.05f64..50.0) {
+        // Γ(x+1) = x·Γ(x)  ⇔  lnΓ(x+1) = ln x + lnΓ(x)
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-8, "x={x}: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn digamma_recurrence_holds(x in 0.05f64..50.0) {
+        // ψ(x+1) = ψ(x) + 1/x
+        let lhs = digamma(x + 1.0);
+        let rhs = digamma(x) + 1.0 / x;
+        prop_assert!((lhs - rhs).abs() < 1e-8, "x={x}");
+    }
+
+    #[test]
+    fn incomplete_gamma_is_complementary(a in 0.05f64..60.0, x in 0.0f64..200.0) {
+        let p = lower_gamma_reg(a, x);
+        let q = upper_gamma_reg(a, x);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        prop_assert!((p + q - 1.0).abs() < 1e-9, "a={a} x={x}: P+Q = {}", p + q);
+    }
+
+    #[test]
+    fn incomplete_gamma_is_monotone_in_x(a in 0.1f64..30.0, x in 0.0f64..50.0, dx in 0.001f64..5.0) {
+        prop_assert!(lower_gamma_reg(a, x + dx) >= lower_gamma_reg(a, x) - 1e-12);
+    }
+
+    #[test]
+    fn inverse_gamma_round_trips(a in 0.1f64..40.0, p in 0.001f64..0.999) {
+        let x = inverse_lower_gamma_reg(a, p);
+        prop_assert!(x >= 0.0);
+        prop_assert!((lower_gamma_reg(a, x) - p).abs() < 1e-6, "a={a} p={p} x={x}");
+    }
+
+    #[test]
+    fn normal_cdf_quantile_round_trip(p in 0.0001f64..0.9999) {
+        let x = std_normal_quantile(p);
+        prop_assert!((std_normal_cdf(x) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry(a in 0.1f64..20.0, b in 0.1f64..20.0, x in 0.001f64..0.999) {
+        let lhs = incomplete_beta_reg(a, b, x);
+        let rhs = 1.0 - incomplete_beta_reg(b, a, 1.0 - x);
+        prop_assert!((lhs - rhs).abs() < 1e-8, "a={a} b={b} x={x}");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&lhs));
+    }
+
+    #[test]
+    fn chi_square_sf_is_monotone_decreasing(k in 1.0f64..40.0, x in 0.0f64..80.0, dx in 0.01f64..10.0) {
+        prop_assert!(chi_square_sf(x + dx, k) <= chi_square_sf(x, k) + 1e-12);
+    }
+
+    #[test]
+    fn exponential_cdf_properties(rate in 0.01f64..100.0, x in 0.0f64..100.0) {
+        let d = Exponential::new(rate).unwrap();
+        let c = d.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+        // Memorylessness: P(X > s+t) = P(X > s)·P(X > t).
+        let s = x / 2.0;
+        let lhs = 1.0 - d.cdf(x);
+        let rhs = (1.0 - d.cdf(s)) * (1.0 - d.cdf(x - s));
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_and_gamma_medians_match_quantile(shape in 0.2f64..8.0, scale in 0.01f64..100.0) {
+        for dist in [
+            Box::new(Weibull::new(shape, scale).unwrap()) as Box<dyn ContinuousDist>,
+            Box::new(Gamma::new(shape, scale).unwrap()),
+        ] {
+            let median = dist.quantile(0.5);
+            prop_assert!((dist.cdf(median) - 0.5).abs() < 1e-7, "{}", dist.name());
+        }
+    }
+
+    #[test]
+    fn lognormal_is_normal_in_log_space(mu in -3.0f64..3.0, sigma in 0.05f64..2.5, x in 0.01f64..50.0) {
+        let ln = LogNormal::new(mu, sigma).unwrap();
+        let n = Normal::new(mu, sigma).unwrap();
+        prop_assert!((ln.cdf(x) - n.cdf(x.ln())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sampling_stays_in_support(seed in 0u64..1_000, shape in 0.3f64..6.0, scale in 0.1f64..10.0) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dists: Vec<Box<dyn ContinuousDist>> = vec![
+            Box::new(Exponential::new(1.0 / scale).unwrap()),
+            Box::new(Weibull::new(shape, scale).unwrap()),
+            Box::new(Gamma::new(shape, scale).unwrap()),
+            Box::new(LogNormal::new(0.0, shape.min(2.0)).unwrap()),
+        ];
+        for d in &dists {
+            for _ in 0..16 {
+                let x = d.sample(&mut rng);
+                prop_assert!(x.is_finite() && x >= 0.0, "{} sampled {x}", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn ecdf_bounds_true_cdf_with_dkw(seed in 0u64..200) {
+        // Dvoretzky–Kiefer–Wolfowitz: sup|F̂ − F| ≤ ε with prob ≥ 1−2e^{−2nε²};
+        // with n = 800 and ε = 0.08, violation probability < 1e-4 per case.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let d = Exponential::new(1.0).unwrap();
+        let xs: Vec<f64> = (0..800).map(|_| d.sample(&mut rng)).collect();
+        let ecdf = ssfa_stats::ecdf::Ecdf::new(&xs).unwrap();
+        for i in 1..20 {
+            let x = i as f64 * 0.25;
+            prop_assert!((ecdf.eval(x) - d.cdf(x)).abs() < 0.08, "at {x}");
+        }
+    }
+
+    #[test]
+    fn summary_is_translation_covariant(
+        data in proptest::collection::vec(-1e3f64..1e3, 2..60),
+        shift in -100.0f64..100.0,
+    ) {
+        use ssfa_stats::summary::Summary;
+        let a = Summary::of(&data).unwrap();
+        let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        let b = Summary::of(&shifted).unwrap();
+        prop_assert!((b.mean - (a.mean + shift)).abs() < 1e-6);
+        prop_assert!((b.variance - a.variance).abs() < 1e-4 * (1.0 + a.variance));
+    }
+
+    #[test]
+    fn histogram_never_loses_observations(
+        data in proptest::collection::vec(-1e6f64..1e6, 0..200),
+        bins in 1usize..40,
+    ) {
+        let mut h = ssfa_stats::histogram::Histogram::linear(-1e3, 1e3, bins).unwrap();
+        h.extend(data.iter().copied());
+        prop_assert_eq!(h.total(), data.len() as u64);
+    }
+}

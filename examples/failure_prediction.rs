@@ -1,0 +1,71 @@
+//! Failure prediction from support-log precursors — the paper's proposed
+//! future work (§7: "design storage failure prediction algorithms based on
+//! component errors"), built on this corpus.
+//!
+//! Disks that are about to be failed out accumulate medium errors over
+//! their final days (paper §2.3); healthy disks emit the occasional benign
+//! remapped sector too. The predictor watches the raw `disk.ioMediumError`
+//! stream per device and raises an alarm when errors cluster — then we
+//! score it against the failures that actually happened.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example failure_prediction
+//! ```
+
+use ssfa::core::{evaluate_predictor, PrecursorPredictor};
+use ssfa::logs::{render_support_log_noisy, NoiseParams};
+use ssfa::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Full-cascade corpus with benign noise: the honest setting for a
+    // predictor (it must not get the failure labels for free).
+    let pipeline = ssfa::Pipeline::new().scale(0.01).seed(31).cascade_style(CascadeStyle::Full);
+    let fleet = pipeline.build_fleet();
+    let output = pipeline.simulate(&fleet);
+    let book =
+        render_support_log_noisy(&fleet, &output, CascadeStyle::Full, NoiseParams::realistic(), 31);
+    let input = classify(&book)?;
+
+    let disk_failures =
+        input.failures.iter().filter(|r| r.failure_type == FailureType::Disk).count();
+    let medium_errors =
+        book.iter().filter(|l| l.event.tag() == "disk.ioMediumError").count();
+    println!(
+        "corpus: {} lines, {} medium-error events ({} benign noise + precursors), \
+         {} actual disk failures\n",
+        book.len(),
+        medium_errors,
+        medium_errors - disk_failures * 4, // ~4 precursors per failure on average
+        disk_failures
+    );
+
+    println!(
+        "{:>10} {:>8} {:>10} {:>8} {:>18}",
+        "threshold", "alarms", "precision", "recall", "median lead time"
+    );
+    for threshold in 1..=5u32 {
+        let eval = evaluate_predictor(
+            &book,
+            &input,
+            PrecursorPredictor { threshold, ..PrecursorPredictor::default() },
+        );
+        println!(
+            "{:>10} {:>8} {:>9.1}% {:>7.1}% {:>16.0} h",
+            threshold,
+            eval.alarms.len(),
+            eval.precision().unwrap_or(0.0) * 100.0,
+            eval.recall().unwrap_or(0.0) * 100.0,
+            eval.median_lead_time_hours().unwrap_or(0.0),
+        );
+    }
+
+    println!();
+    println!("Low thresholds drown the operator in false alarms from benign sector");
+    println!("remaps; high thresholds miss quiet failures. Around 3 errors in 30 days");
+    println!("the predictor flags nearly every failing disk with hours-to-days of");
+    println!("warning at high precision — enough to pre-stage a replacement and");
+    println!("avoid the RAID rebuild racing a second failure.");
+    Ok(())
+}

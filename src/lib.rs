@@ -1,0 +1,240 @@
+//! `ssfa` — Storage Subsystem Failure Analysis.
+//!
+//! A Rust reproduction of the FAST'08 study *"Are Disks the Dominant
+//! Contributor for Storage Failures? A Comprehensive Study of Storage
+//! Subsystem Failure Characteristics"* (Jiang, Hu, Zhou, Kanevsky).
+//!
+//! The original study analyzed 44 months of NetApp AutoSupport logs from
+//! ~39,000 deployed storage systems. That corpus is proprietary, so this
+//! workspace substitutes a calibrated synthetic fleet — and keeps the
+//! paper's *pipeline* honest: the analysis consumes only rendered support
+//! logs, never simulator ground truth.
+//!
+//! The crates:
+//!
+//! - [`model`] — failure taxonomy, component catalogs, fleet config/layout.
+//! - [`stats`] — distributions, MLE fits, hypothesis tests (from scratch).
+//! - [`sim`] — background hazards + correlated shock episodes over a fleet.
+//! - [`logs`] — AutoSupport-style log rendering/parsing + the RAID-layer
+//!   failure classifier.
+//! - [`core`] — the study analysis: AFR breakdowns, burstiness, P(N)
+//!   correlation, Findings 1–11.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ssfa::prelude::*;
+//!
+//! // 0.2% scale of the paper's fleet (about 80 systems, ~3,500 disks).
+//! let pipeline = ssfa::Pipeline::new().scale(0.002).seed(7);
+//! let study = pipeline.run()?;
+//!
+//! let fig4 = study.afr_by_class(false);
+//! for class in SystemClass::ALL {
+//!     println!("{}: {:.2}%", class, fig4[&class].total_afr() * 100.0);
+//! }
+//! # Ok::<(), ssfa::PipelineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ssfa_core as core;
+pub use ssfa_logs as logs;
+pub use ssfa_model as model;
+pub use ssfa_sim as sim;
+pub use ssfa_stats as stats;
+
+use ssfa_logs::{classify, render_support_log, CascadeStyle, LogError};
+use ssfa_model::{Fleet, FleetConfig, LayoutPolicy};
+use ssfa_sim::{Calibration, SimOutput, Simulator};
+
+/// Convenience re-exports for examples and downstream binaries.
+pub mod prelude {
+    pub use ssfa_core::{AfrBreakdown, FindingsReport, Scope, Study};
+    pub use ssfa_logs::{classify, render_support_log, CascadeStyle, LogBook};
+    pub use ssfa_model::{
+        DiskModelId, FailureType, Fleet, FleetConfig, LayoutPolicy, PathConfig, ShelfModel,
+        SimDuration, SimTime, SystemClass,
+    };
+    pub use ssfa_sim::{Calibration, SimOutput, Simulator};
+}
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The log corpus failed to classify.
+    Log(LogError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Log(e) => write!(f, "log pipeline failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Log(e) => Some(e),
+        }
+    }
+}
+
+impl From<LogError> for PipelineError {
+    fn from(e: LogError) -> Self {
+        PipelineError::Log(e)
+    }
+}
+
+/// The end-to-end pipeline: fleet → simulation → support log → classified
+/// analysis input → [`ssfa_core::Study`].
+///
+/// Every stage is deterministic for a given `(scale, seed, calibration)`.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: FleetConfig,
+    calibration: Calibration,
+    seed: u64,
+    style: CascadeStyle,
+    threads: usize,
+}
+
+impl Pipeline {
+    /// A pipeline over the paper's full-scale fleet with the paper
+    /// calibration. Use [`Pipeline::scale`] to shrink it.
+    pub fn new() -> Pipeline {
+        Pipeline {
+            config: FleetConfig::paper(),
+            calibration: Calibration::paper(),
+            seed: 0,
+            style: CascadeStyle::RaidOnly,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// Sets the number of simulation worker threads. Output is
+    /// bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Pipeline {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Scales the fleet population (1.0 = the paper's ~39,000 systems).
+    #[must_use]
+    pub fn scale(mut self, factor: f64) -> Pipeline {
+        self.config = self.config.scaled(factor);
+        self
+    }
+
+    /// Sets the run seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Pipeline {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the fleet configuration entirely.
+    #[must_use]
+    pub fn config(mut self, config: FleetConfig) -> Pipeline {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the hazard calibration (e.g. for ablations).
+    #[must_use]
+    pub fn calibration(mut self, calibration: Calibration) -> Pipeline {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Applies a layout policy fleet-wide (RAID-layout ablation).
+    #[must_use]
+    pub fn layout(mut self, layout: LayoutPolicy) -> Pipeline {
+        self.config = self.config.with_layout(layout);
+        self
+    }
+
+    /// Chooses how verbose rendered cascades are. [`CascadeStyle::Full`]
+    /// renders Figure-3-style multi-line cascades; the default
+    /// [`CascadeStyle::RaidOnly`] keeps large corpora compact.
+    #[must_use]
+    pub fn cascade_style(mut self, style: CascadeStyle) -> Pipeline {
+        self.style = style;
+        self
+    }
+
+    /// The fleet configuration currently in effect.
+    pub fn fleet_config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Builds the fleet only.
+    pub fn build_fleet(&self) -> Fleet {
+        Fleet::build(&self.config, self.seed)
+    }
+
+    /// Runs the simulation only.
+    pub fn simulate(&self, fleet: &Fleet) -> SimOutput {
+        Simulator::new(self.calibration.clone()).run_parallel(fleet, self.seed, self.threads)
+    }
+
+    /// Renders the support-log corpus for a run.
+    pub fn render(&self, fleet: &Fleet, output: &SimOutput) -> ssfa_logs::LogBook {
+        render_support_log(fleet, output, self.style)
+    }
+
+    /// Runs the full pipeline to a [`ssfa_core::Study`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Log`] if the rendered corpus fails to
+    /// classify (which would indicate a bug — rendered corpora are always
+    /// classifiable).
+    pub fn run(&self) -> Result<ssfa_core::Study, PipelineError> {
+        let fleet = self.build_fleet();
+        let output = self.simulate(&fleet);
+        let book = self.render(&fleet, &output);
+        let input = classify(&book)?;
+        Ok(ssfa_core::Study::new(input))
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let a = Pipeline::new().scale(0.001).seed(5).run().unwrap();
+        let b = Pipeline::new().scale(0.001).seed(5).run().unwrap();
+        assert_eq!(a.input().failures, b.input().failures);
+        assert_eq!(a.input().lifetimes.len(), b.input().lifetimes.len());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let p = Pipeline::new()
+            .scale(0.001)
+            .seed(9)
+            .layout(LayoutPolicy::SameShelf)
+            .calibration(Calibration::paper().without_episodes())
+            .cascade_style(CascadeStyle::Full);
+        let study = p.run().unwrap();
+        assert!(!study.input().failures.is_empty());
+    }
+}
