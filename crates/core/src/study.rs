@@ -85,6 +85,14 @@ impl Study {
         Study { input }
     }
 
+    /// Assembles a study from per-shard partial inputs, as produced by
+    /// classifying each system's log shard independently (in shard
+    /// order). Exact, not approximate: for shards of one fleet history
+    /// this yields the same study as classifying the monolithic corpus.
+    pub fn from_partials(partials: impl IntoIterator<Item = AnalysisInput>) -> Study {
+        Study::new(AnalysisInput::merge(partials))
+    }
+
     /// The underlying input.
     pub fn input(&self) -> &AnalysisInput {
         &self.input

@@ -219,6 +219,15 @@ impl Extend<LogLine> for LogBook {
     }
 }
 
+impl IntoIterator for LogBook {
+    type Item = LogLine;
+    type IntoIter = std::vec::IntoIter<LogLine>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lines.into_iter()
+    }
+}
+
 impl<'a> IntoIterator for &'a LogBook {
     type Item = &'a LogLine;
     type IntoIter = std::slice::Iter<'a, LogLine>;

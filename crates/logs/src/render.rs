@@ -6,16 +6,12 @@
 //! cascade per failure occurrence. The resulting [`LogBook`] is all the
 //! analysis ever sees.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ssfa_model::Fleet;
+use ssfa_sim::SimOutput;
 
-use ssfa_model::time::SECS_PER_YEAR;
-use ssfa_model::{Fleet, SimDuration, SimTime};
-use ssfa_sim::{RemovalReason, SimOutput};
-
-use crate::cascade::{expand, CascadeInput, CascadeStyle};
+use crate::cascade::CascadeStyle;
 use crate::corpus::LogBook;
-use crate::event::{LogEvent, LogLine};
+use crate::shard::{render_system_log, ShardPlan};
 
 /// Benign log noise: events healthy components emit without failing.
 ///
@@ -65,6 +61,11 @@ pub fn render_support_log(fleet: &Fleet, output: &SimOutput, style: CascadeStyle
 
 /// [`render_support_log`] plus benign log noise at the given rates,
 /// deterministic for `noise_seed`.
+///
+/// The monolithic corpus is *defined* as the chronological merge of the
+/// per-system shards of [`crate::shard::render_system_log`] — one source
+/// of truth, so the sharded streaming pipeline and this function can never
+/// drift apart.
 pub fn render_support_log_noisy(
     fleet: &Fleet,
     output: &SimOutput,
@@ -72,118 +73,12 @@ pub fn render_support_log_noisy(
     noise: NoiseParams,
     noise_seed: u64,
 ) -> LogBook {
+    let plan = ShardPlan::new(fleet, output);
     let mut book = LogBook::new();
-
-    // Configuration snapshots at install time.
-    for sys in fleet.systems() {
-        let t = sys.installed_at;
-        book.push(LogLine::new(
-            sys.id,
-            t,
-            LogEvent::CfgSystem {
-                class: sys.class,
-                disk_model: sys.disk_model,
-                shelf_model: sys.shelf_model,
-                paths: sys.path_config,
-                layout: ssfa_model::LayoutPolicy::SpanShelves,
-            },
-        ));
-        for &shelf_id in &sys.shelves {
-            let shelf = fleet.shelf(shelf_id);
-            book.push(LogLine::new(
-                sys.id,
-                t,
-                LogEvent::CfgShelf {
-                    shelf: shelf.id,
-                    model: shelf.model,
-                    fc_loop: shelf.fc_loop,
-                    adapter: shelf.adapter,
-                    position: shelf.loop_position,
-                    bays: shelf.bays,
-                },
-            ));
-        }
-        for &rg_id in &sys.raid_groups {
-            let rg = fleet.raid_group(rg_id);
-            book.push(LogLine::new(
-                sys.id,
-                t,
-                LogEvent::CfgRaidGroup {
-                    rg: rg.id,
-                    raid_type: rg.raid_type,
-                    slots: rg.slots.clone(),
-                },
-            ));
-        }
+    for shard in 0..plan.shard_count() {
+        let piece = render_system_log(fleet, output, &plan, shard, style, noise, noise_seed);
+        book.extend_lines(piece);
     }
-
-    // Disk lifecycle records.
-    let study_end = SimTime::study_end();
-    for disk in output.disks() {
-        book.push(LogLine::new(
-            disk.system,
-            disk.installed_at,
-            LogEvent::CfgDiskInstall {
-                serial: disk.id.serial(),
-                model: disk.model,
-                slot: disk.slot,
-                device: fleet.device_addr(disk.slot),
-            },
-        ));
-        // End-of-study removals are not events — the study window just
-        // closes; the classifier fills those in.
-        if disk.removal_reason == RemovalReason::Failed && disk.removed_at < study_end {
-            book.push(LogLine::new(
-                disk.system,
-                disk.removed_at,
-                LogEvent::CfgDiskRemove { serial: disk.id.serial(), reason: "failed".into() },
-            ));
-        }
-    }
-
-    // Benign noise, sampled per disk lifetime.
-    let total_noise =
-        noise.medium_errors_per_disk_year + noise.transient_timeouts_per_disk_year;
-    if total_noise > 0.0 {
-        let mut rng = StdRng::seed_from_u64(noise_seed ^ 0x4E01_5E00);
-        let medium_share = noise.medium_errors_per_disk_year / total_noise;
-        let rate_per_sec = total_noise / SECS_PER_YEAR as f64;
-        for disk in output.disks() {
-            let mut t = disk.installed_at;
-            loop {
-                let u: f64 = rng.gen();
-                let gap = (-(1.0 - u).ln() / rate_per_sec).ceil().max(1.0);
-                t += SimDuration::from_secs(gap as u64);
-                if t >= disk.removed_at {
-                    break;
-                }
-                let device = fleet.device_addr(disk.slot);
-                let event = if rng.gen::<f64>() < medium_share {
-                    LogEvent::DiskMediumError {
-                        device,
-                        sector: rng.gen::<u64>() % 976_773_168,
-                    }
-                } else {
-                    LogEvent::FciDeviceTimeout { device }
-                };
-                book.push(LogLine::new(disk.system, t, event));
-            }
-        }
-    }
-
-    // Failure cascades.
-    for occ in output.occurrences() {
-        let input = CascadeInput {
-            host: occ.system,
-            detected_at: occ.detected_at,
-            failure_type: occ.failure_type,
-            masked: occ.masked,
-            device: occ.device,
-            serial: occ.disk.serial(),
-        };
-        book.extend_lines(expand(&input, style));
-    }
-
     book.sort_chronological();
     book
 }

@@ -1,0 +1,357 @@
+//! Sharded corpus rendering: one shard per system.
+//!
+//! A full-scale fleet renders to a corpus far bigger than a workstation
+//! wants to hold as one `String`. Real AutoSupport archives have the same
+//! shape and the same remedy: each system's log is its own file. This
+//! module reproduces that layout — a [`ShardPlan`] splits a run's ground
+//! truth by owning system, [`render_system_log`] renders any single
+//! system's shard independently, and [`write_shard`] streams it to any
+//! writer without intermediate buffering beyond one line.
+//!
+//! Two properties make shards safe to process concurrently:
+//!
+//! 1. **Self-containment** — a shard opens with the system's own
+//!    configuration snapshot, so the classifier can resolve every event in
+//!    the shard without seeing any other shard.
+//! 2. **Decomposability** — the monolithic corpus
+//!    ([`crate::render_support_log_noisy`]) is *defined* as the
+//!    chronologically merged concatenation of all shards, so per-shard
+//!    classification followed by [`crate::AnalysisInput::merge`] is
+//!    bit-identical to classifying the monolithic corpus.
+//!
+//! Benign noise is seeded **per disk instance** (not from one sequential
+//! stream over the whole fleet), which is what makes property 2 hold with
+//! noise enabled: a disk emits the same noise lines whether its system is
+//! rendered alone or as part of the full corpus.
+
+use std::collections::HashMap;
+use std::io::Write;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ssfa_model::time::SECS_PER_YEAR;
+use ssfa_model::{Fleet, SimDuration, SimTime, SystemId};
+use ssfa_sim::rng::derive;
+use ssfa_sim::{RemovalReason, SimOutput};
+
+use crate::cascade::{expand, CascadeInput, CascadeStyle};
+use crate::corpus::{LogBook, LogError};
+use crate::event::{LogEvent, LogLine};
+use crate::render::NoiseParams;
+
+/// Domain separator folded into the noise seed so noise streams never
+/// collide with simulation streams derived from the same run seed.
+pub(crate) const NOISE_STREAM: u64 = 0x4E01_5E00;
+
+/// An index of one run's ground truth by owning system: which disk
+/// records and which failure occurrences belong in each system's shard.
+///
+/// Building the plan is one pass over the output; rendering any shard
+/// afterwards touches only that shard's records.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// `output.disks()` indices per system, in `fleet.systems()` order.
+    disks: Vec<Vec<u32>>,
+    /// `output.occurrences()` indices per system, preserving the global
+    /// detection order within each system.
+    occurrences: Vec<Vec<u32>>,
+}
+
+impl ShardPlan {
+    /// Indexes `output` by the systems of `fleet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output references a system the fleet does not have
+    /// (which would mean the output came from a different fleet).
+    pub fn new(fleet: &Fleet, output: &SimOutput) -> ShardPlan {
+        let shard_of: HashMap<SystemId, usize> =
+            fleet.systems().iter().enumerate().map(|(i, sys)| (sys.id, i)).collect();
+        let n = fleet.systems().len();
+        let mut disks = vec![Vec::new(); n];
+        let mut occurrences = vec![Vec::new(); n];
+        for (i, disk) in output.disks().iter().enumerate() {
+            let shard = *shard_of.get(&disk.system).expect("disk from an unknown system");
+            disks[shard].push(u32::try_from(i).expect("disk index fits in u32"));
+        }
+        for (i, occ) in output.occurrences().iter().enumerate() {
+            let shard = *shard_of.get(&occ.system).expect("occurrence from an unknown system");
+            occurrences[shard].push(u32::try_from(i).expect("occurrence index fits in u32"));
+        }
+        ShardPlan { disks, occurrences }
+    }
+
+    /// Number of shards (= number of systems).
+    pub fn shard_count(&self) -> usize {
+        self.disks.len()
+    }
+}
+
+/// Renders one system's shard: its configuration snapshot, its disks'
+/// lifecycle records and benign noise, and its failure cascades, in
+/// chronological order.
+///
+/// The concatenation of every shard, re-sorted chronologically, is exactly
+/// the monolithic corpus of [`crate::render_support_log_noisy`] — that
+/// function is implemented on top of this one.
+///
+/// # Panics
+///
+/// Panics if `shard` is out of range for the plan.
+pub fn render_system_log(
+    fleet: &Fleet,
+    output: &SimOutput,
+    plan: &ShardPlan,
+    shard: usize,
+    style: CascadeStyle,
+    noise: NoiseParams,
+    noise_seed: u64,
+) -> LogBook {
+    let sys = &fleet.systems()[shard];
+    let mut book = LogBook::new();
+
+    // Configuration snapshot at install time.
+    let t = sys.installed_at;
+    book.push(LogLine::new(
+        sys.id,
+        t,
+        LogEvent::CfgSystem {
+            class: sys.class,
+            disk_model: sys.disk_model,
+            shelf_model: sys.shelf_model,
+            paths: sys.path_config,
+            layout: ssfa_model::LayoutPolicy::SpanShelves,
+        },
+    ));
+    for &shelf_id in &sys.shelves {
+        let shelf = fleet.shelf(shelf_id);
+        book.push(LogLine::new(
+            sys.id,
+            t,
+            LogEvent::CfgShelf {
+                shelf: shelf.id,
+                model: shelf.model,
+                fc_loop: shelf.fc_loop,
+                adapter: shelf.adapter,
+                position: shelf.loop_position,
+                bays: shelf.bays,
+            },
+        ));
+    }
+    for &rg_id in &sys.raid_groups {
+        let rg = fleet.raid_group(rg_id);
+        book.push(LogLine::new(
+            sys.id,
+            t,
+            LogEvent::CfgRaidGroup { rg: rg.id, raid_type: rg.raid_type, slots: rg.slots.clone() },
+        ));
+    }
+
+    // Disk lifecycle records.
+    let study_end = SimTime::study_end();
+    for &i in &plan.disks[shard] {
+        let disk = &output.disks()[i as usize];
+        book.push(LogLine::new(
+            disk.system,
+            disk.installed_at,
+            LogEvent::CfgDiskInstall {
+                serial: disk.id.serial(),
+                model: disk.model,
+                slot: disk.slot,
+                device: fleet.device_addr(disk.slot),
+            },
+        ));
+        // End-of-study removals are not events — the study window just
+        // closes; the classifier fills those in.
+        if disk.removal_reason == RemovalReason::Failed && disk.removed_at < study_end {
+            book.push(LogLine::new(
+                disk.system,
+                disk.removed_at,
+                LogEvent::CfgDiskRemove { serial: disk.id.serial(), reason: "failed".into() },
+            ));
+        }
+    }
+
+    // Benign noise, seeded per disk instance so every shard draws the same
+    // noise lines the monolithic render would.
+    let total_noise = noise.medium_errors_per_disk_year + noise.transient_timeouts_per_disk_year;
+    if total_noise > 0.0 {
+        let medium_share = noise.medium_errors_per_disk_year / total_noise;
+        let rate_per_sec = total_noise / SECS_PER_YEAR as f64;
+        for &i in &plan.disks[shard] {
+            let disk = &output.disks()[i as usize];
+            let mut rng = StdRng::seed_from_u64(derive(noise_seed ^ NOISE_STREAM, disk.id.0));
+            let device = fleet.device_addr(disk.slot);
+            let mut t = disk.installed_at;
+            loop {
+                let u: f64 = rng.gen();
+                let gap = (-(1.0 - u).ln() / rate_per_sec).ceil().max(1.0);
+                t += SimDuration::from_secs(gap as u64);
+                if t >= disk.removed_at {
+                    break;
+                }
+                let event = if rng.gen::<f64>() < medium_share {
+                    LogEvent::DiskMediumError { device, sector: rng.gen::<u64>() % 976_773_168 }
+                } else {
+                    LogEvent::FciDeviceTimeout { device }
+                };
+                book.push(LogLine::new(disk.system, t, event));
+            }
+        }
+    }
+
+    // Failure cascades, in the system's detection order.
+    for &i in &plan.occurrences[shard] {
+        let occ = &output.occurrences()[i as usize];
+        let input = CascadeInput {
+            host: occ.system,
+            detected_at: occ.detected_at,
+            failure_type: occ.failure_type,
+            masked: occ.masked,
+            device: occ.device,
+            serial: occ.disk.serial(),
+        };
+        book.extend_lines(expand(&input, style));
+    }
+
+    book.sort_chronological();
+    book
+}
+
+/// Streams one shard as text to `w`, line by line — the shard-file writer
+/// for spooling a corpus to disk without holding it in memory.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+#[allow(clippy::too_many_arguments)]
+pub fn write_shard<W: Write>(
+    fleet: &Fleet,
+    output: &SimOutput,
+    plan: &ShardPlan,
+    shard: usize,
+    style: CascadeStyle,
+    noise: NoiseParams,
+    noise_seed: u64,
+    w: W,
+) -> Result<(), LogError> {
+    render_system_log(fleet, output, plan, shard, style, noise, noise_seed).write_to(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, Classifier};
+    use crate::render::{render_support_log_noisy, NoiseParams};
+    use ssfa_model::FleetConfig;
+    use ssfa_sim::Simulator;
+
+    fn small_run() -> (Fleet, SimOutput) {
+        let fleet = Fleet::build(&FleetConfig::paper().scaled(0.002), 33);
+        let out = Simulator::default().run(&fleet, 33);
+        (fleet, out)
+    }
+
+    #[test]
+    fn plan_partitions_everything_exactly_once() {
+        let (fleet, out) = small_run();
+        let plan = ShardPlan::new(&fleet, &out);
+        assert_eq!(plan.shard_count(), fleet.systems().len());
+        let disk_total: usize = plan.disks.iter().map(Vec::len).sum();
+        let occ_total: usize = plan.occurrences.iter().map(Vec::len).sum();
+        assert_eq!(disk_total, out.disks().len());
+        assert_eq!(occ_total, out.occurrences().len());
+    }
+
+    #[test]
+    fn shards_concatenate_to_the_monolithic_corpus() {
+        let (fleet, out) = small_run();
+        let plan = ShardPlan::new(&fleet, &out);
+        let noise = NoiseParams::realistic();
+        let mono = render_support_log_noisy(&fleet, &out, CascadeStyle::Full, noise, 5);
+        let mut concat = LogBook::new();
+        for shard in 0..plan.shard_count() {
+            let piece =
+                render_system_log(&fleet, &out, &plan, shard, CascadeStyle::Full, noise, 5);
+            concat.extend_lines(piece.iter().cloned());
+        }
+        concat.sort_chronological();
+        assert_eq!(concat, mono);
+    }
+
+    #[test]
+    fn each_shard_is_classifiable_in_isolation() {
+        let (fleet, out) = small_run();
+        let plan = ShardPlan::new(&fleet, &out);
+        for shard in 0..plan.shard_count() {
+            let book = render_system_log(
+                &fleet,
+                &out,
+                &plan,
+                shard,
+                CascadeStyle::Full,
+                NoiseParams::none(),
+                0,
+            );
+            let partial = classify(&book).expect("shard is self-contained");
+            assert_eq!(partial.topology.systems.len(), 1);
+        }
+    }
+
+    #[test]
+    fn merged_shard_classification_equals_monolithic() {
+        let (fleet, out) = small_run();
+        let plan = ShardPlan::new(&fleet, &out);
+        let mono = render_support_log_noisy(
+            &fleet,
+            &out,
+            CascadeStyle::RaidOnly,
+            NoiseParams::realistic(),
+            11,
+        );
+        let expected = classify(&mono).unwrap();
+        let partials: Vec<_> = (0..plan.shard_count())
+            .map(|shard| {
+                let book = render_system_log(
+                    &fleet,
+                    &out,
+                    &plan,
+                    shard,
+                    CascadeStyle::RaidOnly,
+                    NoiseParams::realistic(),
+                    11,
+                );
+                classify(&book).unwrap()
+            })
+            .collect();
+        let merged = crate::AnalysisInput::merge(partials);
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn write_shard_round_trips_through_streaming_classifier() {
+        let (fleet, out) = small_run();
+        let plan = ShardPlan::new(&fleet, &out);
+        let mut classifier = Classifier::new();
+        for shard in 0..plan.shard_count() {
+            let mut buf = Vec::new();
+            write_shard(
+                &fleet,
+                &out,
+                &plan,
+                shard,
+                CascadeStyle::RaidOnly,
+                NoiseParams::none(),
+                0,
+                &mut buf,
+            )
+            .unwrap();
+            classifier.feed_reader(buf.as_slice()).unwrap();
+        }
+        let streamed = classifier.finish().unwrap();
+        let mono =
+            render_support_log_noisy(&fleet, &out, CascadeStyle::RaidOnly, NoiseParams::none(), 0);
+        assert_eq!(streamed, classify(&mono).unwrap());
+    }
+}

@@ -1,9 +1,31 @@
 //! Robustness fuzzing for the log parser: arbitrary and corrupted input
-//! must never panic, and valid lines must survive mutation detection.
+//! must never panic, valid lines must survive mutation detection, and the
+//! streaming classifier must be insensitive to how shard bytes are
+//! chunked (split lines, empty shards, missing trailing newlines).
 
 use proptest::prelude::*;
 
-use ssfa_logs::{LogBook, LogLine};
+use ssfa_logs::{classify, Classifier, LogBook, LogLine};
+
+/// A tiny but complete rendered corpus for shard-boundary fuzzing:
+/// topology, a disk install/remove cycle, and RAID failure events.
+fn sample_corpus_text(seed: u64) -> String {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<u64, String>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(Mutex::default);
+    if let Some(text) = cache.lock().unwrap().get(&seed) {
+        return text.clone();
+    }
+    use ssfa_model::{Fleet, FleetConfig};
+    use ssfa_sim::Simulator;
+    let fleet = Fleet::build(&FleetConfig::paper().scaled(0.0005), seed);
+    let output = Simulator::default().run(&fleet, seed);
+    let text =
+        ssfa_logs::render_support_log(&fleet, &output, ssfa_logs::CascadeStyle::Full).to_text();
+    cache.lock().unwrap().insert(seed, text.clone());
+    text
+}
 
 proptest! {
     /// Absolutely any string must parse to `Some`/`None` without panicking.
@@ -85,5 +107,69 @@ proptest! {
             }
             Err(other) => return Err(TestCaseError::fail(format!("unexpected: {other}"))),
         }
+    }
+
+    /// Splitting the shard text at *any* byte position — including the
+    /// middle of a line or of a multi-byte character — and feeding the two
+    /// reads separately classifies identically to the joined corpus.
+    #[test]
+    fn line_split_across_two_shard_reads_is_lossless(
+        seed in 0u64..4,
+        split_millis in 0u64..=1_000,
+    ) {
+        let text = sample_corpus_text(seed);
+        let split = (text.len() as u64 * split_millis / 1_000) as usize;
+        let expected = classify(&LogBook::from_text(&text).unwrap()).unwrap();
+
+        let mut streaming = Classifier::new();
+        streaming.feed_bytes(&text.as_bytes()[..split]).unwrap();
+        streaming.feed_bytes(&text.as_bytes()[split..]).unwrap();
+        prop_assert_eq!(streaming.finish().unwrap(), expected);
+    }
+
+    /// Chunking the shard into many arbitrary-size reads is equally
+    /// lossless — the general case of the two-read split.
+    #[test]
+    fn arbitrary_chunking_is_lossless(
+        seed in 0u64..4,
+        chunk in 1usize..4_096,
+    ) {
+        let text = sample_corpus_text(seed);
+        let expected = classify(&LogBook::from_text(&text).unwrap()).unwrap();
+
+        let mut streaming = Classifier::new();
+        for piece in text.as_bytes().chunks(chunk) {
+            streaming.feed_bytes(piece).unwrap();
+        }
+        prop_assert_eq!(streaming.finish().unwrap(), expected);
+    }
+
+    /// A shard whose final line has no trailing newline still classifies
+    /// identically: `finish` flushes the buffered tail.
+    #[test]
+    fn missing_trailing_newline_is_harmless(seed in 0u64..4) {
+        let text = sample_corpus_text(seed);
+        let trimmed = text.strip_suffix('\n').expect("rendered corpora end in newline");
+        let expected = classify(&LogBook::from_text(&text).unwrap()).unwrap();
+
+        let mut streaming = Classifier::new();
+        streaming.feed_bytes(trimmed.as_bytes()).unwrap();
+        prop_assert_eq!(streaming.finish().unwrap(), expected);
+    }
+
+    /// Empty shards — empty byte chunks, readers with no content, blank
+    /// lines between reads — never panic and contribute nothing.
+    #[test]
+    fn empty_shards_are_no_ops(blank_lines in 0usize..5) {
+        let mut streaming = Classifier::new();
+        streaming.feed_bytes(b"").unwrap();
+        streaming.feed_reader(std::io::Cursor::new(Vec::new())).unwrap();
+        for _ in 0..blank_lines {
+            streaming.feed_bytes(b"\n").unwrap();
+        }
+        let input = streaming.finish().unwrap();
+        prop_assert!(input.lifetimes.is_empty());
+        prop_assert!(input.failures.is_empty());
+        prop_assert!(input.topology.systems.is_empty());
     }
 }

@@ -7,12 +7,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::disk::DiskType;
 
 /// The capability/usage class of a storage system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SystemClass {
     /// Cost-efficient archival or backup systems using SATA disks.
     NearLine,
@@ -92,7 +91,7 @@ impl fmt::Display for SystemClass {
 
 /// Interconnect configuration of a storage subsystem: one FC network, or two
 /// independent networks with active/passive failover (paper §4.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PathConfig {
     /// Shelves are connected through a single FC network.
     SinglePath,

@@ -7,7 +7,6 @@
 //! benches. Disk/shelf model mixes per class follow the combinations shown
 //! in the paper's Figure 5.
 
-use serde::{Deserialize, Serialize};
 
 use crate::class::{PathConfig, SystemClass};
 use crate::disk::{DiskCatalog, DiskModelId};
@@ -15,7 +14,7 @@ use crate::layout::LayoutPolicy;
 use crate::shelf::{ShelfCatalog, ShelfModel, SHELF_BAYS};
 
 /// Population and composition parameters for one system class.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassConfig {
     /// Which class this config describes.
     pub class: SystemClass,
@@ -113,7 +112,7 @@ impl ClassConfig {
 }
 
 /// Configuration for a whole synthetic fleet.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
     /// Per-class population specs.
     pub classes: Vec<ClassConfig>,

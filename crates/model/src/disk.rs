@@ -14,10 +14,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Disk interface technology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DiskType {
     /// Fibre Channel (enterprise) disks, used by primary storage classes.
     Fc,
@@ -35,7 +34,7 @@ impl fmt::Display for DiskType {
 }
 
 /// An anonymized disk family (a particular disk product line), `A`..`K`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DiskFamily(pub char);
 
 impl DiskFamily {
@@ -59,7 +58,7 @@ impl fmt::Display for DiskFamily {
 /// Within a family, larger `capacity_point` means larger capacity
 /// (paper §4.1: "the relative capacity within a family is ordered by the
 /// number").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DiskModelId {
     /// The product family.
     pub family: DiskFamily,
@@ -104,7 +103,7 @@ impl fmt::Display for DiskModelId {
 /// Rates are expressed in expected failures per disk-year (i.e. AFR as a
 /// fraction) and act as *base hazards*; the simulator layers shared-factor
 /// shock processes on top of them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiskModelSpec {
     /// Which model this spec describes.
     pub id: DiskModelId,
@@ -131,7 +130,7 @@ impl DiskModelSpec {
 }
 
 /// The catalog of the twenty disk models used across the studied fleet.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiskCatalog {
     specs: Vec<DiskModelSpec>,
 }

@@ -9,13 +9,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::id::{DeviceAddr, DiskInstanceId, LoopId, RaidGroupId, ShelfId, SystemId};
 use crate::time::SimTime;
 
 /// One of the four storage subsystem failure types of the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FailureType {
     /// Failure triggered by mechanisms internal to a disk (imperfect media,
     /// loose particles, rotational vibration), including proactive fail-outs
@@ -88,7 +87,7 @@ impl fmt::Display for FailureType {
 }
 
 /// A per-failure-type tally; the workhorse accumulator of the analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FailureCounts {
     counts: [u64; 4],
 }
@@ -156,7 +155,7 @@ impl Extend<FailureType> for FailureCounts {
 ///
 /// This is the study's unit of analysis: one RAID-layer-visible failure event
 /// tagged with its type, the affected disk, and the disk's placement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FailureRecord {
     /// When the failure was *detected* (occurrence + scrub lag, paper §2.5).
     pub detected_at: SimTime,

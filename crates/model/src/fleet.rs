@@ -11,7 +11,6 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::class::{PathConfig, SystemClass};
 use crate::config::{ClassConfig, FleetConfig};
@@ -22,7 +21,7 @@ use crate::shelf::ShelfModel;
 use crate::time::SimTime;
 
 /// An FC loop: the physical interconnect shared by a chain of shelves.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FcLoop {
     /// Fleet-unique loop id.
     pub id: LoopId,
@@ -33,7 +32,7 @@ pub struct FcLoop {
 }
 
 /// One shelf enclosure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Shelf {
     /// Fleet-unique shelf id.
     pub id: ShelfId,
@@ -61,7 +60,7 @@ impl Shelf {
 }
 
 /// One RAID group.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RaidGroup {
     /// Fleet-unique RAID group id.
     pub id: RaidGroupId,
@@ -74,7 +73,7 @@ pub struct RaidGroup {
 }
 
 /// One storage system: a head plus its storage subsystem.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StorageSystem {
     /// Fleet-unique system id.
     pub id: SystemId,
@@ -97,7 +96,7 @@ pub struct StorageSystem {
 }
 
 /// A disk instance installed in a slot at some time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskInstall {
     /// Instance id (initial installs are `0..Fleet::disk_count()`).
     pub id: DiskInstanceId,
@@ -112,7 +111,7 @@ pub struct DiskInstall {
 }
 
 /// A complete, materialized fleet.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fleet {
     systems: Vec<StorageSystem>,
     shelves: Vec<Shelf>,

@@ -7,13 +7,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 macro_rules! index_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub u32);
 
@@ -67,7 +66,7 @@ index_id!(
 /// A disk slot can host several instances over the study period as failed
 /// disks are replaced; each replacement gets a fresh `DiskInstanceId`. The
 /// study's "number of disks" (Table 1) counts instances, not slots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DiskInstanceId(pub u64);
 
 impl DiskInstanceId {
@@ -119,7 +118,7 @@ impl fmt::Display for DiskInstanceId {
 
 /// Physical position of a disk: a shelf plus a bay (0-based, < 14 for all
 /// shelf models in the study).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SlotAddr {
     /// The shelf enclosure holding the bay.
     pub shelf: ShelfId,
@@ -138,7 +137,7 @@ impl fmt::Display for SlotAddr {
 ///
 /// The adapter number identifies the FC host adapter (and therefore the loop)
 /// within a system; the target number is the device's loop ID.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceAddr {
     /// FC host adapter number within the storage system.
     pub adapter: u8,

@@ -6,12 +6,11 @@
 //! failures hitting one RAID group are (Finding 9). The simulator supports
 //! both layouts so the comparison can be reproduced as an ablation.
 
-use serde::{Deserialize, Serialize};
 
 use crate::id::{ShelfId, SlotAddr};
 
 /// How RAID groups are carved out of a set of shelves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LayoutPolicy {
     /// Interleave group members across the shelves of an FC loop (the
     /// common practice, and the study's observed average of ~3 shelves per

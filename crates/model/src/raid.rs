@@ -7,10 +7,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// RAID level of a RAID group.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RaidType {
     /// Single dedicated parity disk; tolerates one concurrent disk failure.
     Raid4,

@@ -10,7 +10,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::disk::DiskModelId;
 
@@ -18,7 +17,7 @@ use crate::disk::DiskModelId;
 pub const SHELF_BAYS: u8 = 14;
 
 /// An anonymized shelf enclosure model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ShelfModel {
     /// Shelf enclosure model A (used with low-end systems).
     A,
@@ -68,7 +67,7 @@ impl fmt::Display for ShelfModel {
 }
 
 /// Reliability characteristics of a shelf enclosure model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShelfModelSpec {
     /// Which model this spec describes.
     pub model: ShelfModel,
@@ -81,7 +80,7 @@ pub struct ShelfModelSpec {
 }
 
 /// The catalog of shelf models plus the disk-model interoperability matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShelfCatalog {
     specs: Vec<ShelfModelSpec>,
     /// `(shelf, disk family letter, capacity point, multiplier)` —

@@ -10,7 +10,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
 
 /// Calendar instant of `SimTime::ZERO`: 2004-01-01 00:00:00 UTC.
 pub const STUDY_EPOCH: (i32, u8, u8) = (2004, 1, 1);
@@ -28,7 +27,7 @@ pub const SECS_PER_YEAR: u64 = 31_557_600; // 365.25 days
 /// An absolute instant within the study window, in seconds since
 /// 2004-01-01 00:00:00 UTC.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimTime(pub u64);
 
@@ -133,7 +132,7 @@ impl fmt::Display for SimTime {
 
 /// A non-negative span of simulation time, in whole seconds.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimDuration(pub u64);
 
@@ -204,7 +203,7 @@ impl fmt::Display for SimDuration {
 }
 
 /// Calendar fields of a [`SimTime`], for rendering support-log timestamps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CivilDateTime {
     /// Gregorian year, e.g. 2006.
     pub year: i32,

@@ -6,7 +6,6 @@
 //! the correlated episode processes. Targets come from the paper's
 //! Figures 4–7 (see DESIGN.md §4 for the full list).
 
-use serde::{Deserialize, Serialize};
 
 use ssfa_model::{FailureType, SystemClass};
 
@@ -14,7 +13,7 @@ use ssfa_model::{FailureType, SystemClass};
 /// failures per disk-year for a *single-path* subsystem with neutral
 /// (factor 1.0) disk and shelf models. Disk-failure rates come from the
 /// disk catalog instead.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassRates {
     /// Physical-interconnect failures per disk-year.
     pub interconnect: f64,
@@ -25,7 +24,7 @@ pub struct ClassRates {
 }
 
 /// Parameters of one compound-Poisson episode process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpisodeParams {
     /// Fraction of the type's total rate delivered through this process
     /// (the rest stays in the background process or other episode scopes).
@@ -57,7 +56,7 @@ impl EpisodeParams {
 }
 
 /// Complete calibration of the failure processes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Calibration {
     /// Near-line class base rates.
     pub nearline: ClassRates,

@@ -1,6 +1,5 @@
 //! Ground-truth simulation output: failure occurrences and disk lifetimes.
 
-use serde::{Deserialize, Serialize};
 
 use ssfa_model::{
     DeviceAddr, DiskInstanceId, DiskModelId, FailureRecord, FailureType, LoopId, RaidGroupId,
@@ -9,7 +8,7 @@ use ssfa_model::{
 
 /// What generated a failure occurrence (kept in ground truth so tests can
 /// verify mechanism-level behaviour; invisible to the analysis pipeline).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailureSource {
     /// Independent background hazard.
     Background,
@@ -20,7 +19,7 @@ pub enum FailureSource {
 }
 
 /// One ground-truth failure occurrence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FailureOccurrence {
     /// When the underlying fault fired.
     pub occurred_at: SimTime,
@@ -69,7 +68,7 @@ impl FailureOccurrence {
 }
 
 /// Why a disk instance left service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RemovalReason {
     /// The disk failed and was replaced.
     Failed,
@@ -78,7 +77,7 @@ pub enum RemovalReason {
 }
 
 /// Lifetime record of one disk instance (initial install or replacement).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskRecord {
     /// The disk instance.
     pub id: DiskInstanceId,
@@ -107,7 +106,7 @@ impl DiskRecord {
 }
 
 /// Complete output of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimOutput {
     occurrences: Vec<FailureOccurrence>,
     disks: Vec<DiskRecord>,

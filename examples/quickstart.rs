@@ -11,8 +11,10 @@ use ssfa::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 2% replica of the paper's fleet: ~780 systems, ~36,000 disks,
-    // 44 months of operation. Fully deterministic for a given seed.
-    let pipeline = ssfa::Pipeline::new().scale(0.02).seed(42);
+    // 44 months of operation. Fully deterministic for a given seed —
+    // including the thread count: the streaming pipeline classifies
+    // per-system log shards on 8 workers and merges bit-identically.
+    let pipeline = ssfa::Pipeline::new().scale(0.02).seed(42).threads(8);
     let study = pipeline.run()?;
 
     println!(

@@ -35,6 +35,40 @@
 //! }
 //! # Ok::<(), ssfa::PipelineError>(())
 //! ```
+//!
+//! # Scaling to full fleet size
+//!
+//! `scale(1.0)` reproduces the paper's complete fleet: ~39,000 systems and
+//! ~1.8 M disk instances, whose rendered support log runs to hundreds of
+//! MiB of text. [`Pipeline::run`] handles that by streaming: the log is
+//! rendered as one self-contained *shard per system*, shards are parsed
+//! and classified concurrently on [`Pipeline::threads`] workers, and each
+//! worker holds only its current shard's text in memory. Per-shard
+//! [`ssfa_logs::AnalysisInput`] partials are then merged in fleet order, so
+//! the result is bit-identical to classifying the monolithic corpus
+//! ([`Pipeline::run_monolithic`]) for any `(fleet, seed, threads)` triple —
+//! `tests/pipeline_differential.rs` proves this on every push.
+//!
+//! ```no_run
+//! use ssfa::Pipeline;
+//!
+//! // Full fleet on 8 workers: peak corpus memory stays at one shard
+//! // (a few hundred KiB), not the multi-hundred-MiB monolithic text.
+//! let study = Pipeline::new().scale(1.0).threads(8).run()?;
+//! println!("{} subsystem failures", study.input().failures.len());
+//!
+//! // Inspect the memory behavior directly:
+//! let (study, stats) = Pipeline::new()
+//!     .scale(1.0)
+//!     .threads(8)
+//!     .run_streaming_with_stats()?;
+//! println!(
+//!     "{} shards, peak resident shard {} bytes of {} total corpus bytes",
+//!     stats.shards, stats.max_shard_bytes, stats.total_bytes,
+//! );
+//! # drop(study);
+//! # Ok::<(), ssfa::PipelineError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,7 +79,10 @@ pub use ssfa_model as model;
 pub use ssfa_sim as sim;
 pub use ssfa_stats as stats;
 
-use ssfa_logs::{classify, render_support_log, CascadeStyle, LogError};
+use ssfa_logs::{
+    classify, render_support_log, render_system_log, CascadeStyle, Classifier, LogError,
+    NoiseParams, ShardPlan,
+};
 use ssfa_model::{Fleet, FleetConfig, LayoutPolicy};
 use ssfa_sim::{Calibration, SimOutput, Simulator};
 
@@ -65,12 +102,18 @@ pub mod prelude {
 pub enum PipelineError {
     /// The log corpus failed to classify.
     Log(LogError),
+    /// A pipeline worker thread died (a panic in render/parse/classify).
+    Worker {
+        /// What the worker was doing.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PipelineError::Log(e) => write!(f, "log pipeline failed: {e}"),
+            PipelineError::Worker { what } => write!(f, "pipeline worker died: {what}"),
         }
     }
 }
@@ -79,6 +122,7 @@ impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PipelineError::Log(e) => Some(e),
+            PipelineError::Worker { .. } => None,
         }
     }
 }
@@ -192,20 +236,142 @@ impl Pipeline {
         render_support_log(fleet, output, self.style)
     }
 
-    /// Runs the full pipeline to a [`ssfa_core::Study`].
+    /// Runs the full pipeline to a [`ssfa_core::Study`] via the sharded
+    /// streaming path: each system's log renders into its own shard,
+    /// worker threads parse and classify shards concurrently through
+    /// streaming readers, and the per-shard partials merge — in system
+    /// order — into one analysis input.
+    ///
+    /// Memory stays bounded by the largest shard (plus the classified
+    /// partials), never the whole rendered corpus; the result is
+    /// bit-identical to [`Pipeline::run_monolithic`] for every
+    /// `(fleet, seed, threads)` triple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Log`] if a shard fails to classify (which
+    /// would indicate a bug — rendered corpora are always classifiable)
+    /// and [`PipelineError::Worker`] if a worker thread panics.
+    pub fn run(&self) -> Result<ssfa_core::Study, PipelineError> {
+        self.run_streaming_with_stats().map(|(study, _)| study)
+    }
+
+    /// The single-buffer reference pipeline: render the whole corpus into
+    /// one [`ssfa_logs::LogBook`], classify it in one pass. Peak memory is
+    /// proportional to the full corpus — use [`Pipeline::run`] for large
+    /// fleets; this path exists as the correctness oracle the streaming
+    /// path is differentially tested against.
     ///
     /// # Errors
     ///
     /// Returns [`PipelineError::Log`] if the rendered corpus fails to
-    /// classify (which would indicate a bug — rendered corpora are always
-    /// classifiable).
-    pub fn run(&self) -> Result<ssfa_core::Study, PipelineError> {
+    /// classify.
+    pub fn run_monolithic(&self) -> Result<ssfa_core::Study, PipelineError> {
         let fleet = self.build_fleet();
         let output = self.simulate(&fleet);
         let book = self.render(&fleet, &output);
         let input = classify(&book)?;
         Ok(ssfa_core::Study::new(input))
     }
+
+    /// [`Pipeline::run`], also reporting how the corpus was sharded and
+    /// how much corpus text was resident at peak.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Pipeline::run`].
+    pub fn run_streaming_with_stats(
+        &self,
+    ) -> Result<(ssfa_core::Study, StreamStats), PipelineError> {
+        let fleet = self.build_fleet();
+        let output = self.simulate(&fleet);
+        let plan = ShardPlan::new(&fleet, &output);
+        let shards = plan.shard_count();
+        if shards == 0 {
+            return Ok((
+                ssfa_core::Study::from_partials([]),
+                StreamStats { shards: 0, max_shard_bytes: 0, total_bytes: 0 },
+            ));
+        }
+
+        // Contiguous shard ranges per worker; partials are collected in
+        // system order, so scheduling cannot affect the merge.
+        let workers = self.threads.min(shards);
+        let chunk = shards.div_ceil(workers);
+        let shard_ids: Vec<usize> = (0..shards).collect();
+        let mut chunk_results: Vec<Result<ChunkResult, LogError>> = Vec::new();
+        std::thread::scope(|scope| -> Result<(), PipelineError> {
+            let handles: Vec<_> = shard_ids
+                .chunks(chunk)
+                .map(|ids| {
+                    let fleet = &fleet;
+                    let output = &output;
+                    let plan = &plan;
+                    scope.spawn(move || -> Result<ChunkResult, LogError> {
+                        let mut result = ChunkResult::default();
+                        for &shard in ids {
+                            // One shard's text is the only corpus buffer
+                            // this worker ever holds.
+                            let text = render_system_log(
+                                fleet,
+                                output,
+                                plan,
+                                shard,
+                                self.style,
+                                NoiseParams::none(),
+                                self.seed,
+                            )
+                            .to_text();
+                            result.max_shard_bytes = result.max_shard_bytes.max(text.len());
+                            result.total_bytes += text.len();
+                            let mut classifier = Classifier::new();
+                            classifier.feed_reader(text.as_bytes())?;
+                            result.partials.push(classifier.finish()?);
+                        }
+                        Ok(result)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                chunk_results.push(handle.join().map_err(|_| PipelineError::Worker {
+                    what: "render/parse/classify shard chunk".into(),
+                })?);
+            }
+            Ok(())
+        })?;
+
+        let mut stats = StreamStats { shards, max_shard_bytes: 0, total_bytes: 0 };
+        let mut partials = Vec::with_capacity(shards);
+        for result in chunk_results {
+            let result = result?;
+            stats.max_shard_bytes = stats.max_shard_bytes.max(result.max_shard_bytes);
+            stats.total_bytes += result.total_bytes;
+            partials.extend(result.partials);
+        }
+        Ok((ssfa_core::Study::from_partials(partials), stats))
+    }
+}
+
+/// How a streaming run sharded its corpus — the evidence behind the
+/// bounded-memory claim: `max_shard_bytes` (the largest corpus buffer any
+/// worker held) versus `total_bytes` (what the monolithic path would have
+/// held at once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Number of shards processed (= systems in the fleet).
+    pub shards: usize,
+    /// Largest single shard, in corpus-text bytes.
+    pub max_shard_bytes: usize,
+    /// Total corpus-text bytes across all shards.
+    pub total_bytes: usize,
+}
+
+/// Per-worker accumulation for the streaming path.
+#[derive(Default)]
+struct ChunkResult {
+    partials: Vec<ssfa_logs::AnalysisInput>,
+    max_shard_bytes: usize,
+    total_bytes: usize,
 }
 
 impl Default for Pipeline {

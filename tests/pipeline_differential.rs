@@ -1,0 +1,96 @@
+//! Differential determinism harness: the sharded streaming pipeline must
+//! be bit-identical to the monolithic reference pipeline for every
+//! `(scale, seed, threads)` triple.
+//!
+//! "Bit-identical" is checked at both levels the analysis consumes:
+//! the full [`AnalysisInput`] (every recovered lifetime, failure record,
+//! and topology entry) and the headline `Study::table1()` rows.
+
+use ssfa::prelude::*;
+use ssfa::Pipeline;
+
+/// The (scale, seed) grid: three distinct fleet sizes, three seeds, small
+/// enough to keep the suite fast but big enough that every shard path
+/// (multi-shard chunks, replacement disks, masked failures) is exercised.
+const GRID: [(f64, u64); 3] = [(0.002, 7), (0.004, 1234), (0.006, 424_242)];
+
+/// Thread counts per ISSUE: serial, even split, oversubscribed.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn pipeline(scale: f64, seed: u64) -> Pipeline {
+    Pipeline::new().scale(scale).seed(seed)
+}
+
+#[test]
+fn streaming_equals_monolithic_across_the_grid() {
+    for (scale, seed) in GRID {
+        let reference = pipeline(scale, seed).run_monolithic().unwrap();
+        for threads in THREADS {
+            let streamed = pipeline(scale, seed).threads(threads).run().unwrap();
+            assert_eq!(
+                streamed.input(),
+                reference.input(),
+                "analysis input diverged at scale {scale}, seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_rows_are_identical_across_thread_counts() {
+    for (scale, seed) in GRID {
+        let reference = pipeline(scale, seed).run_monolithic().unwrap().table1();
+        for threads in THREADS {
+            let streamed = pipeline(scale, seed).threads(threads).run().unwrap().table1();
+            assert_eq!(
+                format!("{streamed:?}"),
+                format!("{reference:?}"),
+                "table 1 diverged at scale {scale}, seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_counts_agree_with_each_other_bitwise() {
+    // Transitivity makes this redundant with the monolithic comparison,
+    // but it localizes a failure: if this passes while the monolithic
+    // comparison fails, the bug is in the merge, not the worker split.
+    let (scale, seed) = GRID[1];
+    let one = pipeline(scale, seed).threads(1).run().unwrap();
+    for threads in [2, 3, 8, 64] {
+        let many = pipeline(scale, seed).threads(threads).run().unwrap();
+        assert_eq!(many.input(), one.input(), "threads={threads} diverged from threads=1");
+    }
+}
+
+#[test]
+fn streaming_memory_is_bounded_by_shard_size() {
+    let (study, stats) = pipeline(0.006, 7).threads(4).run_streaming_with_stats().unwrap();
+    assert_eq!(stats.shards, study.input().topology.systems.len());
+    assert!(stats.shards > 8, "grid scale should give a multi-shard fleet");
+    assert!(stats.max_shard_bytes > 0 && stats.total_bytes > stats.max_shard_bytes);
+    // The bounded-memory claim: the biggest corpus buffer any worker held
+    // is a small fraction of what the monolithic path materializes.
+    assert!(
+        stats.max_shard_bytes * 4 < stats.total_bytes,
+        "peak shard {} bytes vs total {} bytes",
+        stats.max_shard_bytes,
+        stats.total_bytes
+    );
+}
+
+#[test]
+fn full_cascade_style_is_also_differential() {
+    let (scale, seed) = GRID[0];
+    let reference =
+        pipeline(scale, seed).cascade_style(CascadeStyle::Full).run_monolithic().unwrap();
+    for threads in THREADS {
+        let streamed = pipeline(scale, seed)
+            .cascade_style(CascadeStyle::Full)
+            .threads(threads)
+            .run()
+            .unwrap();
+        assert_eq!(streamed.input(), reference.input());
+    }
+}
