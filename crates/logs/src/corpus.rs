@@ -12,8 +12,11 @@ pub enum LogError {
     Malformed {
         /// 1-based line number within the corpus text.
         line_no: usize,
-        /// The offending line (truncated).
+        /// The offending line, truncated to [`MALFORMED_PREVIEW_CHARS`]
+        /// characters (lossily decoded if it was not valid UTF-8).
         line: String,
+        /// Byte length of the original, untruncated line.
+        bytes: usize,
     },
     /// A failure event referenced topology the corpus never declared.
     MissingTopology {
@@ -24,11 +27,35 @@ pub enum LogError {
     Io(io::Error),
 }
 
+/// How many characters of an offending line a [`LogError::Malformed`]
+/// preserves. A corrupted corpus can contain arbitrarily long garbage
+/// lines; capping the preview keeps error messages from flooding
+/// terminals and CI logs, while the recorded byte length still tells the
+/// operator how big the damage was.
+pub const MALFORMED_PREVIEW_CHARS: usize = 120;
+
+impl LogError {
+    /// A [`LogError::Malformed`] for a raw line, with the preview
+    /// truncated to [`MALFORMED_PREVIEW_CHARS`] characters and the
+    /// original byte length preserved.
+    pub fn malformed(line_no: usize, raw: &[u8]) -> LogError {
+        LogError::Malformed {
+            line_no,
+            line: String::from_utf8_lossy(raw).chars().take(MALFORMED_PREVIEW_CHARS).collect(),
+            bytes: raw.len(),
+        }
+    }
+}
+
 impl fmt::Display for LogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LogError::Malformed { line_no, line } => {
-                write!(f, "malformed log line {line_no}: {line}")
+            LogError::Malformed { line_no, line, bytes } => {
+                write!(f, "malformed log line {line_no}: {line}")?;
+                if *bytes != line.len() {
+                    write!(f, " … [{bytes} bytes total]")?;
+                }
+                Ok(())
             }
             LogError::MissingTopology { what } => {
                 write!(f, "event references undeclared topology: {what}")
@@ -155,12 +182,7 @@ impl LogBook {
             }
             match LogLine::parse(raw) {
                 Some(line) => book.push(line),
-                None => {
-                    return Err(LogError::Malformed {
-                        line_no: idx + 1,
-                        line: raw.chars().take(120).collect(),
-                    })
-                }
+                None => return Err(LogError::malformed(idx + 1, raw.as_bytes())),
             }
         }
         Ok(book)
@@ -195,12 +217,7 @@ impl LogBook {
             }
             match LogLine::parse(&raw) {
                 Some(line) => book.push(line),
-                None => {
-                    return Err(LogError::Malformed {
-                        line_no: idx + 1,
-                        line: raw.chars().take(120).collect(),
-                    })
-                }
+                None => return Err(LogError::malformed(idx + 1, raw.as_bytes())),
             }
         }
         Ok(book)
@@ -281,6 +298,19 @@ mod tests {
             Err(LogError::Malformed { line_no, .. }) => assert_eq!(line_no, 2),
             other => panic!("expected Malformed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn malformed_display_is_bounded_for_huge_lines() {
+        let huge = "x".repeat(5_000_000);
+        let err = LogError::malformed(7, huge.as_bytes());
+        let msg = err.to_string();
+        assert!(msg.len() < 300, "display must not embed the whole line: {} bytes", msg.len());
+        assert!(msg.contains("[5000000 bytes total]"), "missing byte-length suffix: {msg}");
+
+        // Short lines keep the original exact message, no suffix.
+        let short = LogError::malformed(2, b"not a log line");
+        assert_eq!(short.to_string(), "malformed log line 2: not a log line");
     }
 
     #[test]

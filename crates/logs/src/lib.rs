@@ -46,12 +46,17 @@ pub mod cascade;
 pub mod classify;
 pub mod corpus;
 pub mod event;
+pub mod faults;
 pub mod render;
 pub mod shard;
 
 pub use cascade::{CascadeInput, CascadeStyle};
-pub use classify::{classify, AnalysisInput, Classifier, DiskLifetime, Topology};
+pub use classify::{
+    classify, classify_with, AnalysisInput, Classifier, DiskLifetime, ShardHealth, Strictness,
+    Topology,
+};
 pub use corpus::{LogBook, LogError};
 pub use event::{LogEvent, LogLine, Severity};
+pub use faults::{FaultInjector, FaultLedger, FaultSpec, ShardFate};
 pub use render::{render_support_log, render_support_log_noisy, NoiseParams};
 pub use shard::{render_system_log, write_shard, ShardPlan};

@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 
-use ssfa_logs::{classify, Classifier, LogBook, LogLine};
+use ssfa_logs::{
+    classify, Classifier, FaultInjector, FaultLedger, FaultSpec, LogBook, LogLine, ShardFate,
+};
 
 /// A tiny but complete rendered corpus for shard-boundary fuzzing:
 /// topology, a disk install/remove cycle, and RAID failure events.
@@ -155,6 +157,67 @@ proptest! {
         let mut streaming = Classifier::new();
         streaming.feed_bytes(trimmed.as_bytes()).unwrap();
         prop_assert_eq!(streaming.finish().unwrap(), expected);
+    }
+
+    /// Injector-corrupted corpora fed to a lenient classifier in
+    /// arbitrary-size chunks (so corrupted multi-byte sequences split at
+    /// any byte position) never panic, and every skip is counted: the
+    /// classifier's health matches the injector's ledger exactly.
+    #[test]
+    fn lenient_classifier_counts_every_skip_under_injection(
+        seed in 0u64..4,
+        rate_millis in 1u64..=80,
+        chunk in 1usize..2_048,
+    ) {
+        let text = sample_corpus_text(seed);
+        let spec = FaultSpec::uniform(rate_millis as f64 / 1_000.0);
+        let injector = FaultInjector::new(spec, seed);
+        let mut ledger = FaultLedger::default();
+        let corrupted = match injector.corrupt_shard(0, 0, &text, &mut ledger) {
+            ShardFate::Processed(bytes) => bytes,
+            // The whole shard was dropped — nothing reaches the classifier.
+            ShardFate::Dropped => return Ok(()),
+        };
+
+        let mut streaming = Classifier::lenient();
+        for piece in corrupted.chunks(chunk) {
+            streaming.feed_bytes(piece).unwrap();
+        }
+        let (_, health) = streaming.finish_with_health().unwrap();
+        prop_assert_eq!(health.lines_seen, ledger.lines_out);
+        prop_assert_eq!(health.malformed_skipped, ledger.expect_malformed);
+        prop_assert_eq!(health.missing_topology_skipped, ledger.expect_missing_topology);
+    }
+
+    /// A non-UTF-8 line containing multi-byte characters, spliced into a
+    /// clean corpus and fed in chunks that can split any character (or the
+    /// invalid byte itself) across reads: lenient mode never panics,
+    /// counts exactly one skip, and recovers the clean corpus's analysis.
+    #[test]
+    fn corrupted_multibyte_split_is_skipped_and_counted(
+        seed in 0u64..4,
+        chunk in 1usize..512,
+    ) {
+        let text = sample_corpus_text(seed);
+        let expected = classify(&LogBook::from_text(&text).unwrap()).unwrap();
+
+        // Multi-byte UTF-8 (é, ö, 語) followed by a byte that is invalid
+        // in any UTF-8 sequence — the line as a whole cannot decode.
+        let first_line_end = text.find('\n').expect("corpus has lines") + 1;
+        let mut spliced = text.as_bytes()[..first_line_end].to_vec();
+        spliced.extend_from_slice("h\u{e9}llo w\u{f6}rld \u{8a9e}".as_bytes());
+        spliced.push(0xFF);
+        spliced.push(b'\n');
+        spliced.extend_from_slice(&text.as_bytes()[first_line_end..]);
+
+        let mut streaming = Classifier::lenient();
+        for piece in spliced.chunks(chunk) {
+            streaming.feed_bytes(piece).unwrap();
+        }
+        let (input, health) = streaming.finish_with_health().unwrap();
+        prop_assert_eq!(health.malformed_skipped, 1);
+        prop_assert_eq!(health.missing_topology_skipped, 0);
+        prop_assert_eq!(input, expected);
     }
 
     /// Empty shards — empty byte chunks, readers with no content, blank

@@ -218,7 +218,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Length specification for [`vec`]: an exact `usize` or a
+    /// Length specification for [`vec()`]: an exact `usize` or a
     /// `Range<usize>`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -239,7 +239,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

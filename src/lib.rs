@@ -69,6 +69,31 @@
 //! # drop(study);
 //! # Ok::<(), ssfa::PipelineError>(())
 //! ```
+//!
+//! # Degraded mode
+//!
+//! Real support corpora are lossy. [`Pipeline::lenient`] switches the
+//! classify stage to skip-and-count, isolates every shard behind a panic
+//! boundary (one retry, then quarantine), and —via
+//! [`Pipeline::run_with_health`] — returns a [`RunHealth`] audit report
+//! accounting for every skipped line and lost shard. A deterministic
+//! fault-injection harness ([`ssfa_logs::faults`], wired in with
+//! [`Pipeline::faults`]) exists to prove the accounting exact:
+//!
+//! ```
+//! use ssfa::prelude::*;
+//!
+//! let (study, health) = ssfa::Pipeline::new()
+//!     .scale(0.002)
+//!     .seed(7)
+//!     .lenient()
+//!     .faults(FaultSpec::uniform(1e-3))
+//!     .run_with_health()?;
+//! assert_eq!(health.lines_skipped_malformed, health.ledger.expect_malformed);
+//! println!("{health}");
+//! # drop(study);
+//! # Ok::<(), ssfa::PipelineError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -79,17 +104,23 @@ pub use ssfa_model as model;
 pub use ssfa_sim as sim;
 pub use ssfa_stats as stats;
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use ssfa_logs::{
-    classify, render_support_log, render_system_log, CascadeStyle, Classifier, LogError,
-    NoiseParams, ShardPlan,
+    classify, render_support_log, render_system_log, CascadeStyle, Classifier, FaultInjector,
+    FaultLedger, FaultSpec, LogError, NoiseParams, ShardFate, ShardHealth, ShardPlan, Strictness,
 };
-use ssfa_model::{Fleet, FleetConfig, LayoutPolicy};
+use ssfa_model::{Fleet, FleetConfig, LayoutPolicy, SystemId};
 use ssfa_sim::{Calibration, SimOutput, Simulator};
 
 /// Convenience re-exports for examples and downstream binaries.
 pub mod prelude {
+    pub use crate::{RunHealth, ShardQuarantine};
     pub use ssfa_core::{AfrBreakdown, FindingsReport, Scope, Study};
-    pub use ssfa_logs::{classify, render_support_log, CascadeStyle, LogBook};
+    pub use ssfa_logs::{
+        classify, classify_with, render_support_log, CascadeStyle, FaultSpec, LogBook,
+        ShardHealth, Strictness,
+    };
     pub use ssfa_model::{
         DiskModelId, FailureType, Fleet, FleetConfig, LayoutPolicy, PathConfig, ShelfModel,
         SimDuration, SimTime, SystemClass,
@@ -104,9 +135,22 @@ pub enum PipelineError {
     Log(LogError),
     /// A pipeline worker thread died (a panic in render/parse/classify).
     Worker {
-        /// What the worker was doing.
+        /// What the worker was doing, including the downcast panic message
+        /// when the payload was a string (the overwhelmingly common case).
         what: String,
     },
+}
+
+/// Best-effort extraction of a panic payload's message: `panic!("...")`
+/// payloads are `&str` or `String`; anything else gets a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 impl std::fmt::Display for PipelineError {
@@ -144,6 +188,8 @@ pub struct Pipeline {
     seed: u64,
     style: CascadeStyle,
     threads: usize,
+    strictness: Strictness,
+    faults: FaultSpec,
 }
 
 impl Pipeline {
@@ -156,6 +202,8 @@ impl Pipeline {
             seed: 0,
             style: CascadeStyle::RaidOnly,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            strictness: Strictness::Strict,
+            faults: FaultSpec::none(),
         }
     }
 
@@ -216,6 +264,41 @@ impl Pipeline {
         self
     }
 
+    /// Sets the error policy for the classify stage. The default,
+    /// [`Strictness::Strict`], is the original fail-fast behavior; with
+    /// [`Strictness::Lenient`] bad lines are skipped and counted, panicking
+    /// shard workers get one retry and are then quarantined, and the
+    /// [`RunHealth`] from [`Pipeline::run_with_health`] accounts for every
+    /// skip. At fault rate zero the two policies are bit-identical.
+    #[must_use]
+    pub fn strictness(mut self, strictness: Strictness) -> Pipeline {
+        self.strictness = strictness;
+        self
+    }
+
+    /// Shorthand for [`Pipeline::strictness`]`(Strictness::Lenient)`.
+    #[must_use]
+    pub fn lenient(self) -> Pipeline {
+        self.strictness(Strictness::Lenient)
+    }
+
+    /// Installs a fault-injection spec: every rendered shard is corrupted
+    /// through a deterministic, seedable [`FaultInjector`] before it
+    /// reaches the classifier. [`FaultSpec::none`] (the default) bypasses
+    /// injection entirely. Injection is a test/chaos-engineering facility;
+    /// pair a non-trivial spec with [`Pipeline::lenient`] unless the point
+    /// is to watch strict mode abort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's rates are invalid (see [`FaultSpec::validate`]).
+    #[must_use]
+    pub fn faults(mut self, spec: FaultSpec) -> Pipeline {
+        spec.validate();
+        self.faults = spec;
+        self
+    }
+
     /// The fleet configuration currently in effect.
     pub fn fleet_config(&self) -> &FleetConfig {
         &self.config
@@ -253,7 +336,23 @@ impl Pipeline {
     /// would indicate a bug — rendered corpora are always classifiable)
     /// and [`PipelineError::Worker`] if a worker thread panics.
     pub fn run(&self) -> Result<ssfa_core::Study, PipelineError> {
-        self.run_streaming_with_stats().map(|(study, _)| study)
+        self.run_streaming().map(|(study, _, _)| study)
+    }
+
+    /// [`Pipeline::run`], also returning the [`RunHealth`] audit report:
+    /// how many shards and lines made it through, what was skipped and
+    /// why, which shards were retried or quarantined. This is the entry
+    /// point for degraded-mode analysis — with [`Pipeline::lenient`] a
+    /// corrupt corpus yields a best-effort [`ssfa_core::Study`] plus an
+    /// exact accounting of the loss, instead of an abort.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Pipeline::run`] (in lenient mode, only worker-pool
+    /// failures outside the per-shard isolation boundary surface as
+    /// errors).
+    pub fn run_with_health(&self) -> Result<(ssfa_core::Study, RunHealth), PipelineError> {
+        self.run_streaming().map(|(study, _, health)| (study, health))
     }
 
     /// The single-buffer reference pipeline: render the whole corpus into
@@ -283,6 +382,20 @@ impl Pipeline {
     pub fn run_streaming_with_stats(
         &self,
     ) -> Result<(ssfa_core::Study, StreamStats), PipelineError> {
+        self.run_streaming().map(|(study, stats, _)| (study, stats))
+    }
+
+    /// The streaming engine behind every `run_*` entry point: renders one
+    /// shard per system, pushes each shard through (optional) fault
+    /// injection and a per-shard [`Classifier`], and merges the partials
+    /// in system order.
+    ///
+    /// Each shard is processed inside a panic-isolation boundary. In
+    /// strict mode any shard error or panic aborts the run (original
+    /// behavior); in lenient mode a panicking shard gets one retry and is
+    /// then quarantined — its partial simply never joins the merge — and
+    /// classification errors are skip-counted by the lenient classifier.
+    fn run_streaming(&self) -> Result<(ssfa_core::Study, StreamStats, RunHealth), PipelineError> {
         let fleet = self.build_fleet();
         let output = self.simulate(&fleet);
         let plan = ShardPlan::new(&fleet, &output);
@@ -291,15 +404,18 @@ impl Pipeline {
             return Ok((
                 ssfa_core::Study::from_partials([]),
                 StreamStats { shards: 0, max_shard_bytes: 0, total_bytes: 0 },
+                RunHealth { strictness: self.strictness, ..RunHealth::default() },
             ));
         }
+        let injector = (!self.faults.is_none())
+            .then(|| FaultInjector::new(self.faults.clone(), self.seed));
 
         // Contiguous shard ranges per worker; partials are collected in
         // system order, so scheduling cannot affect the merge.
         let workers = self.threads.min(shards);
         let chunk = shards.div_ceil(workers);
         let shard_ids: Vec<usize> = (0..shards).collect();
-        let mut chunk_results: Vec<Result<ChunkResult, LogError>> = Vec::new();
+        let mut chunk_results: Vec<ChunkResult> = Vec::new();
         std::thread::scope(|scope| -> Result<(), PipelineError> {
             let handles: Vec<_> = shard_ids
                 .chunks(chunk)
@@ -307,48 +423,151 @@ impl Pipeline {
                     let fleet = &fleet;
                     let output = &output;
                     let plan = &plan;
-                    scope.spawn(move || -> Result<ChunkResult, LogError> {
+                    let injector = injector.as_ref();
+                    scope.spawn(move || -> Result<ChunkResult, PipelineError> {
                         let mut result = ChunkResult::default();
                         for &shard in ids {
-                            // One shard's text is the only corpus buffer
-                            // this worker ever holds.
-                            let text = render_system_log(
-                                fleet,
-                                output,
-                                plan,
-                                shard,
-                                self.style,
-                                NoiseParams::none(),
-                                self.seed,
-                            )
-                            .to_text();
-                            result.max_shard_bytes = result.max_shard_bytes.max(text.len());
-                            result.total_bytes += text.len();
-                            let mut classifier = Classifier::new();
-                            classifier.feed_reader(text.as_bytes())?;
-                            result.partials.push(classifier.finish()?);
+                            self.process_shard(
+                                fleet, output, plan, injector, shard, &mut result,
+                            )?;
                         }
                         Ok(result)
                     })
                 })
                 .collect();
             for handle in handles {
-                chunk_results.push(handle.join().map_err(|_| PipelineError::Worker {
-                    what: "render/parse/classify shard chunk".into(),
-                })?);
+                let chunk_result = handle
+                    .join()
+                    .unwrap_or_else(|payload| {
+                        // A panic that escaped the per-shard isolation
+                        // boundary — pool-level, not data-level.
+                        Err(PipelineError::Worker { what: panic_message(payload.as_ref()) })
+                    })?;
+                chunk_results.push(chunk_result);
             }
             Ok(())
         })?;
 
         let mut stats = StreamStats { shards, max_shard_bytes: 0, total_bytes: 0 };
+        let mut health = RunHealth {
+            strictness: self.strictness,
+            shards_total: shards,
+            ..RunHealth::default()
+        };
         let mut partials = Vec::with_capacity(shards);
         for result in chunk_results {
-            let result = result?;
             stats.max_shard_bytes = stats.max_shard_bytes.max(result.max_shard_bytes);
             stats.total_bytes += result.total_bytes;
+            health.shards_processed += result.shards_processed;
+            health.shards_dropped += result.shards_dropped;
+            health.shards_retried += result.shards_retried;
+            health.quarantined.extend(result.quarantined);
+            health.lines_seen += result.health.lines_seen;
+            health.lines_skipped_malformed += result.health.malformed_skipped;
+            health.lines_skipped_missing_topology += result.health.missing_topology_skipped;
+            health.ledger.merge(&result.ledger);
             partials.extend(result.partials);
         }
-        Ok((ssfa_core::Study::from_partials(partials), stats))
+        Ok((ssfa_core::Study::from_partials(partials), stats, health))
+    }
+
+    /// Processes one shard end to end (render → inject → classify) inside
+    /// a panic-isolation boundary, applying the retry/quarantine policy.
+    fn process_shard(
+        &self,
+        fleet: &Fleet,
+        output: &SimOutput,
+        plan: &ShardPlan,
+        injector: Option<&FaultInjector>,
+        shard: usize,
+        result: &mut ChunkResult,
+    ) -> Result<(), PipelineError> {
+        let system = fleet.systems()[shard].id;
+        let mut attempt: u32 = 0;
+        loop {
+            // A fresh ledger per attempt: a quarantined shard's lines never
+            // reach the classifier, so its injection record must not reach
+            // the run ledger either.
+            let mut ledger = FaultLedger::default();
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<ShardOutcome, LogError> {
+                // One shard's text is the only corpus buffer this worker
+                // ever holds.
+                let text = render_system_log(
+                    fleet,
+                    output,
+                    plan,
+                    shard,
+                    self.style,
+                    NoiseParams::none(),
+                    self.seed,
+                )
+                .to_text();
+                let fed: Vec<u8> = match injector {
+                    Some(injector) => {
+                        match injector.corrupt_shard(shard, attempt, &text, &mut ledger) {
+                            ShardFate::Processed(bytes) => bytes,
+                            ShardFate::Dropped => return Ok(ShardOutcome::Dropped),
+                        }
+                    }
+                    None => text.into_bytes(),
+                };
+                let mut classifier = Classifier::with_strictness(self.strictness);
+                classifier.feed_bytes(&fed)?;
+                let (partial, health) = classifier.finish_with_health()?;
+                Ok(ShardOutcome::Done { partial: Box::new(partial), health, bytes: fed.len() })
+            }));
+            match outcome {
+                Ok(Ok(ShardOutcome::Done { partial, health, bytes })) => {
+                    result.max_shard_bytes = result.max_shard_bytes.max(bytes);
+                    result.total_bytes += bytes;
+                    result.shards_processed += 1;
+                    result.health.merge(&health);
+                    result.ledger.merge(&ledger);
+                    result.partials.push(*partial);
+                    return Ok(());
+                }
+                Ok(Ok(ShardOutcome::Dropped)) => {
+                    result.shards_dropped += 1;
+                    result.ledger.merge(&ledger);
+                    return Ok(());
+                }
+                Ok(Err(err)) => {
+                    // In lenient mode the classifier absorbs everything
+                    // skippable, so only I/O-grade failures reach here:
+                    // quarantine rather than abort.
+                    if self.strictness == Strictness::Strict {
+                        return Err(err.into());
+                    }
+                    result.quarantined.push(ShardQuarantine {
+                        shard,
+                        system,
+                        attempts: attempt + 1,
+                        reason: err.to_string(),
+                    });
+                    return Ok(());
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    if self.strictness == Strictness::Strict {
+                        return Err(PipelineError::Worker {
+                            what: format!("shard {shard} (sys-{}) panicked: {msg}", system.0),
+                        });
+                    }
+                    if attempt == 0 {
+                        attempt = 1;
+                        result.shards_retried += 1;
+                        continue;
+                    }
+                    result.quarantined.push(ShardQuarantine {
+                        shard,
+                        system,
+                        attempts: attempt + 1,
+                        reason: format!("worker panicked twice: {msg}"),
+                    });
+                    return Ok(());
+                }
+            }
+        }
     }
 }
 
@@ -366,10 +585,142 @@ pub struct StreamStats {
     pub total_bytes: usize,
 }
 
+/// One shard quarantined by the degraded-mode pipeline: its worker kept
+/// failing, so its partial was excluded from the merge instead of killing
+/// the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardQuarantine {
+    /// Shard index (= position in fleet system order).
+    pub shard: usize,
+    /// The system whose log the shard holds.
+    pub system: SystemId,
+    /// Processing attempts consumed (2 = failed, retried, failed again).
+    pub attempts: u32,
+    /// Why the last attempt failed — for panics, the downcast panic
+    /// message.
+    pub reason: String,
+}
+
+/// The degraded-mode audit report: exactly what a streaming run ingested,
+/// skipped, dropped, retried, and quarantined.
+///
+/// In strict mode with no fault injection every counter besides
+/// `shards_total`/`shards_processed`/`lines_seen` is zero — a clean bill
+/// of health. In lenient mode the report is the contract that nothing was
+/// silently lost: every line the pipeline saw is either ingested or
+/// counted in a skip bucket, and every shard is processed, dropped,
+/// or quarantined.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunHealth {
+    /// Error policy the run used.
+    pub strictness: Strictness,
+    /// Shards the plan contained (= systems in the fleet).
+    pub shards_total: usize,
+    /// Shards fully classified and merged.
+    pub shards_processed: usize,
+    /// Shards dropped whole by fault injection (upload never arrived).
+    pub shards_dropped: usize,
+    /// Shards whose worker panicked once and was retried.
+    pub shards_retried: usize,
+    /// Shards excluded from the merge after repeated failure.
+    pub quarantined: Vec<ShardQuarantine>,
+    /// Complete non-blank lines fed to per-shard classifiers.
+    pub lines_seen: u64,
+    /// Lines skipped as unparseable or non-UTF-8.
+    pub lines_skipped_malformed: u64,
+    /// Lines skipped for referencing undeclared topology.
+    pub lines_skipped_missing_topology: u64,
+    /// The fault injector's own ledger for the run (all-zero when no
+    /// faults were injected).
+    pub ledger: FaultLedger,
+}
+
+impl RunHealth {
+    /// Number of quarantined shards.
+    pub fn shards_quarantined(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// Fraction of shards fully classified and merged, in `[0, 1]`
+    /// (1.0 for an empty fleet).
+    pub fn coverage(&self) -> f64 {
+        if self.shards_total == 0 {
+            return 1.0;
+        }
+        self.shards_processed as f64 / self.shards_total as f64
+    }
+
+    /// Total lines skipped for any reason.
+    pub fn lines_skipped_total(&self) -> u64 {
+        self.lines_skipped_malformed + self.lines_skipped_missing_topology
+    }
+
+    /// Whether nothing was lost: every shard processed, every line
+    /// ingested, no retries.
+    pub fn is_clean(&self) -> bool {
+        self.shards_processed == self.shards_total
+            && self.shards_retried == 0
+            && self.quarantined.is_empty()
+            && self.lines_skipped_total() == 0
+    }
+}
+
+impl std::fmt::Display for RunHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "run health ({:?}): {}/{} shards processed ({:.2}% coverage), \
+             {} dropped, {} retried, {} quarantined",
+            self.strictness,
+            self.shards_processed,
+            self.shards_total,
+            self.coverage() * 100.0,
+            self.shards_dropped,
+            self.shards_retried,
+            self.shards_quarantined(),
+        )?;
+        write!(
+            f,
+            "lines: {} seen, {} skipped ({} malformed, {} missing-topology)",
+            self.lines_seen,
+            self.lines_skipped_total(),
+            self.lines_skipped_malformed,
+            self.lines_skipped_missing_topology,
+        )?;
+        for q in &self.quarantined {
+            write!(
+                f,
+                "\nquarantined shard {} (sys-{}) after {} attempt(s): {}",
+                q.shard, q.system.0, q.attempts, q.reason,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// What one shard's isolated processing attempt produced.
+enum ShardOutcome {
+    /// Classified: a partial to merge plus its data-quality tally. Boxed
+    /// so the enum stays pointer-sized next to the empty variant.
+    Done {
+        partial: Box<ssfa_logs::AnalysisInput>,
+        health: ShardHealth,
+        bytes: usize,
+    },
+    /// Fault injection dropped the whole shard.
+    Dropped,
+}
+
 /// Per-worker accumulation for the streaming path.
 #[derive(Default)]
 struct ChunkResult {
     partials: Vec<ssfa_logs::AnalysisInput>,
+    health: ShardHealth,
+    ledger: FaultLedger,
+    shards_processed: usize,
+    shards_dropped: usize,
+    shards_retried: usize,
+    quarantined: Vec<ShardQuarantine>,
     max_shard_bytes: usize,
     total_bytes: usize,
 }
