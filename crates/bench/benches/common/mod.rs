@@ -10,7 +10,10 @@ pub const BENCH_SCALE: f64 = 0.004;
 
 /// A fresh context at bench scale.
 pub fn ctx() -> ExpContext {
-    ExpContext { scale: BENCH_SCALE, seed: 1988 }
+    ExpContext {
+        scale: BENCH_SCALE,
+        seed: 1988,
+    }
 }
 
 /// A study built once, for benchmarking the analysis step in isolation.

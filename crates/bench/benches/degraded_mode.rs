@@ -30,7 +30,11 @@ fn bench_degraded_mode(c: &mut Criterion) {
     // lenient on a clean corpus is not an approximation of strict.
     let strict_study = strict.run().expect("strict pipeline runs");
     let (lenient_study, health) = lenient.run_with_health().expect("lenient pipeline runs");
-    assert_eq!(lenient_study.input(), strict_study.input(), "lenient@rate0 must equal strict");
+    assert_eq!(
+        lenient_study.input(),
+        strict_study.input(),
+        "lenient@rate0 must equal strict"
+    );
     assert!(health.is_clean());
 
     let (_, stats) = strict.run_streaming_with_stats().expect("stats run");

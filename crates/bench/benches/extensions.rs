@@ -19,7 +19,10 @@ fn bench_extensions(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("raid_risk_both_sets", |b| {
         b.iter(|| {
-            for set in [RiskFailureSet::DiskOnly, RiskFailureSet::DiskAndInterconnect] {
+            for set in [
+                RiskFailureSet::DiskOnly,
+                RiskFailureSet::DiskAndInterconnect,
+            ] {
                 black_box(raid_data_loss_risk(
                     study.input(),
                     SimDuration::from_days(1.0),
@@ -41,7 +44,13 @@ fn bench_extensions(c: &mut Criterion) {
     );
     let input = classify(&book).expect("classifies");
     group.bench_function("predictor_scan", |b| {
-        b.iter(|| black_box(evaluate_predictor(&book, &input, PrecursorPredictor::default())));
+        b.iter(|| {
+            black_box(evaluate_predictor(
+                &book,
+                &input,
+                PrecursorPredictor::default(),
+            ))
+        });
     });
     group.finish();
 }

@@ -1,0 +1,510 @@
+//! Machine-readable pipeline benchmark runner and CI perf-regression gate.
+//!
+//! Benchmarks the end-to-end pipeline under every execution strategy —
+//! sequential monolithic, parallel monolithic, streaming at chunk size 1,
+//! streaming with auto chunking, and streaming over the text transport —
+//! and emits one `BENCH_pipeline.json` with wall time, peak resident
+//! corpus bytes, and shard throughput per configuration.
+//!
+//! Modes:
+//!
+//! - *(no args)* — run the benches and write the JSON.
+//! - `--write-baseline <path>` — also write the results as a gate
+//!   baseline (how a new baseline is blessed).
+//! - `--check <baseline>` — run the benches, then gate against the
+//!   baseline: fail (exit 1) if the streaming/monolithic wall-time ratio
+//!   regressed by more than 25% relative to the baseline's ratio, or if
+//!   any streaming configuration's peak resident corpus bytes grew at
+//!   all. The ratio gate is machine-independent (both sides of the ratio
+//!   ran on the same box); the peak-bytes gate is absolute because peak
+//!   residency is deterministic for a given `(scale, seed)`.
+//!
+//! Environment knobs: `SSFA_BENCH_SCALE` (default 0.01),
+//! `SSFA_BENCH_SEED` (1988), `SSFA_BENCH_THREADS` (1),
+//! `SSFA_BENCH_REPS` (5; the median wall time is reported),
+//! `SSFA_BENCH_OUT` (default `BENCH_pipeline.json`), and
+//! `SSFA_BENCH_HANDICAP_STREAMING_MS` (sleeps inside every timed
+//! streaming-path rep — exists so CI's gate can be proven to fail on a
+//! synthetic slowdown).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ssfa::Pipeline;
+
+/// Wall-time regression tolerance on the streaming/monolithic ratio.
+const WALL_RATIO_TOLERANCE: f64 = 1.25;
+
+/// The gated streaming configuration (the default production path).
+const GATED_STREAMING: &str = "streaming_auto";
+
+/// The sequential monolithic oracle the ratio gate normalizes against.
+const GATED_REFERENCE: &str = "monolithic";
+
+#[derive(Debug, Clone)]
+struct BenchResult {
+    name: &'static str,
+    wall_ms: f64,
+    peak_bytes: u64,
+    total_bytes: u64,
+    shards: u64,
+    chunks: u64,
+    shards_per_sec: f64,
+}
+
+struct BenchEnv {
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    reps: usize,
+    handicap_ms: u64,
+}
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl BenchEnv {
+    fn from_env() -> BenchEnv {
+        BenchEnv {
+            scale: env_parse("SSFA_BENCH_SCALE", 0.01),
+            seed: env_parse("SSFA_BENCH_SEED", 1988),
+            threads: env_parse("SSFA_BENCH_THREADS", 1),
+            reps: env_parse("SSFA_BENCH_REPS", 5).max(1),
+            handicap_ms: env_parse("SSFA_BENCH_HANDICAP_STREAMING_MS", 0),
+        }
+    }
+
+    fn pipeline(&self) -> Pipeline {
+        Pipeline::new()
+            .scale(self.scale)
+            .seed(self.seed)
+            .threads(self.threads)
+    }
+}
+
+/// The deterministic (non-wall) side of one configuration's result.
+#[derive(Debug, Clone, Copy)]
+struct Counters {
+    peak_bytes: u64,
+    total_bytes: u64,
+    shards: u64,
+    chunks: u64,
+}
+
+fn stream_counters(stats: ssfa::StreamStats) -> Counters {
+    Counters {
+        peak_bytes: stats.max_shard_bytes as u64,
+        total_bytes: stats.total_bytes as u64,
+        shards: stats.shards as u64,
+        chunks: stats.chunks as u64,
+    }
+}
+
+/// Runs all configurations interleaved: one warmup round, then `reps`
+/// rounds that time each configuration once per round, reporting the
+/// per-configuration median. Interleaving matters because the headline
+/// gate is a *ratio* between configurations — a machine-wide slow phase
+/// (CI neighbors, thermal throttling) that hits one configuration's
+/// entire timing block would skew the ratio, while spread across rounds
+/// it cancels out.
+fn run_benches(env: &BenchEnv) -> Vec<BenchResult> {
+    let base = env.pipeline();
+
+    // Monolithic peak residency is the whole parsed corpus; it is
+    // deterministic, so measure it once outside the timed rounds.
+    let mono_counters = {
+        let fleet = base.build_fleet();
+        let output = base.simulate(&fleet);
+        let book = base.render(&fleet, &output);
+        let bytes = book.resident_bytes() as u64;
+        Counters {
+            peak_bytes: bytes,
+            total_bytes: bytes,
+            shards: fleet.systems().len() as u64,
+            chunks: 1,
+        }
+    };
+
+    let p_mono = base.clone();
+    let p_par = base.clone();
+    let p_chunk1 = base.clone().chunk_systems(1);
+    let p_auto = base.clone().chunk_auto();
+    let p_text = base.chunk_auto().text_transport();
+
+    type Runner<'a> = Box<dyn FnMut() -> Counters + 'a>;
+    let mut configs: Vec<(&'static str, bool, Runner)> = vec![
+        (
+            "monolithic",
+            false,
+            Box::new(move || {
+                std::hint::black_box(p_mono.run_monolithic().unwrap());
+                mono_counters
+            }),
+        ),
+        (
+            "monolithic_parallel",
+            false,
+            Box::new(move || {
+                std::hint::black_box(p_par.run_monolithic_parallel().unwrap());
+                mono_counters
+            }),
+        ),
+        (
+            "streaming_chunk1",
+            true,
+            Box::new(move || {
+                let (study, stats) = p_chunk1.run_streaming_with_stats().unwrap();
+                std::hint::black_box(study);
+                stream_counters(stats)
+            }),
+        ),
+        (
+            "streaming_auto",
+            true,
+            Box::new(move || {
+                let (study, stats) = p_auto.run_streaming_with_stats().unwrap();
+                std::hint::black_box(study);
+                stream_counters(stats)
+            }),
+        ),
+        (
+            "streaming_auto_text",
+            true,
+            Box::new(move || {
+                let (study, stats) = p_text.run_streaming_with_stats().unwrap();
+                std::hint::black_box(study);
+                stream_counters(stats)
+            }),
+        ),
+    ];
+
+    let mut counters: Vec<Counters> = Vec::with_capacity(configs.len());
+    for (_, _, run) in &mut configs {
+        counters.push(run());
+    }
+    let mut walls: Vec<Vec<f64>> = vec![Vec::with_capacity(env.reps); configs.len()];
+    for _ in 0..env.reps {
+        for (i, (_, streaming, run)) in configs.iter_mut().enumerate() {
+            let t = Instant::now();
+            if *streaming && env.handicap_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(env.handicap_ms));
+            }
+            run();
+            walls[i].push(t.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+
+    configs
+        .iter()
+        .zip(counters)
+        .zip(walls)
+        .map(|(((name, _, _), counters), mut config_walls)| {
+            config_walls.sort_by(|a, b| a.total_cmp(b));
+            let wall_ms = config_walls[config_walls.len() / 2];
+            BenchResult {
+                name,
+                wall_ms,
+                peak_bytes: counters.peak_bytes,
+                total_bytes: counters.total_bytes,
+                shards: counters.shards,
+                chunks: counters.chunks,
+                shards_per_sec: counters.shards as f64 / (wall_ms / 1e3),
+            }
+        })
+        .collect()
+}
+
+fn to_json(env: &BenchEnv, results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ssfa-bench-pipeline/v1\",\n");
+    let _ = writeln!(out, "  \"scale\": {},", env.scale);
+    let _ = writeln!(out, "  \"seed\": {},", env.seed);
+    let _ = writeln!(out, "  \"threads\": {},", env.threads);
+    let _ = writeln!(out, "  \"reps\": {},", env.reps);
+    out.push_str("  \"configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"wall_ms\": {:.3},", r.wall_ms);
+        let _ = writeln!(out, "      \"peak_bytes\": {},", r.peak_bytes);
+        let _ = writeln!(out, "      \"total_bytes\": {},", r.total_bytes);
+        let _ = writeln!(out, "      \"shards\": {},", r.shards);
+        let _ = writeln!(out, "      \"chunks\": {},", r.chunks);
+        let _ = writeln!(out, "      \"shards_per_sec\": {:.1}", r.shards_per_sec);
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal extraction for the fixed baseline schema this binary itself
+/// writes (the container has no JSON dependency): locate the config
+/// object by its `"name"` marker, then pull numeric fields from the span
+/// up to the object's closing brace.
+fn extract_config<'a>(json: &'a str, name: &str) -> Option<&'a str> {
+    let marker = format!("\"name\": \"{name}\"");
+    let start = json.find(&marker)?;
+    let end = start + json[start..].find('}')?;
+    Some(&json[start..end])
+}
+
+fn extract_number(object: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = object.find(&marker)? + marker.len();
+    let rest = object[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn baseline_number(json: &str, config: &str, key: &str) -> Result<f64, String> {
+    extract_config(json, config)
+        .and_then(|obj| extract_number(obj, key))
+        .ok_or_else(|| format!("baseline is missing {config}.{key}"))
+}
+
+fn result_for<'a>(results: &'a [BenchResult], name: &str) -> &'a BenchResult {
+    results
+        .iter()
+        .find(|r| r.name == name)
+        .expect("all configs ran")
+}
+
+/// Applies the gate; returns the list of violations (empty = pass).
+fn check_against_baseline(results: &[BenchResult], baseline: &str) -> Result<Vec<String>, String> {
+    let mut violations = Vec::new();
+
+    // Wall gate: the streaming/monolithic ratio, compared ratio-to-ratio
+    // so machine speed cancels out.
+    let current_ratio =
+        result_for(results, GATED_STREAMING).wall_ms / result_for(results, GATED_REFERENCE).wall_ms;
+    let baseline_ratio = baseline_number(baseline, GATED_STREAMING, "wall_ms")?
+        / baseline_number(baseline, GATED_REFERENCE, "wall_ms")?;
+    let limit = baseline_ratio * WALL_RATIO_TOLERANCE;
+    if current_ratio > limit {
+        violations.push(format!(
+            "wall-time regression: {GATED_STREAMING}/{GATED_REFERENCE} ratio {current_ratio:.3} \
+             exceeds baseline {baseline_ratio:.3} x {WALL_RATIO_TOLERANCE} = {limit:.3}"
+        ));
+    }
+
+    // Memory gate: peak resident corpus bytes on every streaming config
+    // are deterministic for the bench (scale, seed) — any growth fails.
+    for config in ["streaming_chunk1", "streaming_auto", "streaming_auto_text"] {
+        let current = result_for(results, config).peak_bytes as f64;
+        let allowed = baseline_number(baseline, config, "peak_bytes")?;
+        if current > allowed {
+            violations.push(format!(
+                "peak-memory regression: {config} peak {current} bytes exceeds baseline {allowed}"
+            ));
+        }
+    }
+    Ok(violations)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let env = BenchEnv::from_env();
+    let results = run_benches(&env);
+    let json = to_json(&env, &results);
+
+    let out_path = std::env::var("SSFA_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    if let Err(err) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_pipeline: cannot write {out_path}: {err}");
+        return ExitCode::from(2);
+    }
+    for r in &results {
+        eprintln!(
+            "{:<22} wall {:>9.3} ms  peak {:>9} B  {:>6} shards in {:>4} chunks  {:>9.1} shards/s",
+            r.name, r.wall_ms, r.peak_bytes, r.shards, r.chunks, r.shards_per_sec,
+        );
+    }
+    eprintln!("bench_pipeline: wrote {out_path}");
+
+    match args.first().map(String::as_str) {
+        None => ExitCode::SUCCESS,
+        Some("--write-baseline") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: bench_pipeline --write-baseline <path>");
+                return ExitCode::from(2);
+            };
+            if let Err(err) = std::fs::write(path, &json) {
+                eprintln!("bench_pipeline: cannot write baseline {path}: {err}");
+                return ExitCode::from(2);
+            }
+            eprintln!("bench_pipeline: blessed new baseline {path}");
+            ExitCode::SUCCESS
+        }
+        Some("--check") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: bench_pipeline --check <baseline>");
+                return ExitCode::from(2);
+            };
+            let baseline = match std::fs::read_to_string(path) {
+                Ok(contents) => contents,
+                Err(err) => {
+                    eprintln!("bench_pipeline: cannot read baseline {path}: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            match check_against_baseline(&results, &baseline) {
+                Ok(violations) if violations.is_empty() => {
+                    eprintln!("bench_pipeline: gate passed against {path}");
+                    ExitCode::SUCCESS
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        eprintln!("bench_pipeline: GATE FAILURE: {v}");
+                    }
+                    ExitCode::FAILURE
+                }
+                Err(err) => {
+                    eprintln!("bench_pipeline: malformed baseline {path}: {err}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("bench_pipeline: unknown argument {other}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "ssfa-bench-pipeline/v1",
+  "configs": [
+    {
+      "name": "monolithic",
+      "wall_ms": 20.000,
+      "peak_bytes": 1000000
+    },
+    {
+      "name": "streaming_chunk1",
+      "wall_ms": 30.000,
+      "peak_bytes": 20000
+    },
+    {
+      "name": "streaming_auto",
+      "wall_ms": 21.000,
+      "peak_bytes": 20000
+    },
+    {
+      "name": "streaming_auto_text",
+      "wall_ms": 40.000,
+      "peak_bytes": 23000
+    }
+  ]
+}
+"#;
+
+    fn result(name: &'static str, wall_ms: f64, peak_bytes: u64) -> BenchResult {
+        BenchResult {
+            name,
+            wall_ms,
+            peak_bytes,
+            total_bytes: peak_bytes * 10,
+            shards: 391,
+            chunks: 12,
+            shards_per_sec: 391.0 / (wall_ms / 1e3),
+        }
+    }
+
+    fn sample_results(auto_wall: f64, auto_peak: u64) -> Vec<BenchResult> {
+        vec![
+            result("monolithic", 20.0, 1_000_000),
+            result("monolithic_parallel", 15.0, 1_000_000),
+            result("streaming_chunk1", 30.0, 20_000),
+            result("streaming_auto", auto_wall, auto_peak),
+            result("streaming_auto_text", 40.0, 23_000),
+        ]
+    }
+
+    #[test]
+    fn parses_numbers_out_of_its_own_schema() {
+        assert_eq!(
+            baseline_number(SAMPLE, "monolithic", "wall_ms").unwrap(),
+            20.0
+        );
+        assert_eq!(
+            baseline_number(SAMPLE, "streaming_auto", "peak_bytes").unwrap(),
+            20_000.0
+        );
+        assert!(baseline_number(SAMPLE, "nonexistent", "wall_ms").is_err());
+    }
+
+    #[test]
+    fn round_trips_through_its_own_writer() {
+        let env = BenchEnv {
+            scale: 0.01,
+            seed: 1988,
+            threads: 1,
+            reps: 5,
+            handicap_ms: 0,
+        };
+        let json = to_json(&env, &sample_results(21.0, 20_000));
+        assert_eq!(
+            baseline_number(&json, "streaming_auto", "wall_ms").unwrap(),
+            21.0
+        );
+        assert_eq!(
+            baseline_number(&json, "monolithic_parallel", "wall_ms").unwrap(),
+            15.0
+        );
+        assert_eq!(
+            baseline_number(&json, "streaming_auto_text", "peak_bytes").unwrap(),
+            23_000.0
+        );
+    }
+
+    #[test]
+    fn gate_passes_at_parity_and_within_tolerance() {
+        // Identical ratio: pass.
+        assert!(
+            check_against_baseline(&sample_results(21.0, 20_000), SAMPLE)
+                .unwrap()
+                .is_empty()
+        );
+        // 20% slower ratio: inside the 25% band.
+        assert!(
+            check_against_baseline(&sample_results(25.2, 20_000), SAMPLE)
+                .unwrap()
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn gate_fails_on_synthetic_2x_slowdown() {
+        let violations = check_against_baseline(&sample_results(42.0, 20_000), SAMPLE).unwrap();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("wall-time regression"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn gate_fails_on_any_peak_memory_growth() {
+        let violations = check_against_baseline(&sample_results(21.0, 20_001), SAMPLE).unwrap();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("peak-memory regression"),
+            "{violations:?}"
+        );
+    }
+}

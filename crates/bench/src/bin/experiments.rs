@@ -72,9 +72,8 @@ fn main() -> ExitCode {
         _ => {}
     }
 
-    let needs_study = !command.starts_with("ablation")
-        && command != "prediction"
-        && command != "fleet-stats";
+    let needs_study =
+        !command.starts_with("ablation") && command != "prediction" && command != "fleet-stats";
     let study = if needs_study { Some(ctx.study()) } else { None };
     let study = study.as_ref();
 

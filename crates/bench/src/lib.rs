@@ -28,7 +28,10 @@ pub struct ExpContext {
 
 impl Default for ExpContext {
     fn default() -> Self {
-        ExpContext { scale: 0.05, seed: 2008 }
+        ExpContext {
+            scale: 0.05,
+            seed: 2008,
+        }
     }
 }
 
@@ -56,8 +59,14 @@ pub fn render_fleet_stats(ctx: &ExpContext) -> String {
     let fleet = ctx.pipeline().build_fleet();
     let mut out = section("Fleet composition (static topology before simulation)");
     let mut t = TextTable::new([
-        "Class", "Systems", "Shelves", "Slots", "RAID Groups", "Dual-path systems",
-        "Shelves/system", "RG shelf span",
+        "Class",
+        "Systems",
+        "Shelves",
+        "Slots",
+        "RAID Groups",
+        "Dual-path systems",
+        "Shelves/system",
+        "RG shelf span",
     ]);
     for s in fleet.stats() {
         t.row([
@@ -106,7 +115,11 @@ pub fn render_table1(study: &Study) -> String {
             count(row.shelves as u64),
             count(row.disks as u64),
             count(row.raid_groups as u64),
-            if row.has_dual_path { "single+dual".into() } else { "single path".into() },
+            if row.has_dual_path {
+                "single+dual".into()
+            } else {
+                "single path".into()
+            },
             format!("{:.0}", row.disk_years),
             count(row.counts.get(FailureType::Disk)),
             count(row.counts.get(FailureType::PhysicalInterconnect)),
@@ -127,17 +140,24 @@ pub fn render_table1(study: &Study) -> String {
 /// type, including (a) and excluding (b) the problematic disk family.
 pub fn render_fig4(study: &Study) -> String {
     let mut out = String::new();
-    for (label, include_h) in
-        [("Figure 4(a): AFR by class, including Disk H", true),
-         ("Figure 4(b): AFR by class, excluding Disk H", false)]
-    {
+    for (label, include_h) in [
+        ("Figure 4(a): AFR by class, including Disk H", true),
+        ("Figure 4(b): AFR by class, excluding Disk H", false),
+    ] {
         out.push_str(&section(label));
         let by_class = study.afr_by_class(include_h);
         let mut t = TextTable::new([
-            "Class", "Disk", "Phys. Inter.", "Protocol", "Performance", "Total AFR",
+            "Class",
+            "Disk",
+            "Phys. Inter.",
+            "Protocol",
+            "Performance",
+            "Total AFR",
         ]);
         for class in SystemClass::ALL {
-            let Some(b) = by_class.get(&class) else { continue };
+            let Some(b) = by_class.get(&class) else {
+                continue;
+            };
             t.row([
                 class.label().to_owned(),
                 pct(b.afr(FailureType::Disk)),
@@ -167,7 +187,12 @@ pub fn render_fig5(study: &Study) -> String {
             panel.shelf_model.letter()
         );
         let mut t = TextTable::new([
-            "Disk Model", "Disk", "Phys. Inter.", "Protocol", "Performance", "Total",
+            "Disk Model",
+            "Disk",
+            "Phys. Inter.",
+            "Protocol",
+            "Performance",
+            "Total",
             "Disk-Years",
         ]);
         for (model, b) in &panel.rows {
@@ -192,12 +217,15 @@ pub fn render_fig5(study: &Study) -> String {
 
 /// Figure 6: low-end AFR by shelf enclosure model for each disk model.
 pub fn render_fig6(study: &Study) -> String {
-    let mut out =
-        section("Figure 6: AFR by shelf enclosure model (low-end, same disk models)");
+    let mut out = section("Figure 6: AFR by shelf enclosure model (low-end, same disk models)");
     for panel in study.fig6_panels() {
         let _ = writeln!(out, "\n-- Disk {} --", panel.disk_model);
         let mut t = TextTable::new([
-            "Shelf Model", "Disk", "Phys. Inter. (99.5% CI)", "Protocol", "Performance",
+            "Shelf Model",
+            "Disk",
+            "Phys. Inter. (99.5% CI)",
+            "Protocol",
+            "Performance",
             "Total",
         ]);
         for (shelf, b) in &panel.rows {
@@ -221,7 +249,11 @@ pub fn render_fig6(study: &Study) -> String {
                 "interconnect-rate difference: z = {:.2}, p = {:.2e} ({}significant at 99.5%)",
                 test.t,
                 test.p_value,
-                if test.significant_at(0.995) { "" } else { "NOT " }
+                if test.significant_at(0.995) {
+                    ""
+                } else {
+                    "NOT "
+                }
             );
         }
     }
@@ -238,7 +270,12 @@ pub fn render_fig7(study: &Study) -> String {
     for panel in study.fig7_panels() {
         let _ = writeln!(out, "\n-- {} systems --", panel.class.label());
         let mut t = TextTable::new([
-            "Paths", "Disk", "Phys. Inter. (99.9% CI)", "Protocol", "Performance", "Total",
+            "Paths",
+            "Disk",
+            "Phys. Inter. (99.9% CI)",
+            "Protocol",
+            "Performance",
+            "Total",
         ]);
         for (label, b) in [("Single Path", &panel.single), ("Dual Paths", &panel.dual)] {
             let ci = b
@@ -285,13 +322,24 @@ pub fn render_fig7(study: &Study) -> String {
 pub fn render_fig9(study: &Study) -> String {
     let mut out = String::new();
     for (label, scope) in [
-        ("Figure 9(a): time between failures within a shelf", Scope::Shelf),
-        ("Figure 9(b): time between failures within a RAID group", Scope::RaidGroup),
+        (
+            "Figure 9(a): time between failures within a shelf",
+            Scope::Shelf,
+        ),
+        (
+            "Figure 9(b): time between failures within a RAID group",
+            Scope::RaidGroup,
+        ),
     ] {
         out.push_str(&section(label));
         let tbf = study.tbf(scope);
         let mut t = TextTable::new([
-            "Stream", "Gaps", "P(<1e3 s)", "P(<1e4 s)", "P(<1e5 s)", "P(<1e6 s)",
+            "Stream",
+            "Gaps",
+            "P(<1e3 s)",
+            "P(<1e4 s)",
+            "P(<1e5 s)",
+            "P(<1e6 s)",
         ]);
         let mut add_row = |name: String, g: &ssfa_core::GapAnalysis| {
             t.row([
@@ -311,8 +359,8 @@ pub fn render_fig9(study: &Study) -> String {
 
         // A quick visual of the overall gap distribution (log-binned).
         if !tbf.overall().is_empty() {
-            let mut hist = ssfa_stats::histogram::Histogram::log(1.0, 1e8, 16)
-                .expect("valid range");
+            let mut hist =
+                ssfa_stats::histogram::Histogram::log(1.0, 1e8, 16).expect("valid range");
             hist.extend(tbf.overall().gaps_secs.iter().map(|&g| g.max(1.0)));
             let _ = writeln!(out, "\noverall gap histogram (seconds, log bins):");
             let _ = write!(out, "{}", hist.render(36));
@@ -334,7 +382,11 @@ pub fn render_fig9(study: &Study) -> String {
                     gof.statistic,
                     gof.df,
                     gof.p_value,
-                    if gof.rejects_at(0.05) { "rejected" } else { "not rejected" }
+                    if gof.rejects_at(0.05) {
+                        "rejected"
+                    } else {
+                        "not rejected"
+                    }
                 );
             }
         }
@@ -356,8 +408,13 @@ pub fn render_fig10(study: &Study) -> String {
         out.push_str(&section(label));
         let results = study.correlation(scope, SimDuration::from_years(1.0));
         let mut t = TextTable::new([
-            "Failure Type", "Groups", "Empirical P(1)", "Empirical P(2)", "Theoretical P(2)",
-            "Ratio", "Significant @99.5%",
+            "Failure Type",
+            "Groups",
+            "Empirical P(1)",
+            "Empirical P(2)",
+            "Theoretical P(2)",
+            "Ratio",
+            "Significant @99.5%",
         ]);
         for r in results {
             t.row([
@@ -366,7 +423,9 @@ pub fn render_fig10(study: &Study) -> String {
                 pct(r.empirical_p1),
                 pct(r.empirical_p2),
                 pct(r.theoretical_p2),
-                r.inflation.map(|x| format!("x{x:.1}")).unwrap_or_else(|| "-".into()),
+                r.inflation
+                    .map(|x| format!("x{x:.1}"))
+                    .unwrap_or_else(|| "-".into()),
                 r.significant_at(0.995).to_string(),
             ]);
         }
@@ -390,7 +449,11 @@ pub fn render_fig10_sweep(study: &Study) -> String {
         ("2 years", SimDuration::from_years(2.0)),
     ];
     let mut t = TextTable::new([
-        "Window", "Groups", "Disk ratio", "Interconnect ratio", "Protocol ratio",
+        "Window",
+        "Groups",
+        "Disk ratio",
+        "Interconnect ratio",
+        "Protocol ratio",
         "Performance ratio",
     ]);
     let sweep = study.correlation_sweep(Scope::Shelf, &windows.map(|(_, w)| w));
@@ -438,9 +501,8 @@ pub fn render_fig9_series(study: &Study, scope: Scope, points: usize) -> String 
     );
     for i in 0..points {
         let x = overall.get(i).map_or(0.0, |(x, _)| *x);
-        let cell = |s: &Vec<(f64, f64)>| {
-            s.get(i).map_or("-".to_owned(), |(_, y)| format!("{y:.4}"))
-        };
+        let cell =
+            |s: &Vec<(f64, f64)>| s.get(i).map_or("-".to_owned(), |(_, y)| format!("{y:.4}"));
         let _ = writeln!(
             out,
             "{:>12.1} {:>8} {:>8} {:>8} {:>8} {:>8}",
@@ -449,7 +511,9 @@ pub fn render_fig9_series(study: &Study, scope: Scope, points: usize) -> String 
             cell(&series[1]),
             cell(&series[2]),
             cell(&series[3]),
-            overall.get(i).map_or("-".to_owned(), |(_, y)| format!("{y:.4}")),
+            overall
+                .get(i)
+                .map_or("-".to_owned(), |(_, y)| format!("{y:.4}")),
         );
     }
     out
@@ -482,12 +546,9 @@ pub fn render_findings(study: &Study) -> String {
 /// on RAID-group burstiness.
 pub fn render_ablation_layout(ctx: &ExpContext) -> String {
     let mut out = section("Ablation A1: RAID-group layout (span-shelves vs same-shelf)");
-    let mut t = TextTable::new([
-        "Layout", "RG gaps", "RG P(gap<1e4 s)", "Shelf P(gap<1e4 s)",
-    ]);
+    let mut t = TextTable::new(["Layout", "RG gaps", "RG P(gap<1e4 s)", "Shelf P(gap<1e4 s)"]);
     for layout in [LayoutPolicy::SpanShelves, LayoutPolicy::SameShelf] {
-        let study =
-            ctx.pipeline().layout(layout).run().expect("pipeline runs");
+        let study = ctx.pipeline().layout(layout).run().expect("pipeline runs");
         let rg = study.tbf(Scope::RaidGroup);
         let shelf = study.tbf(Scope::Shelf);
         t.row([
@@ -509,7 +570,10 @@ pub fn render_ablation_layout(ctx: &ExpContext) -> String {
 pub fn render_ablation_multipath(ctx: &ExpContext) -> String {
     let mut out = section("Ablation A2: multipath masking probability sweep");
     let mut t = TextTable::new([
-        "Mask prob", "Mid-range dual IC AFR", "High-end dual IC AFR", "IC reduction (MR)",
+        "Mask prob",
+        "Mid-range dual IC AFR",
+        "High-end dual IC AFR",
+        "IC reduction (MR)",
     ]);
     for p in [0.0, 0.25, 0.5, 0.55, 0.75, 1.0] {
         let study = ctx
@@ -520,9 +584,15 @@ pub fn render_ablation_multipath(ctx: &ExpContext) -> String {
         let panels = study.fig7_panels();
         let ic = FailureType::PhysicalInterconnect;
         let get = |class: SystemClass| {
-            panels.iter().find(|panel| panel.class == class).map(|panel| {
-                (panel.dual.afr(ic), 1.0 - panel.dual.afr(ic) / panel.single.afr(ic).max(1e-12))
-            })
+            panels
+                .iter()
+                .find(|panel| panel.class == class)
+                .map(|panel| {
+                    (
+                        panel.dual.afr(ic),
+                        1.0 - panel.dual.afr(ic) / panel.single.afr(ic).max(1e-12),
+                    )
+                })
         };
         let mr = get(SystemClass::MidRange);
         let he = get(SystemClass::HighEnd);
@@ -530,7 +600,8 @@ pub fn render_ablation_multipath(ctx: &ExpContext) -> String {
             format!("{p:.2}"),
             mr.map(|(a, _)| pct(a)).unwrap_or_else(|| "-".into()),
             he.map(|(a, _)| pct(a)).unwrap_or_else(|| "-".into()),
-            mr.map(|(_, r)| format!("{:+.0}%", -r * 100.0)).unwrap_or_else(|| "-".into()),
+            mr.map(|(_, r)| format!("{:+.0}%", -r * 100.0))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     let _ = write!(out, "{t}");
@@ -542,13 +613,20 @@ pub fn render_ablation_multipath(ctx: &ExpContext) -> String {
 pub fn render_ablation_independence(ctx: &ExpContext) -> String {
     let mut out = section("Ablation A3: episodes off -> independence restored");
     let mut t = TextTable::new([
-        "Calibration", "Shelf P(gap<1e4 s)", "IC P(2) inflation", "Disk P(2) inflation",
+        "Calibration",
+        "Shelf P(gap<1e4 s)",
+        "IC P(2) inflation",
+        "Disk P(2) inflation",
     ]);
     for (label, cal) in [
         ("paper (episodes on)", Calibration::paper()),
         ("episodes off", Calibration::paper().without_episodes()),
     ] {
-        let study = ctx.pipeline().calibration(cal).run().expect("pipeline runs");
+        let study = ctx
+            .pipeline()
+            .calibration(cal)
+            .run()
+            .expect("pipeline runs");
         let tbf = study.tbf(Scope::Shelf);
         let corr = study.correlation(Scope::Shelf, SimDuration::from_years(1.0));
         let inflation = |ty: FailureType| {
@@ -578,11 +656,20 @@ pub fn render_raid_risk(study: &Study) -> String {
     use ssfa_core::{raid_data_loss_risk, RiskFailureSet};
     let mut out = section("Extension E1: RAID concurrent-failure risk vs independence model");
     let mut t = TextTable::new([
-        "RAID", "Failure set", "Repair window", "Groups", "Incidents",
-        "Empirical /grp-yr", "Independent /grp-yr", "Underestimated by",
+        "RAID",
+        "Failure set",
+        "Repair window",
+        "Groups",
+        "Incidents",
+        "Empirical /grp-yr",
+        "Independent /grp-yr",
+        "Underestimated by",
     ]);
     for window_days in [1.0, 3.0] {
-        for set in [RiskFailureSet::DiskOnly, RiskFailureSet::DiskAndInterconnect] {
+        for set in [
+            RiskFailureSet::DiskOnly,
+            RiskFailureSet::DiskAndInterconnect,
+        ] {
             let results = raid_data_loss_risk(
                 study.input(),
                 ssfa_model::SimDuration::from_days(window_days),
@@ -614,11 +701,8 @@ pub fn render_raid_risk(study: &Study) -> String {
         merged.merge(b);
     }
     let disk_afr = merged.afr(FailureType::Disk).max(1e-6);
-    let params = ssfa_core::MttdlParams::from_afr(
-        disk_afr,
-        ssfa_model::SimDuration::from_days(1.0),
-        8,
-    );
+    let params =
+        ssfa_core::MttdlParams::from_afr(disk_afr, ssfa_model::SimDuration::from_days(1.0), 8);
     let _ = writeln!(
         out,
         "\ntextbook MTTDL at the fleet's disk AFR ({}) for an 8-disk group, 24 h rebuild:",
@@ -649,11 +733,17 @@ pub fn render_availability(study: &Study) -> String {
     let mut out = section("Availability: expected data-path downtime from the measured AFRs");
     let repairs = RepairTimes::typical();
     let mut t = TextTable::new([
-        "Population", "Subsystem AFR", "Downtime (h / disk-yr)", "Availability", "Nines",
+        "Population",
+        "Subsystem AFR",
+        "Downtime (h / disk-yr)",
+        "Availability",
+        "Nines",
     ]);
     let by_class = study.afr_by_class(true);
     for class in SystemClass::ALL {
-        let Some(b) = by_class.get(&class) else { continue };
+        let Some(b) = by_class.get(&class) else {
+            continue;
+        };
         let est = estimate_availability(b, &repairs);
         t.row([
             class.label().to_owned(),
@@ -694,7 +784,10 @@ pub fn render_prediction(ctx: &ExpContext) -> String {
     // Capped at 5% scale: a full-cascade noisy corpus of the whole fleet is
     // hundreds of MB of text, and the precision/recall sweep is stable well
     // below that.
-    let ctx = &ExpContext { scale: ctx.scale.min(0.05), seed: ctx.seed };
+    let ctx = &ExpContext {
+        scale: ctx.scale.min(0.05),
+        seed: ctx.seed,
+    };
     let pipeline = ctx.pipeline().cascade_style(CascadeStyle::Full);
     let fleet = pipeline.build_fleet();
     let output = pipeline.simulate(&fleet);
@@ -720,13 +813,20 @@ pub fn render_prediction(ctx: &ExpContext) -> String {
     );
 
     let mut t = TextTable::new([
-        "Threshold", "Alarms", "Precision", "Recall", "Median lead time",
+        "Threshold",
+        "Alarms",
+        "Precision",
+        "Recall",
+        "Median lead time",
     ]);
     for threshold in [1u32, 2, 3, 4, 5] {
         let eval = evaluate_predictor(
             &book,
             &input,
-            PrecursorPredictor { threshold, ..PrecursorPredictor::default() },
+            PrecursorPredictor {
+                threshold,
+                ..PrecursorPredictor::default()
+            },
         );
         t.row([
             threshold.to_string(),
@@ -783,7 +883,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpContext {
-        ExpContext { scale: 0.002, seed: 99 }
+        ExpContext {
+            scale: 0.002,
+            seed: 99,
+        }
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl AfrBreakdown {
 
     /// An empty breakdown (no events, no exposure).
     pub fn empty() -> Self {
-        AfrBreakdown { counts: FailureCounts::new(), disk_years: 0.0 }
+        AfrBreakdown {
+            counts: FailureCounts::new(),
+            disk_years: 0.0,
+        }
     }
 
     /// Records one failure of the given type.

@@ -145,9 +145,7 @@ mod tests {
         let a_single = estimate_availability(&single, &r);
         let a_dual = estimate_availability(&dual, &r);
         assert!(a_dual.availability > a_single.availability);
-        assert!(
-            a_dual.downtime_hours_per_disk_year < a_single.downtime_hours_per_disk_year
-        );
+        assert!(a_dual.downtime_hours_per_disk_year < a_single.downtime_hours_per_disk_year);
         assert!(a_dual.nines() > a_single.nines());
     }
 }

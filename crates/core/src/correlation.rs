@@ -118,15 +118,16 @@ pub fn correlation_by_type(
         .collect();
 
     // Count failures per (group, type) within the group's first `window`.
-    let window_of: HashMap<u32, SimTime> =
-        eligible.iter().map(|g| (g.key, g.in_service_from)).collect();
+    let window_of: HashMap<u32, SimTime> = eligible
+        .iter()
+        .map(|g| (g.key, g.in_service_from))
+        .collect();
     let mut counts: HashMap<(u32, FailureType), u32> = HashMap::new();
 
     // Dedup same-disk same-type repeats, mirroring the TBF analysis.
     let mut sorted: Vec<&FailureRecord> = records.iter().collect();
     sorted.sort_by(|a, b| FailureRecord::chronological(a, b));
-    let mut last_seen: HashMap<(ssfa_model::DiskInstanceId, FailureType), SimTime> =
-        HashMap::new();
+    let mut last_seen: HashMap<(ssfa_model::DiskInstanceId, FailureType), SimTime> = HashMap::new();
     for rec in sorted {
         let dedup_key = (rec.disk, rec.failure_type);
         let dup = match last_seen.get(&dedup_key) {
@@ -156,8 +157,16 @@ pub fn correlation_by_type(
                 _ => {}
             }
         }
-        let p1 = if n == 0 { 0.0 } else { exactly_one as f64 / n as f64 };
-        let p2 = if n == 0 { 0.0 } else { exactly_two as f64 / n as f64 };
+        let p1 = if n == 0 {
+            0.0
+        } else {
+            exactly_one as f64 / n as f64
+        };
+        let p2 = if n == 0 {
+            0.0
+        } else {
+            exactly_two as f64 / n as f64
+        };
         let theory = p1 * p1 / 2.0;
         // z test on the count of two-failure groups against the
         // independence prediction.
@@ -173,7 +182,11 @@ pub fn correlation_by_type(
             empirical_p1: p1,
             empirical_p2: p2,
             theoretical_p2: theory,
-            inflation: if theory > 0.0 { Some(p2 / theory) } else { None },
+            inflation: if theory > 0.0 {
+                Some(p2 / theory)
+            } else {
+                None
+            },
             z,
         }
     })
@@ -198,7 +211,12 @@ mod tests {
     }
 
     fn groups(n: u32) -> Vec<GroupWindow> {
-        (0..n).map(|k| GroupWindow { key: k, in_service_from: SimTime::ZERO }).collect()
+        (0..n)
+            .map(|k| GroupWindow {
+                key: k,
+                in_service_from: SimTime::ZERO,
+            })
+            .collect()
     }
 
     const YEAR: u64 = 31_557_600;
@@ -253,8 +271,7 @@ mod tests {
         for g in gs.iter_mut().take(5) {
             g.in_service_from = end.saturating_sub(SimDuration::from_secs(YEAR / 2));
         }
-        let results =
-            correlation_by_type(Scope::Shelf, &gs, &[], SimDuration::from_secs(YEAR));
+        let results = correlation_by_type(Scope::Shelf, &gs, &[], SimDuration::from_secs(YEAR));
         assert_eq!(results[0].groups, 5);
     }
 

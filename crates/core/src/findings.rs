@@ -73,7 +73,9 @@ fn finding_1(study: &Study) -> Finding {
     let mut pass = true;
     let mut parts = Vec::new();
     for class in SystemClass::ALL {
-        let Some(b) = by_class.get(&class) else { continue };
+        let Some(b) = by_class.get(&class) else {
+            continue;
+        };
         let disk = b.share(FailureType::Disk).unwrap_or(0.0);
         let ic = b.share(FailureType::PhysicalInterconnect).unwrap_or(0.0);
         let proto = b.share(FailureType::Protocol).unwrap_or(0.0);
@@ -104,9 +106,10 @@ fn finding_1(study: &Study) -> Finding {
 /// *subsystems* fail less than low-end subsystems.
 fn finding_2(study: &Study) -> Finding {
     let by_class = study.afr_by_class(false);
-    let (Some(nl), Some(le)) =
-        (by_class.get(&SystemClass::NearLine), by_class.get(&SystemClass::LowEnd))
-    else {
+    let (Some(nl), Some(le)) = (
+        by_class.get(&SystemClass::NearLine),
+        by_class.get(&SystemClass::LowEnd),
+    ) else {
         return Finding {
             id: 2,
             title: "Disk AFR is not indicative of subsystem AFR",
@@ -147,7 +150,11 @@ fn finding_3(study: &Study) -> Finding {
             rest.merge(b);
         }
     }
-    let ratio = if rest.total_afr() > 0.0 { h.total_afr() / rest.total_afr() } else { 0.0 };
+    let ratio = if rest.total_afr() > 0.0 {
+        h.total_afr() / rest.total_afr()
+    } else {
+        0.0
+    };
     Finding {
         id: 3,
         title: "The problematic disk family doubles subsystem AFR",
@@ -231,7 +238,11 @@ fn finding_5(study: &Study) -> Finding {
         pass: comparisons > 0 && increases * 2 <= comparisons,
         evidence: format!(
             "{increases}/{comparisons} capacity steps show a clear AFR increase{}",
-            if evidence.is_empty() { String::new() } else { format!(" ({})", evidence.join(", ")) }
+            if evidence.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", evidence.join(", "))
+            }
         ),
     }
 }
@@ -287,8 +298,11 @@ fn finding_7(study: &Study) -> Finding {
         let ty = FailureType::PhysicalInterconnect;
         let ic_cut = 1.0 - p.dual.afr(ty) / p.single.afr(ty).max(1e-12);
         let total_cut = 1.0 - p.dual.total_afr() / p.single.total_afr().max(1e-12);
-        let significant =
-            p.interconnect_test.as_ref().map(|t| t.significant_at(0.999)).unwrap_or(false);
+        let significant = p
+            .interconnect_test
+            .as_ref()
+            .map(|t| t.significant_at(0.999))
+            .unwrap_or(false);
         pass &= (0.35..=0.75).contains(&ic_cut);
         pass &= (0.15..=0.60).contains(&total_cut);
         pass &= significant;
@@ -312,8 +326,7 @@ fn finding_7(study: &Study) -> Finding {
 /// bursty than disk failures (shelf scope).
 fn finding_8(study: &Study) -> Finding {
     let tbf = study.tbf(Scope::Shelf);
-    let frac =
-        |ty: FailureType| tbf.for_type(ty).fraction_within(BURST_THRESHOLD_SECS);
+    let frac = |ty: FailureType| tbf.for_type(ty).fraction_within(BURST_THRESHOLD_SECS);
     let disk = frac(FailureType::Disk);
     let ic = frac(FailureType::PhysicalInterconnect);
     let proto = frac(FailureType::Protocol);
@@ -336,19 +349,32 @@ fn finding_8(study: &Study) -> Finding {
 
 /// Finding 9: RAID-group failures are less bursty than shelf failures.
 fn finding_9(study: &Study) -> Finding {
-    let shelf = study.tbf(Scope::Shelf).overall().fraction_within(BURST_THRESHOLD_SECS);
-    let rg = study.tbf(Scope::RaidGroup).overall().fraction_within(BURST_THRESHOLD_SECS);
+    let shelf = study
+        .tbf(Scope::Shelf)
+        .overall()
+        .fraction_within(BURST_THRESHOLD_SECS);
+    let rg = study
+        .tbf(Scope::RaidGroup)
+        .overall()
+        .fraction_within(BURST_THRESHOLD_SECS);
     Finding {
         id: 9,
         title: "RAID groups spanning shelves see less bursty failures than shelves",
         pass: rg < shelf,
-        evidence: format!("P(gap<10^4s): shelf {} vs RAID group {}", pct(shelf), pct(rg)),
+        evidence: format!(
+            "P(gap<10^4s): shelf {} vs RAID group {}",
+            pct(shelf),
+            pct(rg)
+        ),
     }
 }
 
 /// Finding 10: RAID-group failures still show strong temporal locality.
 fn finding_10(study: &Study) -> Finding {
-    let rg = study.tbf(Scope::RaidGroup).overall().fraction_within(BURST_THRESHOLD_SECS);
+    let rg = study
+        .tbf(Scope::RaidGroup)
+        .overall()
+        .fraction_within(BURST_THRESHOLD_SECS);
     Finding {
         id: 10,
         title: "RAID-group failures still exhibit strong temporal locality",

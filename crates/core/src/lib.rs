@@ -42,21 +42,21 @@
 pub mod afr;
 pub mod availability;
 pub mod correlation;
+pub mod findings;
 pub mod mttdl;
 pub mod predict;
 pub mod raid_risk;
-pub mod findings;
 pub mod report;
 pub mod study;
 pub mod tbf;
 
 pub use afr::AfrBreakdown;
 pub use availability::{estimate_availability, AvailabilityEstimate, RepairTimes};
+pub use correlation::{CorrelationResult, Scope};
+pub use findings::{Finding, FindingsReport};
 pub use mttdl::MttdlParams;
 pub use predict::{evaluate_predictor, Alarm, PrecursorPredictor, PredictionEval};
 pub use raid_risk::{raid_data_loss_risk, RaidRiskResult, RiskFailureSet};
-pub use correlation::{CorrelationResult, Scope};
-pub use findings::{Finding, FindingsReport};
 pub use study::Study;
 pub use tbf::{GapAnalysis, TbfAnalysis};
 

@@ -31,7 +31,10 @@ impl MttdlParams {
     ///
     /// Panics unless `afr` is positive and finite.
     pub fn from_afr(afr: f64, mttr: SimDuration, group_size: u32) -> MttdlParams {
-        assert!(afr.is_finite() && afr > 0.0, "AFR must be positive, got {afr}");
+        assert!(
+            afr.is_finite() && afr > 0.0,
+            "AFR must be positive, got {afr}"
+        );
         MttdlParams {
             disk_mttf_hours: 8_766.0 / afr, // hours per year / AFR
             mttr_hours: mttr.as_hours(),
@@ -80,7 +83,11 @@ mod tests {
     fn raid4_formula_matches_hand_computation() {
         // MTTF 1e6 h, MTTR 24 h, N = 8:
         // MTTDL = 1e12 / (8·7·24) = 7.4405e8 h.
-        let p = MttdlParams { disk_mttf_hours: 1e6, mttr_hours: 24.0, group_size: 8 };
+        let p = MttdlParams {
+            disk_mttf_hours: 1e6,
+            mttr_hours: 24.0,
+            group_size: 8,
+        };
         let mttdl = p.mttdl_hours(RaidType::Raid4);
         assert!((mttdl - 1e12 / (8.0 * 7.0 * 24.0)).abs() / mttdl < 1e-12);
         // ~85,000 years: the "you will never lose data" number vendors quote.
@@ -89,7 +96,11 @@ mod tests {
 
     #[test]
     fn raid6_is_dramatically_safer_under_independence() {
-        let p = MttdlParams { disk_mttf_hours: 1e6, mttr_hours: 24.0, group_size: 8 };
+        let p = MttdlParams {
+            disk_mttf_hours: 1e6,
+            mttr_hours: 24.0,
+            group_size: 8,
+        };
         let r4 = p.mttdl_hours(RaidType::Raid4);
         let r6 = p.mttdl_hours(RaidType::Raid6);
         // Extra factor ≈ MTTF / ((N−2)·MTTR) ≈ 1e6 / 144 ≈ 7000x.
@@ -108,12 +119,18 @@ mod tests {
 
     #[test]
     fn longer_rebuilds_linearly_hurt_raid4_quadratically_hurt_raid6() {
-        let fast = MttdlParams { disk_mttf_hours: 1e6, mttr_hours: 12.0, group_size: 10 };
-        let slow = MttdlParams { disk_mttf_hours: 1e6, mttr_hours: 48.0, group_size: 10 };
-        let r4_ratio =
-            fast.mttdl_hours(RaidType::Raid4) / slow.mttdl_hours(RaidType::Raid4);
-        let r6_ratio =
-            fast.mttdl_hours(RaidType::Raid6) / slow.mttdl_hours(RaidType::Raid6);
+        let fast = MttdlParams {
+            disk_mttf_hours: 1e6,
+            mttr_hours: 12.0,
+            group_size: 10,
+        };
+        let slow = MttdlParams {
+            disk_mttf_hours: 1e6,
+            mttr_hours: 48.0,
+            group_size: 10,
+        };
+        let r4_ratio = fast.mttdl_hours(RaidType::Raid4) / slow.mttdl_hours(RaidType::Raid4);
+        let r6_ratio = fast.mttdl_hours(RaidType::Raid6) / slow.mttdl_hours(RaidType::Raid6);
         assert!((r4_ratio - 4.0).abs() < 1e-9);
         assert!((r6_ratio - 16.0).abs() < 1e-9);
     }
@@ -121,7 +138,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "RAID6 needs")]
     fn tiny_groups_rejected() {
-        let p = MttdlParams { disk_mttf_hours: 1e6, mttr_hours: 24.0, group_size: 2 };
+        let p = MttdlParams {
+            disk_mttf_hours: 1e6,
+            mttr_hours: 24.0,
+            group_size: 2,
+        };
         let _ = p.mttdl_hours(RaidType::Raid6);
     }
 

@@ -126,7 +126,10 @@ pub fn evaluate_predictor(
             continue;
         };
         let key = (line.host, *device);
-        if cooldown_until.get(&key).is_some_and(|&until| line.at < until) {
+        if cooldown_until
+            .get(&key)
+            .is_some_and(|&until| line.at < until)
+        {
             continue;
         }
         let times = recent.entry(key).or_default();
@@ -134,7 +137,11 @@ pub fn evaluate_predictor(
         let cutoff = line.at.saturating_sub(predictor.accumulation);
         times.retain(|&t| t >= cutoff);
         if times.len() >= predictor.threshold as usize {
-            alarms.push(Alarm { system: line.host, device: *device, at: line.at });
+            alarms.push(Alarm {
+                system: line.host,
+                device: *device,
+                at: line.at,
+            });
             cooldown_until.insert(key, line.at + predictor.cooldown);
             times.clear();
         }
@@ -165,13 +172,15 @@ pub fn evaluate_predictor(
         let key = (alarm.system, alarm.device);
         let hit = failures_by_device.get(&key).and_then(|times| {
             let idx = times.partition_point(|&t| t < alarm.at);
-            times.get(idx).filter(|&&t| t <= alarm.at + predictor.horizon).copied()
+            times
+                .get(idx)
+                .filter(|&&t| t <= alarm.at + predictor.horizon)
+                .copied()
         });
         match hit {
             Some(failure_at) => {
                 true_positives += 1;
-                lead_times_hours
-                    .push(failure_at.duration_since(alarm.at).as_hours());
+                lead_times_hours.push(failure_at.duration_since(alarm.at).as_hours());
                 detected.insert((alarm.system, alarm.device, failure_at), true);
             }
             None => false_positives += 1,
@@ -192,9 +201,7 @@ pub fn evaluate_predictor(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssfa_logs::{
-        classify, render_support_log_noisy, CascadeStyle, LogLine, NoiseParams,
-    };
+    use ssfa_logs::{classify, render_support_log_noisy, CascadeStyle, LogLine, NoiseParams};
     use ssfa_model::{Fleet, FleetConfig};
     use ssfa_sim::Simulator;
 
@@ -224,7 +231,10 @@ mod tests {
         let early = evaluate_predictor(
             &book,
             &input,
-            PrecursorPredictor { threshold: 2, ..PrecursorPredictor::default() },
+            PrecursorPredictor {
+                threshold: 2,
+                ..PrecursorPredictor::default()
+            },
         );
         assert!(early.median_lead_time_hours().unwrap() > lead);
     }
@@ -244,7 +254,10 @@ mod tests {
         let trigger_happy = evaluate_predictor(
             &book,
             &input,
-            PrecursorPredictor { threshold: 1, ..PrecursorPredictor::default() },
+            PrecursorPredictor {
+                threshold: 1,
+                ..PrecursorPredictor::default()
+            },
         );
         assert!(
             trigger_happy.precision().expect("alarms exist") < precision,

@@ -203,10 +203,16 @@ pub fn raid_data_loss_risk(
                 }
             }
 
-            let empirical_rate =
-                if group_years > 0.0 { incidents as f64 / group_years } else { 0.0 };
-            let independent_rate =
-                if group_years > 0.0 { independent_rate_weighted / group_years } else { 0.0 };
+            let empirical_rate = if group_years > 0.0 {
+                incidents as f64 / group_years
+            } else {
+                0.0
+            };
+            let independent_rate = if group_years > 0.0 {
+                independent_rate_weighted / group_years
+            } else {
+                0.0
+            };
             RaidRiskResult {
                 raid_type,
                 failure_set,
@@ -228,8 +234,8 @@ mod tests {
     use ssfa_logs::classify::{RaidGroupMeta, SystemMeta};
     use ssfa_logs::Topology;
     use ssfa_model::{
-        DeviceAddr, DiskInstanceId, DiskModelId, FailureRecord, LayoutPolicy, LoopId,
-        PathConfig, RaidGroupId, ShelfId, ShelfModel, SlotAddr, SystemClass, SystemId,
+        DeviceAddr, DiskInstanceId, DiskModelId, FailureRecord, LayoutPolicy, LoopId, PathConfig,
+        RaidGroupId, ShelfId, ShelfModel, SlotAddr, SystemClass, SystemId,
     };
 
     /// Builds a minimal AnalysisInput: `n_groups` RAID4 groups in service
@@ -253,7 +259,10 @@ mod tests {
                 RaidGroupMeta {
                     system: SystemId(0),
                     raid_type: RaidType::Raid4,
-                    slots: vec![SlotAddr { shelf: ShelfId(0), bay: 0 }],
+                    slots: vec![SlotAddr {
+                        shelf: ShelfId(0),
+                        bay: 0,
+                    }],
                 },
             );
         }
@@ -270,19 +279,23 @@ mod tests {
                 device: DeviceAddr::new(8, 16),
             })
             .collect();
-        AnalysisInput { topology, lifetimes: Vec::new(), failures }
+        AnalysisInput {
+            topology,
+            lifetimes: Vec::new(),
+            failures,
+        }
     }
 
     const DAY: u64 = 86_400;
 
     #[test]
     fn two_failures_within_window_are_one_incident() {
-        let input = input_with(
-            10,
-            vec![(0, 1, 100 * DAY), (0, 2, 100 * DAY + DAY / 2)],
+        let input = input_with(10, vec![(0, 1, 100 * DAY), (0, 2, 100 * DAY + DAY / 2)]);
+        let results = raid_data_loss_risk(
+            &input,
+            SimDuration::from_days(1.0),
+            RiskFailureSet::DiskOnly,
         );
-        let results =
-            raid_data_loss_risk(&input, SimDuration::from_days(1.0), RiskFailureSet::DiskOnly);
         let raid4 = &results[0];
         assert_eq!(raid4.raid_type, RaidType::Raid4);
         assert_eq!(raid4.incidents, 1);
@@ -293,8 +306,11 @@ mod tests {
     #[test]
     fn two_failures_outside_window_are_no_incident() {
         let input = input_with(10, vec![(0, 1, 100 * DAY), (0, 2, 105 * DAY)]);
-        let results =
-            raid_data_loss_risk(&input, SimDuration::from_days(1.0), RiskFailureSet::DiskOnly);
+        let results = raid_data_loss_risk(
+            &input,
+            SimDuration::from_days(1.0),
+            RiskFailureSet::DiskOnly,
+        );
         assert_eq!(results[0].incidents, 0);
     }
 
@@ -303,8 +319,11 @@ mod tests {
         // Two failures of the same disk 2 days apart (outside the dedup
         // window, inside a 7-day repair window): not a double failure.
         let input = input_with(10, vec![(0, 1, 100 * DAY), (0, 1, 102 * DAY)]);
-        let results =
-            raid_data_loss_risk(&input, SimDuration::from_days(7.0), RiskFailureSet::DiskOnly);
+        let results = raid_data_loss_risk(
+            &input,
+            SimDuration::from_days(7.0),
+            RiskFailureSet::DiskOnly,
+        );
         assert_eq!(results[0].incidents, 0);
     }
 
@@ -318,8 +337,11 @@ mod tests {
                 (0, 3, 100 * DAY + 7_200),
             ],
         );
-        let results =
-            raid_data_loss_risk(&input, SimDuration::from_days(1.0), RiskFailureSet::DiskOnly);
+        let results = raid_data_loss_risk(
+            &input,
+            SimDuration::from_days(1.0),
+            RiskFailureSet::DiskOnly,
+        );
         assert_eq!(results[0].incidents, 1, "one burst, one incident");
     }
 
@@ -336,8 +358,11 @@ mod tests {
             fc_loop: LoopId(0),
             device: DeviceAddr::new(8, 17),
         });
-        let disk_only =
-            raid_data_loss_risk(&input, SimDuration::from_days(1.0), RiskFailureSet::DiskOnly);
+        let disk_only = raid_data_loss_risk(
+            &input,
+            SimDuration::from_days(1.0),
+            RiskFailureSet::DiskOnly,
+        );
         assert_eq!(disk_only[0].incidents, 0);
         let both = raid_data_loss_risk(
             &input,
@@ -350,8 +375,11 @@ mod tests {
     #[test]
     fn independence_prediction_is_positive_when_failures_exist() {
         let input = input_with(5, vec![(0, 1, 10 * DAY), (1, 2, 600 * DAY)]);
-        let results =
-            raid_data_loss_risk(&input, SimDuration::from_days(3.0), RiskFailureSet::DiskOnly);
+        let results = raid_data_loss_risk(
+            &input,
+            SimDuration::from_days(3.0),
+            RiskFailureSet::DiskOnly,
+        );
         let raid4 = &results[0];
         assert!(raid4.independent_rate > 0.0);
         assert_eq!(raid4.incidents, 0);

@@ -176,10 +176,7 @@ impl Study {
     /// Figure 4: AFR breakdown per system class, optionally excluding
     /// subsystems built from the problematic disk family `H`
     /// (4a = `true`, 4b = `false`).
-    pub fn afr_by_class(
-        &self,
-        include_problematic: bool,
-    ) -> HashMap<SystemClass, AfrBreakdown> {
+    pub fn afr_by_class(&self, include_problematic: bool) -> HashMap<SystemClass, AfrBreakdown> {
         self.breakdown_by(|_, meta| {
             if !include_problematic && meta.disk_model.family.is_problematic() {
                 None
@@ -221,7 +218,11 @@ impl Study {
                     return None;
                 }
                 rows.sort_by_key(|(d, _)| *d);
-                Some(Fig5Panel { class, shelf_model, rows })
+                Some(Fig5Panel {
+                    class,
+                    shelf_model,
+                    rows,
+                })
             })
             .collect()
     }
@@ -231,8 +232,7 @@ impl Study {
     /// physical-interconnect rate.
     pub fn fig6_panels(&self) -> Vec<Fig6Panel> {
         let env = self.breakdown_by(|_, meta| {
-            (meta.class == SystemClass::LowEnd)
-                .then_some((meta.disk_model, meta.shelf_model))
+            (meta.class == SystemClass::LowEnd).then_some((meta.disk_model, meta.shelf_model))
         });
         let mut models: Vec<DiskModelId> = env.keys().map(|(d, _)| *d).collect();
         models.sort();
@@ -250,7 +250,11 @@ impl Study {
                     return None;
                 }
                 let interconnect_test = interconnect_rate_test(&rows[0].1, &rows[1].1);
-                Some(Fig6Panel { disk_model, rows, interconnect_test })
+                Some(Fig6Panel {
+                    disk_model,
+                    rows,
+                    interconnect_test,
+                })
             })
             .collect()
     }
@@ -261,13 +265,17 @@ impl Study {
         [SystemClass::MidRange, SystemClass::HighEnd]
             .into_iter()
             .filter_map(|class| {
-                let by_path = self.breakdown_by(|_, meta| {
-                    (meta.class == class).then_some(meta.paths)
-                });
+                let by_path =
+                    self.breakdown_by(|_, meta| (meta.class == class).then_some(meta.paths));
                 let single = by_path.get(&PathConfig::SinglePath)?.clone();
                 let dual = by_path.get(&PathConfig::DualPath)?.clone();
                 let interconnect_test = interconnect_rate_test(&single, &dual);
-                Some(Fig7Panel { class, single, dual, interconnect_test })
+                Some(Fig7Panel {
+                    class,
+                    single,
+                    dual,
+                    interconnect_test,
+                })
             })
             .collect()
     }
@@ -289,7 +297,10 @@ impl Study {
                 .iter()
                 .filter_map(|(id, meta)| {
                     let sys = self.system_meta(meta.system)?;
-                    Some(GroupWindow { key: id.0, in_service_from: sys.installed_at })
+                    Some(GroupWindow {
+                        key: id.0,
+                        in_service_from: sys.installed_at,
+                    })
                 })
                 .collect(),
             Scope::RaidGroup => self
@@ -299,7 +310,10 @@ impl Study {
                 .iter()
                 .filter_map(|(id, meta)| {
                     let sys = self.system_meta(meta.system)?;
-                    Some(GroupWindow { key: id.0, in_service_from: sys.installed_at })
+                    Some(GroupWindow {
+                        key: id.0,
+                        in_service_from: sys.installed_at,
+                    })
                 })
                 .collect(),
         }
@@ -323,7 +337,12 @@ impl Study {
         let groups = self.group_windows(scope);
         windows
             .iter()
-            .map(|&w| (w, correlation_by_type(scope, &groups, &self.input.failures, w)))
+            .map(|&w| {
+                (
+                    w,
+                    correlation_by_type(scope, &groups, &self.input.failures, w),
+                )
+            })
             .collect()
     }
 
@@ -344,8 +363,10 @@ impl Study {
             .into_iter()
             .filter(|(_, envs)| envs.len() >= 2)
             .filter_map(|(model, envs)| {
-                let disk: Vec<f64> =
-                    envs.iter().map(|b| b.afr(ssfa_model::FailureType::Disk)).collect();
+                let disk: Vec<f64> = envs
+                    .iter()
+                    .map(|b| b.afr(ssfa_model::FailureType::Disk))
+                    .collect();
                 let subsystem: Vec<f64> = envs.iter().map(|b| b.total_afr()).collect();
                 let cv = |xs: &[f64]| {
                     ssfa_stats::summary::Summary::of(xs)
@@ -405,9 +426,7 @@ impl Study {
             .map(|(model, cells)| ModelHomogeneity {
                 model,
                 environments: cells.len(),
-                disk_p: homogeneity_p(&cells, &|b| {
-                    b.counts().get(ssfa_model::FailureType::Disk)
-                }),
+                disk_p: homogeneity_p(&cells, &|b| b.counts().get(ssfa_model::FailureType::Disk)),
                 subsystem_p: homogeneity_p(&cells, &|b| b.counts().total()),
             })
             .collect();
@@ -541,7 +560,11 @@ mod tests {
     fn fig6_panels_have_both_shelves_and_tests() {
         let s = shared_study();
         let panels = s.fig6_panels();
-        assert!(panels.len() >= 4, "expected >=4 low-end disk models, got {}", panels.len());
+        assert!(
+            panels.len() >= 4,
+            "expected >=4 low-end disk models, got {}",
+            panels.len()
+        );
         for p in &panels {
             assert_eq!(p.rows.len(), 2);
             assert!(p.interconnect_test.is_some());
@@ -554,7 +577,10 @@ mod tests {
         let panels = s.fig7_panels();
         assert_eq!(panels.len(), 2);
         for p in &panels {
-            assert!(p.single.disk_years() > p.dual.disk_years(), "2/3 single path");
+            assert!(
+                p.single.disk_years() > p.dual.disk_years(),
+                "2/3 single path"
+            );
             // Dual path must show a lower interconnect AFR.
             let ty = FailureType::PhysicalInterconnect;
             assert!(p.dual.afr(ty) < p.single.afr(ty), "{}", p.class);
@@ -603,14 +629,22 @@ mod tests {
         let tests = s.disk_model_homogeneity(500.0);
         assert!(!tests.is_empty());
         for t in &tests {
-            assert!((0.0..=1.0).contains(&t.disk_p), "{}: disk p {}", t.model, t.disk_p);
+            assert!(
+                (0.0..=1.0).contains(&t.disk_p),
+                "{}: disk p {}",
+                t.model,
+                t.disk_p
+            );
             assert!((0.0..=1.0).contains(&t.subsystem_p));
             assert!(t.environments >= 2);
         }
         // Aggregate: subsystem rates reject homogeneity more often.
         let disk_rejects = tests.iter().filter(|t| t.disk_p < 0.05).count();
         let sub_rejects = tests.iter().filter(|t| t.subsystem_p < 0.05).count();
-        assert!(sub_rejects > disk_rejects, "{sub_rejects} vs {disk_rejects}");
+        assert!(
+            sub_rejects > disk_rejects,
+            "{sub_rejects} vs {disk_rejects}"
+        );
     }
 
     #[test]

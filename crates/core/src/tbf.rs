@@ -35,7 +35,11 @@ pub struct GapAnalysis {
 
 impl GapAnalysis {
     fn from_gaps(gaps_secs: Vec<f64>) -> Self {
-        let ecdf = if gaps_secs.is_empty() { None } else { Ecdf::new(&gaps_secs).ok() };
+        let ecdf = if gaps_secs.is_empty() {
+            None
+        } else {
+            Ecdf::new(&gaps_secs).ok()
+        };
         GapAnalysis { gaps_secs, ecdf }
     }
 
@@ -133,7 +137,10 @@ impl TbfAnalysis {
             }
             // Overall gaps.
             for pair in deduped.windows(2) {
-                let gap = pair[1].detected_at.duration_since(pair[0].detected_at).as_secs();
+                let gap = pair[1]
+                    .detected_at
+                    .duration_since(pair[0].detected_at)
+                    .as_secs();
                 overall_gaps.push(gap as f64);
             }
         }
@@ -179,9 +186,7 @@ fn dedup<'a>(sorted: &[&'a FailureRecord]) -> Vec<&'a FailureRecord> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssfa_model::{
-        DeviceAddr, DiskInstanceId, LoopId, RaidGroupId, ShelfId, SimTime, SystemId,
-    };
+    use ssfa_model::{DeviceAddr, DiskInstanceId, LoopId, RaidGroupId, ShelfId, SimTime, SystemId};
 
     fn rec(t: u64, disk: u64, shelf: u32, ty: FailureType) -> FailureRecord {
         FailureRecord {
@@ -295,7 +300,10 @@ mod tests {
         assert_eq!(fits.len(), 3);
         // Gamma should not be rejected; exponential should be.
         let result = |name: &str| {
-            fits.iter().find(|(m, _)| m.dist.name() == name).map(|(_, r)| *r).unwrap()
+            fits.iter()
+                .find(|(m, _)| m.dist.name() == name)
+                .map(|(_, r)| *r)
+                .unwrap()
         };
         assert!(!result("Gamma").rejects_at(0.05));
         assert!(result("Exponential").rejects_at(0.05));

@@ -68,7 +68,14 @@ fn sector_for(serial: &str) -> u64 {
 /// The last line of an unmasked cascade is always the RAID-layer
 /// classification event; masked cascades end with the failover line.
 pub fn expand(input: &CascadeInput, style: CascadeStyle) -> Vec<LogLine> {
-    let CascadeInput { host, detected_at, failure_type, masked, device, serial } = input;
+    let CascadeInput {
+        host,
+        detected_at,
+        failure_type,
+        masked,
+        device,
+        serial,
+    } = input;
     let host = *host;
     let at = *detected_at;
     let device = *device;
@@ -79,20 +86,33 @@ pub fn expand(input: &CascadeInput, style: CascadeStyle) -> Vec<LogLine> {
         // No RAID-layer event is ever logged.
         return vec![
             line(back(at, 30), LogEvent::FciDeviceTimeout { device }),
-            line(back(at, 16), LogEvent::FciAdapterReset { adapter: device.adapter }),
+            line(
+                back(at, 16),
+                LogEvent::FciAdapterReset {
+                    adapter: device.adapter,
+                },
+            ),
             line(at, LogEvent::ScsiPathFailover { device }),
         ];
     }
 
     let raid_event = match failure_type {
-        FailureType::Disk => LogEvent::RaidDiskFailed { device, serial: serial.clone() },
-        FailureType::PhysicalInterconnect => {
-            LogEvent::RaidDiskMissing { device, serial: serial.clone() }
-        }
-        FailureType::Protocol => {
-            LogEvent::RaidProtocolError { device, serial: serial.clone() }
-        }
-        FailureType::Performance => LogEvent::RaidDiskSlow { device, serial: serial.clone() },
+        FailureType::Disk => LogEvent::RaidDiskFailed {
+            device,
+            serial: serial.clone(),
+        },
+        FailureType::PhysicalInterconnect => LogEvent::RaidDiskMissing {
+            device,
+            serial: serial.clone(),
+        },
+        FailureType::Protocol => LogEvent::RaidProtocolError {
+            device,
+            serial: serial.clone(),
+        },
+        FailureType::Performance => LogEvent::RaidDiskSlow {
+            device,
+            serial: serial.clone(),
+        },
     };
 
     if style == CascadeStyle::RaidOnly {
@@ -117,28 +137,57 @@ pub fn expand(input: &CascadeInput, style: CascadeStyle) -> Vec<LogLine> {
                 .map(|(i, &secs)| {
                     line(
                         back(at, secs),
-                        LogEvent::DiskMediumError { device, sector: sector + 8 * i as u64 },
+                        LogEvent::DiskMediumError {
+                            device,
+                            sector: sector + 8 * i as u64,
+                        },
                     )
                 })
                 .collect()
         }
         FailureType::PhysicalInterconnect => vec![
-            line(back(at, INTERCONNECT_OFFSETS[0]), LogEvent::FciDeviceTimeout { device }),
+            line(
+                back(at, INTERCONNECT_OFFSETS[0]),
+                LogEvent::FciDeviceTimeout { device },
+            ),
             line(
                 back(at, INTERCONNECT_OFFSETS[1]),
-                LogEvent::FciAdapterReset { adapter: device.adapter },
+                LogEvent::FciAdapterReset {
+                    adapter: device.adapter,
+                },
             ),
-            line(back(at, INTERCONNECT_OFFSETS[2]), LogEvent::ScsiCmdAborted { device }),
-            line(back(at, INTERCONNECT_OFFSETS[3]), LogEvent::ScsiSelectionTimeout { device }),
-            line(back(at, INTERCONNECT_OFFSETS[4]), LogEvent::ScsiNoMorePaths { device }),
+            line(
+                back(at, INTERCONNECT_OFFSETS[2]),
+                LogEvent::ScsiCmdAborted { device },
+            ),
+            line(
+                back(at, INTERCONNECT_OFFSETS[3]),
+                LogEvent::ScsiSelectionTimeout { device },
+            ),
+            line(
+                back(at, INTERCONNECT_OFFSETS[4]),
+                LogEvent::ScsiNoMorePaths { device },
+            ),
         ],
         FailureType::Protocol => vec![
             line(back(at, 45), LogEvent::ScsiProtocolViolation { device }),
             line(back(at, 20), LogEvent::ScsiProtocolViolation { device }),
         ],
         FailureType::Performance => vec![
-            line(back(at, 120), LogEvent::ScsiSlowResponse { device, latency_ms: 12_400 }),
-            line(back(at, 40), LogEvent::ScsiSlowResponse { device, latency_ms: 31_900 }),
+            line(
+                back(at, 120),
+                LogEvent::ScsiSlowResponse {
+                    device,
+                    latency_ms: 12_400,
+                },
+            ),
+            line(
+                back(at, 40),
+                LogEvent::ScsiSlowResponse {
+                    device,
+                    latency_ms: 31_900,
+                },
+            ),
         ],
     };
     lines.push(line(at, raid_event));
@@ -163,7 +212,10 @@ mod tests {
 
     #[test]
     fn interconnect_cascade_matches_figure_3_shape() {
-        let lines = expand(&input(FailureType::PhysicalInterconnect, false), CascadeStyle::Full);
+        let lines = expand(
+            &input(FailureType::PhysicalInterconnect, false),
+            CascadeStyle::Full,
+        );
         assert_eq!(lines.len(), 6);
         let tags: Vec<&str> = lines.iter().map(|l| l.event.tag()).collect();
         assert_eq!(
@@ -188,8 +240,14 @@ mod tests {
     fn each_type_ends_with_its_raid_event() {
         let expect = [
             (FailureType::Disk, "raid.config.filesystem.disk.failed"),
-            (FailureType::PhysicalInterconnect, "raid.config.filesystem.disk.missing"),
-            (FailureType::Protocol, "raid.config.filesystem.disk.protocolError"),
+            (
+                FailureType::PhysicalInterconnect,
+                "raid.config.filesystem.disk.missing",
+            ),
+            (
+                FailureType::Protocol,
+                "raid.config.filesystem.disk.protocolError",
+            ),
             (FailureType::Performance, "raid.config.filesystem.disk.slow"),
         ];
         for (ty, tag) in expect {
@@ -201,7 +259,10 @@ mod tests {
 
     #[test]
     fn masked_cascades_never_reach_the_raid_layer() {
-        let lines = expand(&input(FailureType::PhysicalInterconnect, true), CascadeStyle::Full);
+        let lines = expand(
+            &input(FailureType::PhysicalInterconnect, true),
+            CascadeStyle::Full,
+        );
         assert!(lines.iter().all(|l| !l.event.tag().starts_with("raid.")));
         assert_eq!(lines.last().unwrap().event.tag(), "scsi.path.failover");
     }

@@ -41,7 +41,10 @@ impl LogError {
     pub fn malformed(line_no: usize, raw: &[u8]) -> LogError {
         LogError::Malformed {
             line_no,
-            line: String::from_utf8_lossy(raw).chars().take(MALFORMED_PREVIEW_CHARS).collect(),
+            line: String::from_utf8_lossy(raw)
+                .chars()
+                .take(MALFORMED_PREVIEW_CHARS)
+                .collect(),
             bytes: raw.len(),
         }
     }
@@ -50,7 +53,11 @@ impl LogError {
 impl fmt::Display for LogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LogError::Malformed { line_no, line, bytes } => {
+            LogError::Malformed {
+                line_no,
+                line,
+                bytes,
+            } => {
                 write!(f, "malformed log line {line_no}: {line}")?;
                 if *bytes != line.len() {
                     write!(f, " … [{bytes} bytes total]")?;
@@ -146,7 +153,9 @@ impl LogBook {
         &'a self,
         prefix: &'a str,
     ) -> impl Iterator<Item = &'a LogLine> + 'a {
-        self.lines.iter().filter(move |l| l.event.tag().starts_with(prefix))
+        self.lines
+            .iter()
+            .filter(move |l| l.event.tag().starts_with(prefix))
     }
 
     /// Counts lines per subsystem tag.
@@ -158,14 +167,24 @@ impl LogBook {
         counts
     }
 
-    /// Renders the whole corpus as text, one line per event.
+    /// Renders the whole corpus as text, one line per event. Lines are
+    /// formatted straight into the output buffer — no per-line allocation.
     pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = String::with_capacity(self.lines.len() * 96);
         for line in &self.lines {
-            out.push_str(&line.to_string());
+            write!(out, "{line}").expect("writing to a String never fails");
             out.push('\n');
         }
         out
+    }
+
+    /// In-memory footprint of the corpus: the sum of every line's
+    /// [`LogLine::resident_bytes`]. This is what a pipeline holding the
+    /// parsed corpus keeps resident, and the unit the streaming pipeline's
+    /// peak-memory statistics are reported in.
+    pub fn resident_bytes(&self) -> usize {
+        self.lines.iter().map(LogLine::resident_bytes).sum()
     }
 
     /// Parses a corpus from text. Blank lines are skipped; anything else
@@ -226,7 +245,9 @@ impl LogBook {
 
 impl FromIterator<LogLine> for LogBook {
     fn from_iter<I: IntoIterator<Item = LogLine>>(iter: I) -> Self {
-        LogBook { lines: iter.into_iter().collect() }
+        LogBook {
+            lines: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -264,7 +285,9 @@ mod tests {
         LogLine::new(
             SystemId(1),
             SimTime::from_secs(t),
-            LogEvent::FciDeviceTimeout { device: DeviceAddr::new(8, 24) },
+            LogEvent::FciDeviceTimeout {
+                device: DeviceAddr::new(8, 24),
+            },
         )
     }
 
@@ -305,8 +328,15 @@ mod tests {
         let huge = "x".repeat(5_000_000);
         let err = LogError::malformed(7, huge.as_bytes());
         let msg = err.to_string();
-        assert!(msg.len() < 300, "display must not embed the whole line: {} bytes", msg.len());
-        assert!(msg.contains("[5000000 bytes total]"), "missing byte-length suffix: {msg}");
+        assert!(
+            msg.len() < 300,
+            "display must not embed the whole line: {} bytes",
+            msg.len()
+        );
+        assert!(
+            msg.contains("[5000000 bytes total]"),
+            "missing byte-length suffix: {msg}"
+        );
 
         // Short lines keep the original exact message, no suffix.
         let short = LogError::malformed(2, b"not a log line");
@@ -325,7 +355,9 @@ mod tests {
             SimTime::from_secs(100),
             LogEvent::FciAdapterReset { adapter: 2 },
         );
-        let mut book: LogBook = vec![sample_line(500), a.clone(), b.clone()].into_iter().collect();
+        let mut book: LogBook = vec![sample_line(500), a.clone(), b.clone()]
+            .into_iter()
+            .collect();
         book.sort_chronological();
         let lines: Vec<_> = book.iter().cloned().collect();
         assert_eq!(lines[0], a);
@@ -349,7 +381,9 @@ mod tests {
             LogLine::new(
                 SystemId(1),
                 SimTime::from_secs(400),
-                LogEvent::FciDeviceTimeout { device: DeviceAddr::new(8, 24) },
+                LogEvent::FciDeviceTimeout {
+                    device: DeviceAddr::new(8, 24),
+                },
             ),
         ]
         .into_iter()
@@ -359,7 +393,8 @@ mod tests {
         assert_eq!(book.lines_for_host(SystemId(1)).count(), 3);
         assert_eq!(book.lines_for_host(SystemId(9)).count(), 0);
         assert_eq!(
-            book.lines_between(SimTime::from_secs(150), SimTime::from_secs(400)).count(),
+            book.lines_between(SimTime::from_secs(150), SimTime::from_secs(400))
+                .count(),
             2
         );
         assert_eq!(book.lines_with_tag_prefix("fci.adapter").count(), 3);

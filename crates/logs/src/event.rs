@@ -240,52 +240,84 @@ impl LogEvent {
 
     /// Renders the human-readable message after `]: `.
     pub fn message(&self) -> String {
+        let mut out = String::new();
+        self.write_message(&mut out)
+            .expect("writing to a String never fails");
+        out
+    }
+
+    /// Writes the message directly into a [`fmt::Write`] sink — the
+    /// allocation-free path behind [`LogEvent::message`] and the corpus
+    /// renderer. Byte-for-byte identical to [`LogEvent::message`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the sink (infallible for `String`).
+    pub fn write_message<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
         match self {
-            LogEvent::FciDeviceTimeout { device } => format!(
+            LogEvent::FciDeviceTimeout { device } => write!(
+                out,
                 "Adapter {} encountered a device timeout on device {device}",
                 device.adapter
             ),
             LogEvent::FciAdapterReset { adapter } => {
-                format!("Resetting Fibre Channel adapter {adapter}.")
+                write!(out, "Resetting Fibre Channel adapter {adapter}.")
             }
             LogEvent::ScsiCmdAborted { device } => {
-                format!("Device {device}: Command aborted by host adapter:")
+                write!(out, "Device {device}: Command aborted by host adapter:")
             }
-            LogEvent::ScsiSelectionTimeout { device } => format!(
+            LogEvent::ScsiSelectionTimeout { device } => write!(
+                out,
                 "Device {device}: Adapter/target error: Targeted device did not respond \
                  to requested I/O. I/O will be retried."
             ),
-            LogEvent::ScsiNoMorePaths { device } => format!(
-                "Device {device}: No more paths to device. All retries have failed."
-            ),
-            LogEvent::ScsiPathFailover { device } => format!(
+            LogEvent::ScsiNoMorePaths { device } => {
+                write!(
+                    out,
+                    "Device {device}: No more paths to device. All retries have failed."
+                )
+            }
+            LogEvent::ScsiPathFailover { device } => write!(
+                out,
                 "Device {device}: Primary path failed. I/O rerouted through redundant path."
             ),
-            LogEvent::DiskMediumError { device, sector } => format!(
+            LogEvent::DiskMediumError { device, sector } => write!(
+                out,
                 "Device {device}: Medium error detected on sector {sector}. Sector remapped."
             ),
-            LogEvent::ScsiProtocolViolation { device } => format!(
+            LogEvent::ScsiProtocolViolation { device } => write!(
+                out,
                 "Device {device}: Protocol violation in command response. \
                  Driver or firmware incompatibility suspected."
             ),
-            LogEvent::ScsiSlowResponse { device, latency_ms } => format!(
+            LogEvent::ScsiSlowResponse { device, latency_ms } => write!(
+                out,
                 "Device {device}: I/O completion exceeded service threshold ({latency_ms} ms)."
             ),
             LogEvent::RaidDiskMissing { device, serial } => {
-                format!("File system Disk {device} S/N [{serial}] is missing.")
+                write!(out, "File system Disk {device} S/N [{serial}] is missing.")
             }
             LogEvent::RaidDiskFailed { device, serial } => {
-                format!("File system Disk {device} S/N [{serial}] has failed.")
+                write!(out, "File system Disk {device} S/N [{serial}] has failed.")
             }
-            LogEvent::RaidProtocolError { device, serial } => format!(
+            LogEvent::RaidProtocolError { device, serial } => write!(
+                out,
                 "File system Disk {device} S/N [{serial}] is not responding correctly \
                  to I/O requests."
             ),
-            LogEvent::RaidDiskSlow { device, serial } => format!(
+            LogEvent::RaidDiskSlow { device, serial } => write!(
+                out,
                 "File system Disk {device} S/N [{serial}] cannot serve I/O requests \
                  in a timely manner."
             ),
-            LogEvent::CfgSystem { class, disk_model, shelf_model, paths, layout } => format!(
+            LogEvent::CfgSystem {
+                class,
+                disk_model,
+                shelf_model,
+                paths,
+                layout,
+            } => write!(
+                out,
                 "class={} disk_model={} shelf_model={} paths={} layout={}",
                 class.tag(),
                 disk_model,
@@ -293,7 +325,15 @@ impl LogEvent {
                 paths.paths(),
                 layout.label()
             ),
-            LogEvent::CfgShelf { shelf, model, fc_loop, adapter, position, bays } => format!(
+            LogEvent::CfgShelf {
+                shelf,
+                model,
+                fc_loop,
+                adapter,
+                position,
+                bays,
+            } => write!(
+                out,
                 "shelf={} model={} loop={} adapter={} position={} bays={}",
                 shelf.0,
                 model.letter(),
@@ -302,23 +342,48 @@ impl LogEvent {
                 position,
                 bays
             ),
-            LogEvent::CfgRaidGroup { rg, raid_type, slots } => {
-                let slots_text: Vec<String> =
-                    slots.iter().map(|s| format!("{}:{}", s.shelf.0, s.bay)).collect();
-                format!(
-                    "rg={} type={} slots={}",
-                    rg.0,
-                    raid_type.label(),
-                    slots_text.join(",")
-                )
+            LogEvent::CfgRaidGroup {
+                rg,
+                raid_type,
+                slots,
+            } => {
+                write!(out, "rg={} type={} slots=", rg.0, raid_type.label())?;
+                for (i, s) in slots.iter().enumerate() {
+                    if i > 0 {
+                        out.write_char(',')?;
+                    }
+                    write!(out, "{}:{}", s.shelf.0, s.bay)?;
+                }
+                Ok(())
             }
-            LogEvent::CfgDiskInstall { serial, model, slot, device } => format!(
+            LogEvent::CfgDiskInstall {
+                serial,
+                model,
+                slot,
+                device,
+            } => write!(
+                out,
                 "serial={} model={} shelf={} bay={} device={}",
                 serial, model, slot.shelf.0, slot.bay, device
             ),
             LogEvent::CfgDiskRemove { serial, reason } => {
-                format!("serial={serial} reason={reason}")
+                write!(out, "serial={serial} reason={reason}")
             }
+        }
+    }
+
+    /// Heap bytes this event holds beyond its inline enum footprint —
+    /// the variable part of [`LogLine::resident_bytes`].
+    fn heap_bytes(&self) -> usize {
+        match self {
+            LogEvent::RaidDiskMissing { serial, .. }
+            | LogEvent::RaidDiskFailed { serial, .. }
+            | LogEvent::RaidProtocolError { serial, .. }
+            | LogEvent::RaidDiskSlow { serial, .. } => serial.len(),
+            LogEvent::CfgRaidGroup { slots, .. } => slots.len() * std::mem::size_of::<SlotAddr>(),
+            LogEvent::CfgDiskInstall { serial, .. } => serial.len(),
+            LogEvent::CfgDiskRemove { serial, reason } => serial.len() + reason.len(),
+            _ => 0,
         }
     }
 
@@ -344,7 +409,9 @@ impl LogEvent {
             Some((device, rest[open + 1..close].to_owned()))
         }
         fn kv(msg: &str) -> std::collections::HashMap<&str, &str> {
-            msg.split_whitespace().filter_map(|t| t.split_once('=')).collect()
+            msg.split_whitespace()
+                .filter_map(|t| t.split_once('='))
+                .collect()
         }
 
         match tag {
@@ -358,18 +425,18 @@ impl LogEvent {
                 let adapter: u8 = rest.trim_end_matches('.').parse().ok()?;
                 Some(LogEvent::FciAdapterReset { adapter })
             }
-            "scsi.cmd.abortedByHost" => {
-                Some(LogEvent::ScsiCmdAborted { device: device_after(message, "Device ")? })
-            }
+            "scsi.cmd.abortedByHost" => Some(LogEvent::ScsiCmdAborted {
+                device: device_after(message, "Device ")?,
+            }),
             "scsi.cmd.selectionTimeout" => Some(LogEvent::ScsiSelectionTimeout {
                 device: device_after(message, "Device ")?,
             }),
-            "scsi.cmd.noMorePaths" => {
-                Some(LogEvent::ScsiNoMorePaths { device: device_after(message, "Device ")? })
-            }
-            "scsi.path.failover" => {
-                Some(LogEvent::ScsiPathFailover { device: device_after(message, "Device ")? })
-            }
+            "scsi.cmd.noMorePaths" => Some(LogEvent::ScsiNoMorePaths {
+                device: device_after(message, "Device ")?,
+            }),
+            "scsi.path.failover" => Some(LogEvent::ScsiPathFailover {
+                device: device_after(message, "Device ")?,
+            }),
             "disk.ioMediumError" => {
                 let device = device_after(message, "Device ")?;
                 let idx = message.find("sector ")?;
@@ -409,9 +476,7 @@ impl LogEvent {
                 Some(LogEvent::CfgSystem {
                     class: SystemClass::from_tag(kv.get("class")?)?,
                     disk_model: DiskModelId::parse(kv.get("disk_model")?)?,
-                    shelf_model: ShelfModel::from_letter(
-                        kv.get("shelf_model")?.chars().next()?,
-                    )?,
+                    shelf_model: ShelfModel::from_letter(kv.get("shelf_model")?.chars().next()?)?,
                     paths: match *kv.get("paths")? {
                         "1" => PathConfig::SinglePath,
                         "2" => PathConfig::DualPath,
@@ -499,6 +564,14 @@ impl LogLine {
         LogLine { host, at, event }
     }
 
+    /// In-memory footprint of this line: its inline size plus the heap its
+    /// event owns. This is what a worker actually holds resident when the
+    /// streaming pipeline carries parsed lines instead of rendered text —
+    /// the unit of [`crate::LogBook::resident_bytes`].
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<LogLine>() + self.event.heap_bytes()
+    }
+
     /// Parses one rendered line.
     ///
     /// Returns `None` for malformed lines (the classifier skips them, as
@@ -530,13 +603,13 @@ impl fmt::Display for LogLine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sys-{} {} [{}:{}]: {}",
+            "sys-{} {} [{}:{}]: ",
             self.host.0,
             self.at.civil(),
             self.event.tag(),
             self.event.severity(),
-            self.event.message()
-        )
+        )?;
+        self.event.write_message(f)
     }
 }
 
@@ -548,8 +621,7 @@ mod tests {
     fn roundtrip(event: LogEvent) {
         let line = LogLine::new(SystemId(42), SimTime::from_secs(79_876_543), event);
         let text = line.to_string();
-        let parsed = LogLine::parse(&text)
-            .unwrap_or_else(|| panic!("failed to parse: {text}"));
+        let parsed = LogLine::parse(&text).unwrap_or_else(|| panic!("failed to parse: {text}"));
         assert_eq!(parsed, line, "round-trip mismatch for: {text}");
     }
 
@@ -572,11 +644,23 @@ mod tests {
         let d = DeviceAddr::new(9, 31);
         let serial = DiskInstanceId(7).serial();
         roundtrip(LogEvent::ScsiPathFailover { device: d });
-        roundtrip(LogEvent::DiskMediumError { device: d, sector: 123_456_789 });
+        roundtrip(LogEvent::DiskMediumError {
+            device: d,
+            sector: 123_456_789,
+        });
         roundtrip(LogEvent::ScsiProtocolViolation { device: d });
-        roundtrip(LogEvent::ScsiSlowResponse { device: d, latency_ms: 30_000 });
-        roundtrip(LogEvent::RaidDiskFailed { device: d, serial: serial.clone() });
-        roundtrip(LogEvent::RaidProtocolError { device: d, serial: serial.clone() });
+        roundtrip(LogEvent::ScsiSlowResponse {
+            device: d,
+            latency_ms: 30_000,
+        });
+        roundtrip(LogEvent::RaidDiskFailed {
+            device: d,
+            serial: serial.clone(),
+        });
+        roundtrip(LogEvent::RaidProtocolError {
+            device: d,
+            serial: serial.clone(),
+        });
         roundtrip(LogEvent::RaidDiskSlow { device: d, serial });
     }
 
@@ -601,15 +685,27 @@ mod tests {
             rg: RaidGroupId(55),
             raid_type: RaidType::Raid6,
             slots: vec![
-                SlotAddr { shelf: ShelfId(1), bay: 0 },
-                SlotAddr { shelf: ShelfId(2), bay: 0 },
-                SlotAddr { shelf: ShelfId(3), bay: 1 },
+                SlotAddr {
+                    shelf: ShelfId(1),
+                    bay: 0,
+                },
+                SlotAddr {
+                    shelf: ShelfId(2),
+                    bay: 0,
+                },
+                SlotAddr {
+                    shelf: ShelfId(3),
+                    bay: 1,
+                },
             ],
         });
         roundtrip(LogEvent::CfgDiskInstall {
             serial: DiskInstanceId(31337).serial(),
             model: DiskModelId::new('H', 2),
-            slot: SlotAddr { shelf: ShelfId(9), bay: 13 },
+            slot: SlotAddr {
+                shelf: ShelfId(9),
+                bay: 13,
+            },
             device: DeviceAddr::new(8, 45),
         });
         roundtrip(LogEvent::CfgDiskRemove {
@@ -635,7 +731,9 @@ mod tests {
         let line = LogLine::new(
             SystemId(7),
             at,
-            LogEvent::FciDeviceTimeout { device: DeviceAddr::new(8, 24) },
+            LogEvent::FciDeviceTimeout {
+                device: DeviceAddr::new(8, 24),
+            },
         );
         assert_eq!(
             line.to_string(),
@@ -649,10 +747,10 @@ mod tests {
         assert!(LogLine::parse("").is_none());
         assert!(LogLine::parse("garbage line").is_none());
         assert!(LogLine::parse("sys-x Sun Jul 23 05:43:36 PDT 2006 [a:info]: b").is_none());
-        assert!(LogLine::parse(
-            "sys-1 Sun Jul 23 05:43:36 PDT 2006 [unknown.tag:error]: whatever"
-        )
-        .is_none());
+        assert!(
+            LogLine::parse("sys-1 Sun Jul 23 05:43:36 PDT 2006 [unknown.tag:error]: whatever")
+                .is_none()
+        );
         // Severity mismatch is rejected.
         assert!(LogLine::parse(
             "sys-1 Sun Jul 23 05:43:36 PDT 2006 [fci.device.timeout:info]: \
@@ -672,15 +770,30 @@ mod tests {
         let d = DeviceAddr::new(1, 2);
         let s = "3EL00000001".to_owned();
         assert_eq!(
-            LogEvent::RaidDiskMissing { device: d, serial: s.clone() }.tag(),
+            LogEvent::RaidDiskMissing {
+                device: d,
+                serial: s.clone()
+            }
+            .tag(),
             "raid.config.filesystem.disk.missing"
         );
-        assert!(LogEvent::RaidDiskFailed { device: d, serial: s.clone() }
-            .tag()
-            .starts_with("raid."));
-        assert!(LogEvent::RaidProtocolError { device: d, serial: s.clone() }
-            .tag()
-            .starts_with("raid."));
-        assert!(LogEvent::RaidDiskSlow { device: d, serial: s }.tag().starts_with("raid."));
+        assert!(LogEvent::RaidDiskFailed {
+            device: d,
+            serial: s.clone()
+        }
+        .tag()
+        .starts_with("raid."));
+        assert!(LogEvent::RaidProtocolError {
+            device: d,
+            serial: s.clone()
+        }
+        .tag()
+        .starts_with("raid."));
+        assert!(LogEvent::RaidDiskSlow {
+            device: d,
+            serial: s
+        }
+        .tag()
+        .starts_with("raid."));
     }
 }

@@ -50,7 +50,10 @@ pub(crate) const FAULT_STREAM: u64 = 0xFA01_7500;
 /// any configuration record: shelf records pre-register targets
 /// `position * 16 + bay` with per-loop positions and bays far below 16
 /// each, so target 255 is unreachable for every fleet configuration.
-const ORPHAN_DEVICE: DeviceAddr = DeviceAddr { adapter: 255, target: 255 };
+const ORPHAN_DEVICE: DeviceAddr = DeviceAddr {
+    adapter: 255,
+    target: 255,
+};
 
 /// How many alternative mutations to try before declaring that a fault
 /// could not land on a line (e.g. every candidate bit flip left the line
@@ -154,7 +157,10 @@ impl FaultSpec {
             ("drop_per_shard", self.drop_per_shard),
             ("truncate_per_shard", self.truncate_per_shard),
         ] {
-            assert!((0.0..=1.0).contains(&rate), "{name} = {rate} is not a probability");
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "{name} = {rate} is not a probability"
+            );
         }
         assert!(
             self.line_fault_total() <= 1.0,
@@ -488,21 +494,29 @@ fn garbage_line(rng: &mut StdRng) -> Vec<u8> {
 fn orphan_raid_event(raw: &[u8]) -> Option<Vec<u8>> {
     let line = parse_line(raw)?;
     let event = match line.event {
-        LogEvent::RaidDiskMissing { serial, .. } => {
-            LogEvent::RaidDiskMissing { device: ORPHAN_DEVICE, serial }
-        }
-        LogEvent::RaidDiskFailed { serial, .. } => {
-            LogEvent::RaidDiskFailed { device: ORPHAN_DEVICE, serial }
-        }
-        LogEvent::RaidProtocolError { serial, .. } => {
-            LogEvent::RaidProtocolError { device: ORPHAN_DEVICE, serial }
-        }
-        LogEvent::RaidDiskSlow { serial, .. } => {
-            LogEvent::RaidDiskSlow { device: ORPHAN_DEVICE, serial }
-        }
+        LogEvent::RaidDiskMissing { serial, .. } => LogEvent::RaidDiskMissing {
+            device: ORPHAN_DEVICE,
+            serial,
+        },
+        LogEvent::RaidDiskFailed { serial, .. } => LogEvent::RaidDiskFailed {
+            device: ORPHAN_DEVICE,
+            serial,
+        },
+        LogEvent::RaidProtocolError { serial, .. } => LogEvent::RaidProtocolError {
+            device: ORPHAN_DEVICE,
+            serial,
+        },
+        LogEvent::RaidDiskSlow { serial, .. } => LogEvent::RaidDiskSlow {
+            device: ORPHAN_DEVICE,
+            serial,
+        },
         _ => return None,
     };
-    Some(LogLine::new(line.host, line.at, event).to_string().into_bytes())
+    Some(
+        LogLine::new(line.host, line.at, event)
+            .to_string()
+            .into_bytes(),
+    )
 }
 
 /// Whether a line may participate in a reorder swap: parseable and not a
@@ -559,7 +573,10 @@ mod tests {
         let mut l2 = FaultLedger::default();
         let a = injector.corrupt_shard(1, 0, &text, &mut l1);
         let b = injector.corrupt_shard(1, 3, &text, &mut l2);
-        assert_eq!(a, b, "attempt number must not perturb the corruption stream");
+        assert_eq!(
+            a, b,
+            "attempt number must not perturb the corruption stream"
+        );
         assert_eq!(l1, l2);
     }
 
@@ -590,7 +607,10 @@ mod tests {
                 classifier.feed_bytes(&bytes).unwrap();
                 let (_, health) = classifier.finish_with_health().unwrap();
                 assert_eq!(health.lines_seen, ledger.lines_out, "shard {shard}");
-                assert_eq!(health.malformed_skipped, ledger.expect_malformed, "shard {shard}");
+                assert_eq!(
+                    health.malformed_skipped, ledger.expect_malformed,
+                    "shard {shard}"
+                );
                 assert_eq!(
                     health.missing_topology_skipped, ledger.expect_missing_topology,
                     "shard {shard}"
@@ -618,7 +638,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "deliberate worker panic")]
     fn panic_shards_panic() {
-        let spec = FaultSpec { panic_shards: BTreeSet::from([4]), ..FaultSpec::none() };
+        let spec = FaultSpec {
+            panic_shards: BTreeSet::from([4]),
+            ..FaultSpec::none()
+        };
         let injector = FaultInjector::new(spec, 0);
         let mut ledger = FaultLedger::default();
         let _ = injector.corrupt_shard(4, 0, "x\n", &mut ledger);
@@ -626,7 +649,10 @@ mod tests {
 
     #[test]
     fn panic_once_shards_recover_on_retry() {
-        let spec = FaultSpec { panic_once_shards: BTreeSet::from([2]), ..FaultSpec::none() };
+        let spec = FaultSpec {
+            panic_once_shards: BTreeSet::from([2]),
+            ..FaultSpec::none()
+        };
         let injector = FaultInjector::new(spec, 0);
         let text = shard_text(3, 2);
         let mut ledger = FaultLedger::default();

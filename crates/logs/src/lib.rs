@@ -52,11 +52,14 @@ pub mod shard;
 
 pub use cascade::{CascadeInput, CascadeStyle};
 pub use classify::{
-    classify, classify_with, AnalysisInput, Classifier, DiskLifetime, ShardHealth, Strictness,
-    Topology,
+    classify, classify_parallel, classify_with, AnalysisInput, Classifier, DiskLifetime,
+    ShardHealth, Strictness, Topology,
 };
 pub use corpus::{LogBook, LogError};
 pub use event::{LogEvent, LogLine, Severity};
 pub use faults::{FaultInjector, FaultLedger, FaultSpec, ShardFate};
 pub use render::{render_support_log, render_support_log_noisy, NoiseParams};
-pub use shard::{render_system_log, write_shard, ShardPlan};
+pub use shard::{
+    render_chunk_log, render_system_log, write_chunk, write_shard, ChunkPlan, ShardPlan,
+    DEFAULT_CHUNK_TARGET_BYTES,
+};

@@ -30,13 +30,19 @@ pub struct NoiseParams {
 impl NoiseParams {
     /// No noise at all (the default corpus).
     pub fn none() -> Self {
-        NoiseParams { medium_errors_per_disk_year: 0.0, transient_timeouts_per_disk_year: 0.0 }
+        NoiseParams {
+            medium_errors_per_disk_year: 0.0,
+            transient_timeouts_per_disk_year: 0.0,
+        }
     }
 
     /// A realistic noise floor: one remapped sector per ~3 disk-years and
     /// one recovered timeout per ~5 disk-years.
     pub fn realistic() -> Self {
-        NoiseParams { medium_errors_per_disk_year: 0.35, transient_timeouts_per_disk_year: 0.2 }
+        NoiseParams {
+            medium_errors_per_disk_year: 0.35,
+            transient_timeouts_per_disk_year: 0.2,
+        }
     }
 }
 
@@ -114,7 +120,10 @@ mod tests {
 
         let mut truth = out.exposed_records();
         truth.sort_by(ssfa_model::FailureRecord::chronological);
-        assert_eq!(input.failures, truth, "classifier must re-derive ground truth");
+        assert_eq!(
+            input.failures, truth,
+            "classifier must re-derive ground truth"
+        );
     }
 
     #[test]
@@ -154,7 +163,10 @@ mod tests {
             NoiseParams::realistic(),
             9,
         );
-        assert!(noisy.len() > clean.len() + 100, "noise should add many lines");
+        assert!(
+            noisy.len() > clean.len() + 100,
+            "noise should add many lines"
+        );
         // Classification is untouched: noise lines carry no RAID events.
         let a = classify(&clean).unwrap();
         let b = classify(&noisy).unwrap();
@@ -164,21 +176,36 @@ mod tests {
         let noise_lines = noisy.len() - clean.len();
         let expected = a.total_disk_years() * 0.55;
         let ratio = noise_lines as f64 / expected;
-        assert!((0.8..1.2).contains(&ratio), "noise volume off: {noise_lines} vs {expected}");
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "noise volume off: {noise_lines} vs {expected}"
+        );
     }
 
     #[test]
     fn noise_is_deterministic_per_seed() {
         let (fleet, out) = small_run();
         let a = render_support_log_noisy(
-            &fleet, &out, CascadeStyle::RaidOnly, NoiseParams::realistic(), 1,
+            &fleet,
+            &out,
+            CascadeStyle::RaidOnly,
+            NoiseParams::realistic(),
+            1,
         );
         let b = render_support_log_noisy(
-            &fleet, &out, CascadeStyle::RaidOnly, NoiseParams::realistic(), 1,
+            &fleet,
+            &out,
+            CascadeStyle::RaidOnly,
+            NoiseParams::realistic(),
+            1,
         );
         assert_eq!(a, b);
         let c = render_support_log_noisy(
-            &fleet, &out, CascadeStyle::RaidOnly, NoiseParams::realistic(), 2,
+            &fleet,
+            &out,
+            CascadeStyle::RaidOnly,
+            NoiseParams::realistic(),
+            2,
         );
         assert_ne!(a, c);
     }
@@ -192,8 +219,10 @@ mod tests {
             .iter()
             .filter(|o| o.failure_type == ssfa_model::FailureType::Disk)
             .count();
-        let medium_errors =
-            book.iter().filter(|l| l.event.tag() == "disk.ioMediumError").count();
+        let medium_errors = book
+            .iter()
+            .filter(|l| l.event.tag() == "disk.ioMediumError")
+            .count();
         // Each failed disk announces itself with 3-5 precursors.
         assert!(medium_errors >= disk_failures * 3);
         assert!(medium_errors <= disk_failures * crate::cascade::PRECURSOR_OFFSETS.len());
@@ -214,8 +243,10 @@ mod tests {
         assert_eq!(input.failures.len(), exposed);
         // If any masking happened, the corpus must contain failover lines.
         if !masked_types.is_empty() {
-            let failovers =
-                book.iter().filter(|l| l.event.tag() == "scsi.path.failover").count();
+            let failovers = book
+                .iter()
+                .filter(|l| l.event.tag() == "scsi.path.failover")
+                .count();
             assert_eq!(failovers, masked_types.len());
         }
     }

@@ -66,17 +66,25 @@ impl ShardPlan {
     /// Panics if the output references a system the fleet does not have
     /// (which would mean the output came from a different fleet).
     pub fn new(fleet: &Fleet, output: &SimOutput) -> ShardPlan {
-        let shard_of: HashMap<SystemId, usize> =
-            fleet.systems().iter().enumerate().map(|(i, sys)| (sys.id, i)).collect();
+        let shard_of: HashMap<SystemId, usize> = fleet
+            .systems()
+            .iter()
+            .enumerate()
+            .map(|(i, sys)| (sys.id, i))
+            .collect();
         let n = fleet.systems().len();
         let mut disks = vec![Vec::new(); n];
         let mut occurrences = vec![Vec::new(); n];
         for (i, disk) in output.disks().iter().enumerate() {
-            let shard = *shard_of.get(&disk.system).expect("disk from an unknown system");
+            let shard = *shard_of
+                .get(&disk.system)
+                .expect("disk from an unknown system");
             disks[shard].push(u32::try_from(i).expect("disk index fits in u32"));
         }
         for (i, occ) in output.occurrences().iter().enumerate() {
-            let shard = *shard_of.get(&occ.system).expect("occurrence from an unknown system");
+            let shard = *shard_of
+                .get(&occ.system)
+                .expect("occurrence from an unknown system");
             occurrences[shard].push(u32::try_from(i).expect("occurrence index fits in u32"));
         }
         ShardPlan { disks, occurrences }
@@ -85,6 +93,138 @@ impl ShardPlan {
     /// Number of shards (= number of systems).
     pub fn shard_count(&self) -> usize {
         self.disks.len()
+    }
+
+    /// Estimated line count of one shard's rendered (noise-free) text,
+    /// from the plan's indices alone — no rendering happens. Used by
+    /// [`ChunkPlan::auto`] to balance chunks; the estimate deliberately
+    /// overcounts slightly (every disk is assumed to have a removal
+    /// record) so auto chunks err on the small side.
+    pub fn estimated_shard_lines(&self, fleet: &Fleet, shard: usize, style: CascadeStyle) -> usize {
+        let sys = &fleet.systems()[shard];
+        let cfg = 1 + sys.shelves.len() + sys.raid_groups.len();
+        let lifecycle = 2 * self.disks[shard].len();
+        let cascade = match style {
+            CascadeStyle::RaidOnly => 1,
+            CascadeStyle::Full => 6,
+        };
+        cfg + lifecycle + cascade * self.occurrences[shard].len()
+    }
+
+    /// Estimated rendered-text bytes of one shard
+    /// ([`ShardPlan::estimated_shard_lines`] × a typical line width).
+    pub fn estimated_shard_bytes(&self, fleet: &Fleet, shard: usize, style: CascadeStyle) -> usize {
+        self.estimated_shard_lines(fleet, shard, style) * EST_BYTES_PER_LINE
+    }
+}
+
+/// Typical rendered corpus line width, for chunk planning only.
+const EST_BYTES_PER_LINE: usize = 120;
+
+/// Default [`ChunkPlan::auto`] target: ~256 KiB of rendered shard text per
+/// chunk — large enough to amortize per-work-unit setup (classifier
+/// construction, partial merging, scheduling) across many small systems,
+/// small enough that a fleet still splits into plenty of parallel work.
+pub const DEFAULT_CHUNK_TARGET_BYTES: usize = 256 * 1024;
+
+/// A partition of a [`ShardPlan`]'s shards into contiguous *chunks*: the
+/// work units of the streaming pipeline.
+///
+/// One shard per system is the right unit for self-containment, but a
+/// terrible unit for scheduling when systems are small — at small scales
+/// per-shard setup dominates the wall clock. A chunk batches a contiguous
+/// run of shards into one work unit (one classifier, one partial, one
+/// scheduling slot) while each shard inside it still renders, injects, and
+/// feeds individually, so per-disk noise seeding, fault injection keyed by
+/// shard index, and peak residency of one shard are all unchanged.
+///
+/// Chunks are always contiguous in fleet system order and cover every
+/// shard exactly once, so merging per-chunk partials in chunk order is the
+/// same merge — bit-identical — as merging per-shard partials in shard
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Half-open shard ranges, in order, covering `0..shard_count`.
+    ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl ChunkPlan {
+    /// One chunk per shard — exactly the pre-chunking pipeline.
+    pub fn per_shard(plan: &ShardPlan) -> ChunkPlan {
+        ChunkPlan::fixed(plan, 1)
+    }
+
+    /// Fixed-size chunks of `systems_per_chunk` shards (the last chunk
+    /// takes the remainder). `usize::MAX` (or anything ≥ the fleet) gives
+    /// one chunk spanning the whole corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `systems_per_chunk` is zero.
+    pub fn fixed(plan: &ShardPlan, systems_per_chunk: usize) -> ChunkPlan {
+        assert!(
+            systems_per_chunk > 0,
+            "chunks must hold at least one system"
+        );
+        let n = plan.shard_count();
+        let ranges = (0..n)
+            .step_by(systems_per_chunk.min(n.max(1)))
+            .map(|start| start..(start + systems_per_chunk).min(n))
+            .collect();
+        ChunkPlan { ranges }
+    }
+
+    /// Greedy auto-chunking: accumulate shards until the chunk's estimated
+    /// rendered text reaches `target_bytes`, then start the next chunk. A
+    /// shard bigger than the target gets a chunk of its own; every chunk
+    /// holds at least one shard.
+    pub fn auto(
+        plan: &ShardPlan,
+        fleet: &Fleet,
+        style: CascadeStyle,
+        target_bytes: usize,
+    ) -> ChunkPlan {
+        let n = plan.shard_count();
+        let mut ranges = Vec::new();
+        let mut start = 0;
+        let mut bytes = 0usize;
+        for shard in 0..n {
+            let est = plan.estimated_shard_bytes(fleet, shard, style);
+            if shard > start && bytes + est > target_bytes {
+                ranges.push(start..shard);
+                start = shard;
+                bytes = 0;
+            }
+            bytes += est;
+        }
+        if start < n {
+            ranges.push(start..n);
+        }
+        ChunkPlan { ranges }
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The shard range of one chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is out of range.
+    pub fn shard_range(&self, chunk: usize) -> std::ops::Range<usize> {
+        self.ranges[chunk].clone()
+    }
+
+    /// Iterates the chunks' shard ranges in order.
+    pub fn iter(&self) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        self.ranges.iter().cloned()
+    }
+
+    /// Total shards covered (= the plan's shard count).
+    pub fn shard_count(&self) -> usize {
+        self.ranges.iter().map(std::ops::Range::len).sum()
     }
 }
 
@@ -144,7 +284,11 @@ pub fn render_system_log(
         book.push(LogLine::new(
             sys.id,
             t,
-            LogEvent::CfgRaidGroup { rg: rg.id, raid_type: rg.raid_type, slots: rg.slots.clone() },
+            LogEvent::CfgRaidGroup {
+                rg: rg.id,
+                raid_type: rg.raid_type,
+                slots: rg.slots.clone(),
+            },
         ));
     }
 
@@ -168,7 +312,10 @@ pub fn render_system_log(
             book.push(LogLine::new(
                 disk.system,
                 disk.removed_at,
-                LogEvent::CfgDiskRemove { serial: disk.id.serial(), reason: "failed".into() },
+                LogEvent::CfgDiskRemove {
+                    serial: disk.id.serial(),
+                    reason: "failed".into(),
+                },
             ));
         }
     }
@@ -192,7 +339,10 @@ pub fn render_system_log(
                     break;
                 }
                 let event = if rng.gen::<f64>() < medium_share {
-                    LogEvent::DiskMediumError { device, sector: rng.gen::<u64>() % 976_773_168 }
+                    LogEvent::DiskMediumError {
+                        device,
+                        sector: rng.gen::<u64>() % 976_773_168,
+                    }
                 } else {
                     LogEvent::FciDeviceTimeout { device }
                 };
@@ -239,6 +389,52 @@ pub fn write_shard<W: Write>(
     render_system_log(fleet, output, plan, shard, style, noise, noise_seed).write_to(w)
 }
 
+/// Renders one chunk's log: the chronological merge of the chunk's shards
+/// — the chunk-file analogue of [`render_system_log`]. The concatenation
+/// of every chunk of a [`ChunkPlan`], re-sorted chronologically, is the
+/// monolithic corpus, exactly as with per-system shards.
+///
+/// # Panics
+///
+/// Panics if `shards` reaches beyond the plan.
+pub fn render_chunk_log(
+    fleet: &Fleet,
+    output: &SimOutput,
+    plan: &ShardPlan,
+    shards: std::ops::Range<usize>,
+    style: CascadeStyle,
+    noise: NoiseParams,
+    noise_seed: u64,
+) -> LogBook {
+    let mut book = LogBook::new();
+    for shard in shards {
+        book.extend_lines(render_system_log(
+            fleet, output, plan, shard, style, noise, noise_seed,
+        ));
+    }
+    book.sort_chronological();
+    book
+}
+
+/// Streams one chunk as text to `w` — the chunk-file writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+#[allow(clippy::too_many_arguments)]
+pub fn write_chunk<W: Write>(
+    fleet: &Fleet,
+    output: &SimOutput,
+    plan: &ShardPlan,
+    shards: std::ops::Range<usize>,
+    style: CascadeStyle,
+    noise: NoiseParams,
+    noise_seed: u64,
+    w: W,
+) -> Result<(), LogError> {
+    render_chunk_log(fleet, output, plan, shards, style, noise, noise_seed).write_to(w)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,8 +468,7 @@ mod tests {
         let mono = render_support_log_noisy(&fleet, &out, CascadeStyle::Full, noise, 5);
         let mut concat = LogBook::new();
         for shard in 0..plan.shard_count() {
-            let piece =
-                render_system_log(&fleet, &out, &plan, shard, CascadeStyle::Full, noise, 5);
+            let piece = render_system_log(&fleet, &out, &plan, shard, CascadeStyle::Full, noise, 5);
             concat.extend_lines(piece.iter().cloned());
         }
         concat.sort_chronological();
@@ -327,6 +522,103 @@ mod tests {
             .collect();
         let merged = crate::AnalysisInput::merge(partials);
         assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn chunk_plans_partition_shards_contiguously() {
+        let (fleet, out) = small_run();
+        let plan = ShardPlan::new(&fleet, &out);
+        let n = plan.shard_count();
+        for chunks in [
+            ChunkPlan::per_shard(&plan),
+            ChunkPlan::fixed(&plan, 3),
+            ChunkPlan::fixed(&plan, usize::MAX),
+            ChunkPlan::auto(&plan, &fleet, CascadeStyle::RaidOnly, 8 * 1024),
+            ChunkPlan::auto(
+                &plan,
+                &fleet,
+                CascadeStyle::RaidOnly,
+                DEFAULT_CHUNK_TARGET_BYTES,
+            ),
+        ] {
+            assert_eq!(chunks.shard_count(), n, "{chunks:?}");
+            let mut next = 0;
+            for range in chunks.iter() {
+                assert_eq!(range.start, next, "chunks must be contiguous: {chunks:?}");
+                assert!(!range.is_empty(), "empty chunk in {chunks:?}");
+                next = range.end;
+            }
+            assert_eq!(next, n);
+        }
+        assert_eq!(ChunkPlan::per_shard(&plan).chunk_count(), n);
+        assert_eq!(ChunkPlan::fixed(&plan, usize::MAX).chunk_count(), 1);
+    }
+
+    #[test]
+    fn auto_chunks_respect_the_byte_target() {
+        let (fleet, out) = small_run();
+        let plan = ShardPlan::new(&fleet, &out);
+        let target = 16 * 1024;
+        let chunks = ChunkPlan::auto(&plan, &fleet, CascadeStyle::RaidOnly, target);
+        assert!(
+            chunks.chunk_count() > 1,
+            "target small enough to split this fleet"
+        );
+        for range in chunks.iter() {
+            let est: usize = range
+                .clone()
+                .map(|s| plan.estimated_shard_bytes(&fleet, s, CascadeStyle::RaidOnly))
+                .sum();
+            // A chunk may overshoot by at most its last shard (greedy close).
+            let last = plan.estimated_shard_bytes(&fleet, range.end - 1, CascadeStyle::RaidOnly);
+            assert!(
+                range.len() == 1 || est <= target + last,
+                "chunk {range:?} estimated {est} bytes vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_logs_merge_to_the_monolithic_corpus() {
+        let (fleet, out) = small_run();
+        let plan = ShardPlan::new(&fleet, &out);
+        let noise = NoiseParams::realistic();
+        let mono = render_support_log_noisy(&fleet, &out, CascadeStyle::Full, noise, 5);
+        let chunks = ChunkPlan::fixed(&plan, 7);
+        let mut concat = LogBook::new();
+        for range in chunks.iter() {
+            let piece = render_chunk_log(&fleet, &out, &plan, range, CascadeStyle::Full, noise, 5);
+            concat.extend_lines(piece);
+        }
+        concat.sort_chronological();
+        assert_eq!(concat, mono);
+    }
+
+    #[test]
+    fn write_chunk_round_trips_through_streaming_classifier() {
+        let (fleet, out) = small_run();
+        let plan = ShardPlan::new(&fleet, &out);
+        let chunks = ChunkPlan::auto(&plan, &fleet, CascadeStyle::RaidOnly, 8 * 1024);
+        let mut classifier = Classifier::new();
+        for range in chunks.iter() {
+            let mut buf = Vec::new();
+            write_chunk(
+                &fleet,
+                &out,
+                &plan,
+                range,
+                CascadeStyle::RaidOnly,
+                NoiseParams::none(),
+                0,
+                &mut buf,
+            )
+            .unwrap();
+            classifier.feed_reader(buf.as_slice()).unwrap();
+        }
+        let streamed = classifier.finish().unwrap();
+        let mono =
+            render_support_log_noisy(&fleet, &out, CascadeStyle::RaidOnly, NoiseParams::none(), 0);
+        assert_eq!(streamed, classify(&mono).unwrap());
     }
 
     #[test]

@@ -7,7 +7,6 @@
 
 use std::fmt;
 
-
 use crate::disk::DiskType;
 
 /// The capability/usage class of a storage system.

@@ -7,7 +7,6 @@
 //! benches. Disk/shelf model mixes per class follow the combinations shown
 //! in the paper's Figure 5.
 
-
 use crate::class::{PathConfig, SystemClass};
 use crate::disk::{DiskCatalog, DiskModelId};
 use crate::layout::LayoutPolicy;
@@ -85,7 +84,10 @@ impl ClassConfig {
         }
         let (start, end) = self.install_window;
         if !(0.0..=1.0).contains(&start) || !(start..=1.0).contains(&end) {
-            return Err(format!("{}: install window [{start},{end}] invalid", self.class));
+            return Err(format!(
+                "{}: install window [{start},{end}] invalid",
+                self.class
+            ));
         }
         Ok(())
     }
@@ -240,7 +242,10 @@ impl FleetConfig {
     ///
     /// Panics if `factor` is not finite and positive.
     pub fn scaled(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         for class in &mut self.classes {
             class.n_systems = ((class.n_systems as f64 * factor).round() as u32).max(1);
         }
@@ -311,7 +316,9 @@ mod tests {
 
     #[test]
     fn paper_config_validates() {
-        FleetConfig::paper().validate().expect("paper config is valid");
+        FleetConfig::paper()
+            .validate()
+            .expect("paper config is valid");
     }
 
     #[test]
@@ -321,10 +328,16 @@ mod tests {
         assert_eq!(systems, 4_927 + 22_031 + 7_154 + 5_003); // ~39k
 
         let shelves: f64 = cfg.classes.iter().map(ClassConfig::expected_shelves).sum();
-        assert!((140_000.0..175_000.0).contains(&shelves), "shelves = {shelves}");
+        assert!(
+            (140_000.0..175_000.0).contains(&shelves),
+            "shelves = {shelves}"
+        );
 
         let disks = cfg.expected_disks();
-        assert!((1_300_000.0..1_900_000.0).contains(&disks), "disks = {disks}");
+        assert!(
+            (1_300_000.0..1_900_000.0).contains(&disks),
+            "disks = {disks}"
+        );
     }
 
     #[test]
@@ -348,7 +361,9 @@ mod tests {
     fn validation_rejects_cross_type_disk_mix() {
         let mut cfg = FleetConfig::paper();
         // Put a SATA model into the low-end (FC) mix.
-        cfg.classes[1].mix.push((ShelfModel::A, DiskModelId::new('I', 1), 0.5));
+        cfg.classes[1]
+            .mix
+            .push((ShelfModel::A, DiskModelId::new('I', 1), 0.5));
         assert!(cfg.validate().is_err());
     }
 
@@ -394,6 +409,9 @@ mod tests {
     #[test]
     fn with_layout_applies_everywhere() {
         let cfg = FleetConfig::paper().with_layout(LayoutPolicy::SameShelf);
-        assert!(cfg.classes.iter().all(|c| c.layout == LayoutPolicy::SameShelf));
+        assert!(cfg
+            .classes
+            .iter()
+            .all(|c| c.layout == LayoutPolicy::SameShelf));
     }
 }

@@ -14,7 +14,6 @@
 
 use std::fmt;
 
-
 /// Disk interface technology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DiskType {
@@ -69,7 +68,10 @@ pub struct DiskModelId {
 impl DiskModelId {
     /// Creates a model id from a family letter and capacity point.
     pub fn new(family: char, capacity_point: u8) -> Self {
-        DiskModelId { family: DiskFamily(family), capacity_point }
+        DiskModelId {
+            family: DiskFamily(family),
+            capacity_point,
+        }
     }
 
     /// Parses the paper's notation, e.g. `"H-2"` or `"Disk H-2"`.
@@ -219,7 +221,11 @@ impl DiskCatalog {
 
     /// All models of a given interface technology.
     pub fn models_of_type(&self, ty: DiskType) -> Vec<DiskModelId> {
-        self.specs.iter().filter(|s| s.disk_type == ty).map(|s| s.id).collect()
+        self.specs
+            .iter()
+            .filter(|s| s.disk_type == ty)
+            .map(|s| s.id)
+            .collect()
     }
 }
 
@@ -254,8 +260,16 @@ mod tests {
     #[test]
     fn healthy_fc_models_sit_below_one_percent() {
         let cat = DiskCatalog::paper();
-        for spec in cat.iter().filter(|s| s.disk_type == DiskType::Fc && !s.is_problematic()) {
-            assert!(spec.disk_afr < 0.01, "{} has AFR {}", spec.id, spec.disk_afr);
+        for spec in cat
+            .iter()
+            .filter(|s| s.disk_type == DiskType::Fc && !s.is_problematic())
+        {
+            assert!(
+                spec.disk_afr < 0.01,
+                "{} has AFR {}",
+                spec.id,
+                spec.disk_afr
+            );
             assert!(spec.disk_afr > 0.004);
         }
     }
@@ -284,7 +298,10 @@ mod tests {
         assert_eq!(id.to_string(), "H-2");
         assert_eq!(DiskModelId::parse("H-2"), Some(id));
         assert_eq!(DiskModelId::parse("Disk H-2"), Some(id));
-        assert_eq!(DiskModelId::parse(" A - 1 "), Some(DiskModelId::new('A', 1)));
+        assert_eq!(
+            DiskModelId::parse(" A - 1 "),
+            Some(DiskModelId::new('A', 1))
+        );
         assert_eq!(DiskModelId::parse("h-2"), None);
         assert_eq!(DiskModelId::parse("H2"), None);
         assert_eq!(DiskModelId::parse("H-0"), None);

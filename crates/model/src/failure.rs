@@ -9,7 +9,6 @@
 
 use std::fmt;
 
-
 use crate::id::{DeviceAddr, DiskInstanceId, LoopId, RaidGroupId, ShelfId, SystemId};
 use crate::time::SimTime;
 
@@ -121,7 +120,9 @@ impl FailureCounts {
 
     /// Iterates `(type, count)` pairs in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (FailureType, u64)> + '_ {
-        FailureType::ALL.into_iter().map(move |ty| (ty, self.get(ty)))
+        FailureType::ALL
+            .into_iter()
+            .map(move |ty| (ty, self.get(ty)))
     }
 
     /// Merges another tally into this one.

@@ -164,7 +164,8 @@ impl Fleet {
 
         // Shelf count: mean ± 40%, at least one.
         let spread = cfg.shelves_per_system * 0.4;
-        let n_shelves = (rng.gen_range(cfg.shelves_per_system - spread..=cfg.shelves_per_system + spread)
+        let n_shelves = (rng
+            .gen_range(cfg.shelves_per_system - spread..=cfg.shelves_per_system + spread)
             .round() as i64)
             .max(1) as u32;
 
@@ -177,7 +178,11 @@ impl Fleet {
         for _ in 0..n_shelves {
             if current_loop.is_none() || pos_on_loop >= cfg.shelves_per_loop {
                 let loop_id = LoopId(self.loops.len() as u32);
-                self.loops.push(FcLoop { id: loop_id, system: sys_id, shelves: Vec::new() });
+                self.loops.push(FcLoop {
+                    id: loop_id,
+                    system: sys_id,
+                    shelves: Vec::new(),
+                });
                 loop_ids.push(loop_id);
                 current_loop = Some(loop_id.index());
                 pos_on_loop = 0;
@@ -204,7 +209,9 @@ impl Fleet {
         let mut raid_group_ids = Vec::new();
         for loop_id in &loop_ids {
             let loop_shelves = &self.loops[loop_id.index()].shelves;
-            for slots in cfg.layout.assign(loop_shelves, cfg.disks_per_shelf, cfg.raid_group_size)
+            for slots in cfg
+                .layout
+                .assign(loop_shelves, cfg.disks_per_shelf, cfg.raid_group_size)
             {
                 let rg_id = RaidGroupId(self.raid_groups.len() as u32);
                 let raid_type = if rng.gen::<f64>() < cfg.raid6_fraction {
@@ -328,14 +335,12 @@ impl Fleet {
         SystemClass::ALL
             .into_iter()
             .filter_map(|class| {
-                let systems: Vec<&StorageSystem> =
-                    self.systems_of_class(class).collect();
+                let systems: Vec<&StorageSystem> = self.systems_of_class(class).collect();
                 if systems.is_empty() {
                     return None;
                 }
                 let shelves: usize = systems.iter().map(|s| s.shelves.len()).sum();
-                let raid_groups: usize =
-                    systems.iter().map(|s| s.raid_groups.len()).sum();
+                let raid_groups: usize = systems.iter().map(|s| s.raid_groups.len()).sum();
                 let slots: usize = systems
                     .iter()
                     .flat_map(|s| s.shelves.iter())
@@ -422,7 +427,8 @@ mod tests {
         let c = Fleet::build(&cfg, 43);
         assert!(
             !(a.initial_disks().len() == c.initial_disks().len()
-                && a.systems()[0].disk_model == c.systems()[0].disk_model && a.systems()[0].installed_at == c.systems()[0].installed_at),
+                && a.systems()[0].disk_model == c.systems()[0].disk_model
+                && a.systems()[0].installed_at == c.systems()[0].installed_at),
             "different seeds should differ somewhere"
         );
     }
@@ -448,8 +454,7 @@ mod tests {
     #[test]
     fn every_slot_belongs_to_exactly_one_raid_group() {
         let fleet = small_fleet();
-        let total_slots: usize =
-            fleet.shelves().iter().map(|s| s.bays as usize).sum();
+        let total_slots: usize = fleet.shelves().iter().map(|s| s.bays as usize).sum();
         assert_eq!(fleet.disk_count(), total_slots);
         let in_groups: usize = fleet.raid_groups().iter().map(|g| g.slots.len()).sum();
         assert_eq!(in_groups, total_slots);
@@ -470,7 +475,9 @@ mod tests {
 
     #[test]
     fn same_shelf_layout_produces_single_shelf_groups() {
-        let cfg = FleetConfig::paper().scaled(0.002).with_layout(LayoutPolicy::SameShelf);
+        let cfg = FleetConfig::paper()
+            .scaled(0.002)
+            .with_layout(LayoutPolicy::SameShelf);
         let fleet = Fleet::build(&cfg, 7);
         for rg in fleet.raid_groups() {
             assert_eq!(shelves_spanned(&rg.slots), 1);
@@ -521,8 +528,11 @@ mod tests {
     fn loops_partition_system_shelves() {
         let fleet = small_fleet();
         for sys in fleet.systems() {
-            let via_loops: usize =
-                sys.loops.iter().map(|l| fleet.loops()[l.index()].shelves.len()).sum();
+            let via_loops: usize = sys
+                .loops
+                .iter()
+                .map(|l| fleet.loops()[l.index()].shelves.len())
+                .sum();
             assert_eq!(via_loops, sys.shelves.len());
         }
     }
@@ -558,7 +568,10 @@ mod tests {
         }
         // Near-line and mid/high-end systems are multi-shelf; RAID groups
         // span shelves on average.
-        let nl = stats.iter().find(|s| s.class == SystemClass::NearLine).unwrap();
+        let nl = stats
+            .iter()
+            .find(|s| s.class == SystemClass::NearLine)
+            .unwrap();
         assert!(nl.avg_shelves_per_system > 4.0);
         assert!(nl.avg_raid_group_span > 1.5);
     }
@@ -572,7 +585,10 @@ mod tests {
             }
         }
         let mid: Vec<_> = fleet.systems_of_class(SystemClass::MidRange).collect();
-        let dual = mid.iter().filter(|s| s.path_config == PathConfig::DualPath).count();
+        let dual = mid
+            .iter()
+            .filter(|s| s.path_config == PathConfig::DualPath)
+            .count();
         let frac = dual as f64 / mid.len() as f64;
         assert!((0.2..0.5).contains(&frac), "dual-path fraction {frac}");
     }

@@ -7,7 +7,6 @@
 
 use std::fmt;
 
-
 macro_rules! index_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
@@ -243,7 +242,10 @@ mod tests {
 
     #[test]
     fn slot_addr_display() {
-        let slot = SlotAddr { shelf: ShelfId(4), bay: 11 };
+        let slot = SlotAddr {
+            shelf: ShelfId(4),
+            bay: 11,
+        };
         assert_eq!(slot.to_string(), "shelf-4/bay11");
     }
 }

@@ -6,7 +6,6 @@
 //! failures hitting one RAID group are (Finding 9). The simulator supports
 //! both layouts so the comparison can be reproduced as an ablation.
 
-
 use crate::id::{ShelfId, SlotAddr};
 
 /// How RAID groups are carved out of a set of shelves.
@@ -53,15 +52,19 @@ impl LayoutPolicy {
                 let slots: Vec<SlotAddr> = (0..bays_per_shelf)
                     .flat_map(|bay| shelves.iter().map(move |&shelf| SlotAddr { shelf, bay }))
                     .collect();
-                slots.chunks(group_size as usize).map(<[SlotAddr]>::to_vec).collect()
+                slots
+                    .chunks(group_size as usize)
+                    .map(<[SlotAddr]>::to_vec)
+                    .collect()
             }
             // Chunk *within* each shelf so no group ever crosses a shelf
             // boundary, even when bays don't divide evenly by group size.
             LayoutPolicy::SameShelf => shelves
                 .iter()
                 .flat_map(|&shelf| {
-                    let slots: Vec<SlotAddr> =
-                        (0..bays_per_shelf).map(|bay| SlotAddr { shelf, bay }).collect();
+                    let slots: Vec<SlotAddr> = (0..bays_per_shelf)
+                        .map(|bay| SlotAddr { shelf, bay })
+                        .collect();
                     slots
                         .chunks(group_size as usize)
                         .map(<[SlotAddr]>::to_vec)

@@ -7,7 +7,6 @@
 
 use std::fmt;
 
-
 /// RAID level of a RAID group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RaidType {

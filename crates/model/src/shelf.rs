@@ -10,7 +10,6 @@
 
 use std::fmt;
 
-
 use crate::disk::DiskModelId;
 
 /// Maximum number of disk bays per shelf across all studied models.

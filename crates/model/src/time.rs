@@ -10,7 +10,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-
 /// Calendar instant of `SimTime::ZERO`: 2004-01-01 00:00:00 UTC.
 pub const STUDY_EPOCH: (i32, u8, u8) = (2004, 1, 1);
 
@@ -26,9 +25,7 @@ pub const SECS_PER_YEAR: u64 = 31_557_600; // 365.25 days
 
 /// An absolute instant within the study window, in seconds since
 /// 2004-01-01 00:00:00 UTC.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -131,9 +128,7 @@ impl fmt::Display for SimTime {
 }
 
 /// A non-negative span of simulation time, in whole seconds.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(pub u64);
 
 impl SimDuration {
@@ -197,7 +192,12 @@ impl fmt::Display for SimDuration {
         } else if s < SECS_PER_DAY {
             write!(f, "{}h{}m", s / SECS_PER_HOUR, (s % SECS_PER_HOUR) / 60)
         } else {
-            write!(f, "{}d{}h", s / SECS_PER_DAY, (s % SECS_PER_DAY) / SECS_PER_HOUR)
+            write!(
+                f,
+                "{}d{}h",
+                s / SECS_PER_DAY,
+                (s % SECS_PER_DAY) / SECS_PER_HOUR
+            )
         }
     }
 }
@@ -241,8 +241,7 @@ impl CivilDateTime {
     ///
     /// Returns `None` for instants before the study epoch.
     pub fn to_sim_time(&self) -> Option<SimTime> {
-        let days =
-            days_from_civil(self.year, self.month, self.day) - days_from_civil(2004, 1, 1);
+        let days = days_from_civil(self.year, self.month, self.day) - days_from_civil(2004, 1, 1);
         if days < 0 {
             return None;
         }
@@ -278,7 +277,15 @@ impl CivilDateTime {
         let epoch_days = days_from_civil(2004, 1, 1);
         let days = days_from_civil(year, month, day);
         let weekday = weekday_from_days(days.max(epoch_days));
-        Some(CivilDateTime { year, month, day, hour, minute, second, weekday })
+        Some(CivilDateTime {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+            weekday,
+        })
     }
 }
 

@@ -40,7 +40,10 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            Map { source: self, map: f }
+            Map {
+                source: self,
+                map: f,
+            }
         }
     }
 
@@ -138,7 +141,9 @@ pub mod test_runner {
     impl TestCaseError {
         /// Fails the current case with a reason.
         pub fn fail(reason: impl Into<String>) -> TestCaseError {
-            TestCaseError { reason: reason.into() }
+            TestCaseError {
+                reason: reason.into(),
+            }
         }
     }
 
@@ -160,13 +165,17 @@ pub mod test_runner {
     impl ProptestConfig {
         /// A configuration running `cases` cases per property.
         pub fn with_cases(cases: u32) -> ProptestConfig {
-            ProptestConfig { cases: cases as u64 }
+            ProptestConfig {
+                cases: cases as u64,
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> ProptestConfig {
-            ProptestConfig { cases: case_count() }
+            ProptestConfig {
+                cases: case_count(),
+            }
         }
     }
 
@@ -228,14 +237,20 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> SizeRange {
-            SizeRange { lo: n, hi_exclusive: n + 1 }
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
         }
     }
 
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi_exclusive: r.end }
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
         }
     }
 
@@ -257,7 +272,10 @@ pub mod collection {
 
     /// A vector of `element` values with a length drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -312,7 +330,10 @@ pub mod char {
     /// Uniform `char` in `[lo, hi]` (inclusive).
     pub fn range(lo: char, hi: char) -> CharRange {
         assert!(lo <= hi, "empty char range");
-        CharRange { lo: lo as u32, hi: hi as u32 }
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
     }
 }
 
@@ -383,9 +404,7 @@ pub mod string {
         set
     }
 
-    fn parse_repetition(
-        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-    ) -> (usize, usize) {
+    fn parse_repetition(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
         if chars.peek() != Some(&'{') {
             return (1, 1);
         }
@@ -432,7 +451,10 @@ pub mod string {
     pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
         let mut out = String::new();
         for atom in parse(pattern) {
-            assert!(!atom.choices.is_empty(), "empty character class in {pattern:?}");
+            assert!(
+                !atom.choices.is_empty(),
+                "empty character class in {pattern:?}"
+            );
             let reps = rng.gen_range(atom.min..=atom.max);
             for _ in 0..reps {
                 let idx = rng.gen_range(0usize..atom.choices.len());
@@ -588,8 +610,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failing_property_panics_with_case_info() {
-        crate::test_runner::run_cases("always_fails", |_rng| {
-            Err(TestCaseError::fail("nope"))
-        });
+        crate::test_runner::run_cases("always_fails", |_rng| Err(TestCaseError::fail("nope")));
     }
 }

@@ -92,13 +92,21 @@ pub fn resolve_replacements(
         if t >= study_end {
             break;
         }
-        spans.push(ServiceSpan { start, end: t, failed_at: Some(t) });
+        spans.push(ServiceSpan {
+            start,
+            end: t,
+            failed_at: Some(t),
+        });
         start = t + replacement_delay;
         if start >= study_end {
             return spans;
         }
     }
-    spans.push(ServiceSpan { start, end: study_end, failed_at: None });
+    spans.push(ServiceSpan {
+        start,
+        end: study_end,
+        failed_at: None,
+    });
     spans
 }
 
@@ -143,12 +151,23 @@ mod tests {
     #[test]
     fn zero_rate_and_empty_window_produce_nothing() {
         let mut r = rng();
-        assert!(poisson_process_times(0.0, SimTime::ZERO, SimTime::from_years(1.0), &mut r)
-            .is_empty());
-        assert!(poisson_process_times(10.0, SimTime::from_secs(100), SimTime::from_secs(100), &mut r)
-            .is_empty());
-        assert!(poisson_process_times(10.0, SimTime::from_secs(200), SimTime::from_secs(100), &mut r)
-            .is_empty());
+        assert!(
+            poisson_process_times(0.0, SimTime::ZERO, SimTime::from_years(1.0), &mut r).is_empty()
+        );
+        assert!(poisson_process_times(
+            10.0,
+            SimTime::from_secs(100),
+            SimTime::from_secs(100),
+            &mut r
+        )
+        .is_empty());
+        assert!(poisson_process_times(
+            10.0,
+            SimTime::from_secs(200),
+            SimTime::from_secs(100),
+            &mut r
+        )
+        .is_empty());
     }
 
     #[test]
@@ -161,8 +180,7 @@ mod tests {
     #[test]
     fn interarrivals_look_exponential() {
         let mut r = rng();
-        let times =
-            poisson_process_times(50.0, SimTime::ZERO, SimTime::from_years(200.0), &mut r);
+        let times = poisson_process_times(50.0, SimTime::ZERO, SimTime::from_years(200.0), &mut r);
         let gaps: Vec<f64> = times
             .windows(2)
             .map(|w| w[1].duration_since(w[0]).as_years())
@@ -170,8 +188,7 @@ mod tests {
         let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
         assert!((mean - 0.02).abs() < 0.002, "mean gap {mean}");
         // Memorylessness: CV of exponential is 1.
-        let var =
-            gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / (gaps.len() - 1) as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / (gaps.len() - 1) as f64;
         let cv = var.sqrt() / mean;
         assert!((cv - 1.0).abs() < 0.1, "cv {cv}");
     }
@@ -181,8 +198,7 @@ mod tests {
         let install = SimTime::from_secs(0);
         let end = SimTime::from_secs(1_000_000);
         let delay = SimDuration::from_secs(1_000);
-        let mut candidates =
-            vec![SimTime::from_secs(500_000), SimTime::from_secs(100_000)];
+        let mut candidates = vec![SimTime::from_secs(500_000), SimTime::from_secs(100_000)];
         let spans = resolve_replacements(install, end, delay, &mut candidates);
         assert_eq!(spans.len(), 3);
         assert_eq!(spans[0].start, install);
@@ -200,8 +216,7 @@ mod tests {
         let end = SimTime::from_secs(1_000_000);
         let delay = SimDuration::from_secs(10_000);
         // Second candidate lands while the slot is empty.
-        let mut candidates =
-            vec![SimTime::from_secs(100_000), SimTime::from_secs(105_000)];
+        let mut candidates = vec![SimTime::from_secs(100_000), SimTime::from_secs(105_000)];
         let spans = resolve_replacements(install, end, delay, &mut candidates);
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[1].failed_at, None);
@@ -223,8 +238,12 @@ mod tests {
     fn failure_just_before_study_end_truncates() {
         let end = SimTime::from_secs(1_000);
         let mut candidates = vec![SimTime::from_secs(990)];
-        let spans =
-            resolve_replacements(SimTime::ZERO, end, SimDuration::from_secs(100), &mut candidates);
+        let spans = resolve_replacements(
+            SimTime::ZERO,
+            end,
+            SimDuration::from_secs(100),
+            &mut candidates,
+        );
         // Replacement would come online after the study: only the failed
         // span exists.
         assert_eq!(spans.len(), 1);

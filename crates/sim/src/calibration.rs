@@ -6,7 +6,6 @@
 //! the correlated episode processes. Targets come from the paper's
 //! Figures 4–7 (see DESIGN.md §4 for the full list).
 
-
 use ssfa_model::{FailureType, SystemClass};
 
 /// Per-class base rates for the three non-disk failure types, in exposed
@@ -101,10 +100,26 @@ impl Calibration {
             // interconnect is dominated by low-end systems (embedded heads,
             // cheapest cabling), mid/high-end single-path sit at the
             // Figure 7 values (1.82% / 2.13%), near-line lowest.
-            nearline: ClassRates { interconnect: 0.0100, protocol: 0.0035, performance: 0.0021 },
-            low_end: ClassRates { interconnect: 0.0260, protocol: 0.0042, performance: 0.0031 },
-            mid_range: ClassRates { interconnect: 0.0182, protocol: 0.0030, performance: 0.0027 },
-            high_end: ClassRates { interconnect: 0.0213, protocol: 0.0024, performance: 0.0004 },
+            nearline: ClassRates {
+                interconnect: 0.0100,
+                protocol: 0.0035,
+                performance: 0.0021,
+            },
+            low_end: ClassRates {
+                interconnect: 0.0260,
+                protocol: 0.0042,
+                performance: 0.0031,
+            },
+            mid_range: ClassRates {
+                interconnect: 0.0182,
+                protocol: 0.0030,
+                performance: 0.0027,
+            },
+            high_end: ClassRates {
+                interconnect: 0.0213,
+                protocol: 0.0024,
+                performance: 0.0004,
+            },
 
             // Episode processes. Shares and batch sizes are tuned so that
             // (a) interconnect failures are the most bursty, disk failures
@@ -207,7 +222,10 @@ impl Calibration {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn with_mask_probability(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "mask probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "mask probability must be in [0,1]"
+        );
         self.multipath_mask_probability = p;
         self
     }
@@ -286,7 +304,9 @@ mod tests {
 
     #[test]
     fn paper_calibration_validates() {
-        Calibration::paper().validate().expect("paper calibration valid");
+        Calibration::paper()
+            .validate()
+            .expect("paper calibration valid");
     }
 
     #[test]
@@ -318,8 +338,7 @@ mod tests {
         let c = Calibration::paper();
         let ic = c.background_share(FailureType::PhysicalInterconnect);
         assert!(
-            (ic - (1.0 - c.shelf_backplane.rate_share - c.loop_network.rate_share)).abs()
-                < 1e-12
+            (ic - (1.0 - c.shelf_backplane.rate_share - c.loop_network.rate_share)).abs() < 1e-12
         );
         for ty in FailureType::ALL {
             let s = c.background_share(ty);

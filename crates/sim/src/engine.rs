@@ -8,16 +8,13 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use ssfa_model::{
-    DiskInstanceId, FailureType, Fleet, PathConfig, SimDuration, SimTime, SlotAddr,
-    StorageSystem,
+    DiskInstanceId, FailureType, Fleet, PathConfig, SimDuration, SimTime, SlotAddr, StorageSystem,
 };
 
 use crate::background::{poisson_process_times, resolve_replacements, span_at, ServiceSpan};
 use crate::calibration::{Calibration, EpisodeParams};
 use crate::episodes::{assign_hits_to_disks, generate_episodes, Episode};
-use crate::occurrence::{
-    DiskRecord, FailureOccurrence, FailureSource, RemovalReason, SimOutput,
-};
+use crate::occurrence::{DiskRecord, FailureOccurrence, FailureSource, RemovalReason, SimOutput};
 use crate::rng::{stream_rng, STREAM_BACKGROUND, STREAM_DETECTION, STREAM_EPISODES};
 
 /// Simulates fleet failure behaviour over the 44-month study window.
@@ -91,8 +88,11 @@ impl Simulator {
     pub fn run_parallel(&self, fleet: &Fleet, seed: u64, threads: usize) -> SimOutput {
         assert!(threads > 0, "need at least one worker thread");
         let study_end = SimTime::study_end();
-        let initial_by_slot: std::collections::HashMap<SlotAddr, DiskInstanceId> =
-            fleet.initial_disks().iter().map(|d| (d.slot, d.id)).collect();
+        let initial_by_slot: std::collections::HashMap<SlotAddr, DiskInstanceId> = fleet
+            .initial_disks()
+            .iter()
+            .map(|d| (d.slot, d.id))
+            .collect();
 
         let systems = fleet.systems();
         let mut results: Vec<SystemResult> = if threads == 1 || systems.len() < 2 {
@@ -172,7 +172,11 @@ impl Simulator {
         if install >= study_end {
             return result;
         }
-        let SystemResult { occurrences, disks, replacements: next_local } = &mut result;
+        let SystemResult {
+            occurrences,
+            disks,
+            replacements: next_local,
+        } = &mut result;
         let window = (install, study_end);
         let cal = &self.calibration;
         let mut bg_rng = stream_rng(seed, STREAM_BACKGROUND, sys.id.0 as u64);
@@ -185,13 +189,17 @@ impl Simulator {
             .get(sys.disk_model)
             .expect("fleet validated against catalog");
         let class = cal.class_rates(sys.class);
-        let shelf_spec =
-            fleet.shelf_catalog().get(sys.shelf_model).expect("fleet validated");
+        let shelf_spec = fleet
+            .shelf_catalog()
+            .get(sys.shelf_model)
+            .expect("fleet validated");
         let episode_factor = shelf_spec.episode_rate_factor;
 
         let disk_total = spec.disk_afr;
         let ic_total = class.interconnect
-            * fleet.shelf_catalog().interconnect_multiplier(sys.shelf_model, sys.disk_model);
+            * fleet
+                .shelf_catalog()
+                .interconnect_multiplier(sys.shelf_model, sys.disk_model);
         let proto_total = class.protocol * spec.protocol_factor;
         let perf_total = class.performance * spec.performance_factor;
         let total_rate = |ty: FailureType| match ty {
@@ -210,7 +218,10 @@ impl Simulator {
         };
         let shelf_processes: [(EpisodeParams, FailureType); 4] = [
             (scale(cal.shelf_cooling), FailureType::Disk),
-            (scale(cal.shelf_backplane), FailureType::PhysicalInterconnect),
+            (
+                scale(cal.shelf_backplane),
+                FailureType::PhysicalInterconnect,
+            ),
             (scale(cal.shelf_driver), FailureType::Protocol),
             (scale(cal.shelf_perf), FailureType::Performance),
         ];
@@ -238,7 +249,10 @@ impl Simulator {
             let shelf = fleet.shelf(shelf_id);
             let start = slots.len();
             for bay in 0..shelf.bays {
-                let addr = SlotAddr { shelf: shelf_id, bay };
+                let addr = SlotAddr {
+                    shelf: shelf_id,
+                    bay,
+                };
                 slots.push(SlotInfo {
                     addr,
                     device: shelf.device_addr(bay),
@@ -340,17 +354,21 @@ impl Simulator {
         // Disk-failure candidates per slot (with their source, for ground
         // truth).
         let mut disk_cands: Vec<Vec<(SimTime, FailureSource)>> = vec![Vec::new(); slots.len()];
-        for c in candidates.iter().filter(|c| c.failure_type == FailureType::Disk) {
+        for c in candidates
+            .iter()
+            .filter(|c| c.failure_type == FailureType::Disk)
+        {
             disk_cands[c.slot_idx].push((c.at, c.source));
         }
 
         for (slot_idx, slot) in slots.iter().enumerate() {
-            let mut times: Vec<SimTime> =
-                disk_cands[slot_idx].iter().map(|(t, _)| *t).collect();
+            let mut times: Vec<SimTime> = disk_cands[slot_idx].iter().map(|(t, _)| *t).collect();
             let spans = resolve_replacements(install, study_end, replacement_delay, &mut times);
             disk_cands[slot_idx].sort_unstable_by_key(|(t, _)| *t);
 
-            let initial_id = *initial_by_slot.get(&slot.addr).expect("slot has an install");
+            let initial_id = *initial_by_slot
+                .get(&slot.addr)
+                .expect("slot has an install");
             let mut ids = Vec::with_capacity(spans.len());
             for (i, span) in spans.iter().enumerate() {
                 let id = if i == 0 {
@@ -406,7 +424,10 @@ impl Simulator {
         // Non-disk candidates: attribute to the instance in service, mask
         // interconnect failures on dual-path systems.
         let dual_path = sys.path_config == PathConfig::DualPath;
-        for c in candidates.iter().filter(|c| c.failure_type != FailureType::Disk) {
+        for c in candidates
+            .iter()
+            .filter(|c| c.failure_type != FailureType::Disk)
+        {
             let Some(span_idx) = span_at(&slot_spans[c.slot_idx], c.at) else {
                 continue; // slot empty (awaiting replacement)
             };
@@ -503,7 +524,11 @@ mod tests {
         let serial = sim.run(&fleet, 77);
         for threads in [2, 3, 8] {
             let parallel = sim.run_parallel(&fleet, 77, threads);
-            assert_eq!(serial.occurrences(), parallel.occurrences(), "{threads} threads");
+            assert_eq!(
+                serial.occurrences(),
+                parallel.occurrences(),
+                "{threads} threads"
+            );
             assert_eq!(serial.disks(), parallel.disks(), "{threads} threads");
         }
     }
@@ -585,13 +610,18 @@ mod tests {
                 );
             }
         }
-        assert!(saw_masked, "expected some masked failures in mid/high-end systems");
+        assert!(
+            saw_masked,
+            "expected some masked failures in mid/high-end systems"
+        );
     }
 
     #[test]
     fn masking_probability_near_calibration() {
         let fleet = Fleet::build(
-            &FleetConfig::paper().scaled(0.04).only_classes(&[SystemClass::HighEnd]),
+            &FleetConfig::paper()
+                .scaled(0.04)
+                .only_classes(&[SystemClass::HighEnd]),
             9,
         );
         let out = Simulator::default().run(&fleet, 9);
@@ -607,7 +637,10 @@ mod tests {
                 masked += occ.masked as u64;
             }
         }
-        assert!(total > 100, "not enough dual-path interconnect failures: {total}");
+        assert!(
+            total > 100,
+            "not enough dual-path interconnect failures: {total}"
+        );
         let frac = masked as f64 / total as f64;
         assert!((0.45..0.65).contains(&frac), "masked fraction {frac}");
     }
@@ -616,8 +649,7 @@ mod tests {
     fn failed_disks_are_replaced_with_new_instances() {
         let (fleet, out) = small_output(10);
         let initial = fleet.disk_count() as u64;
-        let replacements: Vec<_> =
-            out.disks().iter().filter(|d| d.id.0 >= initial).collect();
+        let replacements: Vec<_> = out.disks().iter().filter(|d| d.id.0 >= initial).collect();
         assert!(!replacements.is_empty(), "no replacements happened");
         // Every replacement record follows a failed record in the same slot.
         for rep in &replacements {
@@ -630,8 +662,11 @@ mod tests {
             assert_eq!(predecessor.removal_reason, RemovalReason::Failed);
         }
         // Disk-failure occurrences match failed disk records.
-        let failed_records =
-            out.disks().iter().filter(|d| d.removal_reason == RemovalReason::Failed).count();
+        let failed_records = out
+            .disks()
+            .iter()
+            .filter(|d| d.removal_reason == RemovalReason::Failed)
+            .count();
         let disk_failures = out
             .occurrences()
             .iter()
@@ -670,8 +705,7 @@ mod tests {
                     RemovalReason::Failed,
                     "early-ending last instance must have failed in {slot}"
                 );
-                let delay =
-                    SimDuration::from_days(Calibration::paper().replacement_delay_days);
+                let delay = SimDuration::from_days(Calibration::paper().replacement_delay_days);
                 assert!(
                     last.removed_at + delay >= SimTime::study_end(),
                     "slot {slot} left empty before the replacement window: \
@@ -702,18 +736,23 @@ mod tests {
         let episodic = ic
             .iter()
             .filter(|o| {
-                matches!(o.source, FailureSource::ShelfEpisode | FailureSource::LoopEpisode)
+                matches!(
+                    o.source,
+                    FailureSource::ShelfEpisode | FailureSource::LoopEpisode
+                )
             })
             .count();
         let frac = episodic as f64 / ic.len() as f64;
-        assert!((0.5..0.9).contains(&frac), "episodic interconnect fraction {frac}");
+        assert!(
+            (0.5..0.9).contains(&frac),
+            "episodic interconnect fraction {frac}"
+        );
     }
 
     #[test]
     fn without_episodes_ablation_removes_episodic_sources() {
         let fleet = Fleet::build(&FleetConfig::paper().scaled(0.002), 14);
-        let out =
-            Simulator::new(Calibration::paper().without_episodes()).run(&fleet, 14);
+        let out = Simulator::new(Calibration::paper().without_episodes()).run(&fleet, 14);
         assert!(out
             .occurrences()
             .iter()
@@ -722,6 +761,9 @@ mod tests {
         let base = Simulator::default().run(&fleet, 14);
         let a = out.exposed_counts().total() as f64;
         let b = base.exposed_counts().total() as f64;
-        assert!((a / b - 1.0).abs() < 0.25, "ablation changed totals too much: {a} vs {b}");
+        assert!(
+            (a / b - 1.0).abs() < 0.25,
+            "ablation changed totals too much: {a} vs {b}"
+        );
     }
 }

@@ -55,8 +55,8 @@ pub fn generate_episodes<R: Rng>(
     if params.rate_share <= 0.0 || scope_disks == 0 || type_rate_per_disk_year <= 0.0 {
         return Vec::new();
     }
-    let arrival_rate = params.rate_share * type_rate_per_disk_year * scope_disks as f64
-        / params.mean_batch();
+    let arrival_rate =
+        params.rate_share * type_rate_per_disk_year * scope_disks as f64 / params.mean_batch();
     let starts = poisson_process_times(arrival_rate, window.0, window.1, rng);
     if starts.is_empty() {
         return Vec::new();
@@ -71,8 +71,7 @@ pub fn generate_episodes<R: Rng>(
     starts
         .into_iter()
         .map(|start| {
-            let duration =
-                SimDuration::from_secs((duration_dist.sample(rng).max(60.0)) as u64);
+            let duration = SimDuration::from_secs((duration_dist.sample(rng).max(60.0)) as u64);
             let batch = if params.extra_mean > 0.0 {
                 1 + batch_extra.sample(rng) as usize
             } else {
@@ -87,7 +86,13 @@ pub fn generate_episodes<R: Rng>(
                 })
                 .collect();
             hits.sort_unstable();
-            Episode { start, duration, failure_type, source, hits }
+            Episode {
+                start,
+                duration,
+                failure_type,
+                source,
+                hits,
+            }
         })
         .collect()
 }
@@ -100,11 +105,7 @@ pub fn generate_episodes<R: Rng>(
 ///
 /// Panics if the episode has more hits than `scope` (prevented by
 /// [`generate_episodes`]'s batch cap).
-pub fn assign_hits_to_disks<R: Rng>(
-    episode: &Episode,
-    scope: usize,
-    rng: &mut R,
-) -> Vec<usize> {
+pub fn assign_hits_to_disks<R: Rng>(episode: &Episode, scope: usize, rng: &mut R) -> Vec<usize> {
     let k = episode.hits.len();
     assert!(k <= scope, "more hits than disks in scope");
     let mut indices: Vec<usize> = (0..scope).collect();
@@ -147,7 +148,10 @@ mod tests {
         let hits: usize = episodes.iter().map(|e| e.hits.len()).sum();
         let expected = params.rate_share * rate * disks as f64 * years;
         let ratio = hits as f64 / expected;
-        assert!((0.85..1.15).contains(&ratio), "delivered {hits}, expected {expected}");
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "delivered {hits}, expected {expected}"
+        );
     }
 
     #[test]

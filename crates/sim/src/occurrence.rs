@@ -1,6 +1,5 @@
 //! Ground-truth simulation output: failure occurrences and disk lifetimes.
 
-
 use ssfa_model::{
     DeviceAddr, DiskInstanceId, DiskModelId, FailureRecord, FailureType, LoopId, RaidGroupId,
     SimTime, SlotAddr, SystemId,
@@ -116,9 +115,7 @@ impl SimOutput {
     /// Assembles output from raw parts, sorting occurrences
     /// chronologically by detection time.
     pub fn new(mut occurrences: Vec<FailureOccurrence>, disks: Vec<DiskRecord>) -> Self {
-        occurrences.sort_by(|a, b| {
-            a.detected_at.cmp(&b.detected_at).then(a.disk.cmp(&b.disk))
-        });
+        occurrences.sort_by(|a, b| a.detected_at.cmp(&b.detected_at).then(a.disk.cmp(&b.disk)));
         SimOutput { occurrences, disks }
     }
 
@@ -135,7 +132,10 @@ impl SimOutput {
 
     /// The exposed storage-subsystem failures, as analysis-side records.
     pub fn exposed_records(&self) -> Vec<FailureRecord> {
-        self.occurrences.iter().filter_map(FailureOccurrence::to_record).collect()
+        self.occurrences
+            .iter()
+            .filter_map(FailureOccurrence::to_record)
+            .collect()
     }
 
     /// Total fleet exposure in disk-years.
@@ -166,7 +166,10 @@ mod tests {
             source: FailureSource::Background,
             masked,
             disk: DiskInstanceId(t),
-            slot: SlotAddr { shelf: ShelfId(0), bay: 0 },
+            slot: SlotAddr {
+                shelf: ShelfId(0),
+                bay: 0,
+            },
             system: SystemId(0),
             raid_group: RaidGroupId(0),
             fc_loop: LoopId(0),
@@ -191,7 +194,11 @@ mod tests {
     #[test]
     fn exposed_records_filter_masked() {
         let out = SimOutput::new(
-            vec![occurrence(1, true), occurrence(2, false), occurrence(3, true)],
+            vec![
+                occurrence(1, true),
+                occurrence(2, false),
+                occurrence(3, true),
+            ],
             vec![],
         );
         assert_eq!(out.exposed_records().len(), 1);
@@ -204,7 +211,10 @@ mod tests {
         let rec = DiskRecord {
             id: DiskInstanceId(0),
             model: DiskModelId::new('A', 1),
-            slot: SlotAddr { shelf: ShelfId(0), bay: 0 },
+            slot: SlotAddr {
+                shelf: ShelfId(0),
+                bay: 0,
+            },
             system: SystemId(0),
             raid_group: RaidGroupId(0),
             installed_at: SimTime::ZERO,
@@ -219,7 +229,10 @@ mod tests {
         let mk = |years: f64| DiskRecord {
             id: DiskInstanceId(0),
             model: DiskModelId::new('A', 1),
-            slot: SlotAddr { shelf: ShelfId(0), bay: 0 },
+            slot: SlotAddr {
+                shelf: ShelfId(0),
+                bay: 0,
+            },
             system: SystemId(0),
             raid_group: RaidGroupId(0),
             installed_at: SimTime::ZERO,

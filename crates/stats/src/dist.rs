@@ -41,7 +41,10 @@ pub trait ContinuousDist {
     ///
     /// Panics if `p` is outside `(0, 1)`.
     fn quantile(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "quantile probability must be in (0,1), got {p}"
+        );
         // Bracket the quantile starting from the mean.
         let mut lo = 0.0_f64;
         let mut hi = self.mean().max(1e-9);
@@ -102,7 +105,9 @@ impl Exponential {
     /// Returns [`StatsError::BadParameter`] unless `rate` is finite and
     /// positive.
     pub fn new(rate: f64) -> Result<Self> {
-        Ok(Exponential { rate: check_positive("rate", rate)? })
+        Ok(Exponential {
+            rate: check_positive("rate", rate)?,
+        })
     }
 
     /// The rate parameter `λ`.
@@ -153,7 +158,10 @@ impl ContinuousDist for Exponential {
     }
 
     fn quantile(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "quantile probability must be in (0,1), got {p}"
+        );
         -(1.0 - p).ln() / self.rate
     }
 }
@@ -246,7 +254,10 @@ impl ContinuousDist for Weibull {
     }
 
     fn quantile(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "quantile probability must be in (0,1), got {p}"
+        );
         self.scale * (-(1.0 - p).ln()).powf(1.0 / self.shape)
     }
 }
@@ -324,7 +335,8 @@ impl ContinuousDist for Gamma {
         if x <= 0.0 {
             return f64::NEG_INFINITY;
         }
-        (self.shape - 1.0) * x.ln() - x / self.scale
+        (self.shape - 1.0) * x.ln()
+            - x / self.scale
             - ln_gamma(self.shape)
             - self.shape * self.scale.ln()
     }
@@ -333,7 +345,10 @@ impl ContinuousDist for Gamma {
         // Marsaglia & Tsang (2000). For shape < 1, boost via
         // Gamma(k) = Gamma(k+1) · U^{1/k}.
         if self.shape < 1.0 {
-            let boosted = Gamma { shape: self.shape + 1.0, scale: self.scale };
+            let boosted = Gamma {
+                shape: self.shape + 1.0,
+                scale: self.scale,
+            };
             let u = open_unit(rng);
             return boosted.sample(rng) * u.powf(1.0 / self.shape);
         }
@@ -360,7 +375,10 @@ impl ContinuousDist for Gamma {
     }
 
     fn quantile(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "quantile probability must be in (0,1), got {p}"
+        );
         self.scale * crate::special::inverse_lower_gamma_reg(self.shape, p)
     }
 }
@@ -385,14 +403,23 @@ impl Normal {
     /// positive and `mu` is finite.
     pub fn new(mu: f64, sigma: f64) -> Result<Self> {
         if !mu.is_finite() {
-            return Err(StatsError::BadParameter { name: "mu", value: mu });
+            return Err(StatsError::BadParameter {
+                name: "mu",
+                value: mu,
+            });
         }
-        Ok(Normal { mu, sigma: check_positive("sigma", sigma)? })
+        Ok(Normal {
+            mu,
+            sigma: check_positive("sigma", sigma)?,
+        })
     }
 
     /// The standard normal.
     pub fn standard() -> Self {
-        Normal { mu: 0.0, sigma: 1.0 }
+        Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 }
 
@@ -426,7 +453,10 @@ impl ContinuousDist for Normal {
     }
 
     fn quantile(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "quantile probability must be in (0,1), got {p}"
+        );
         self.mu + self.sigma * crate::special::std_normal_quantile(p)
     }
 }
@@ -452,9 +482,15 @@ impl LogNormal {
     /// positive and `mu` is finite.
     pub fn new(mu: f64, sigma: f64) -> Result<Self> {
         if !mu.is_finite() {
-            return Err(StatsError::BadParameter { name: "mu", value: mu });
+            return Err(StatsError::BadParameter {
+                name: "mu",
+                value: mu,
+            });
         }
-        Ok(LogNormal { mu, sigma: check_positive("sigma", sigma)? })
+        Ok(LogNormal {
+            mu,
+            sigma: check_positive("sigma", sigma)?,
+        })
     }
 
     /// Constructs the log-normal with a given median and a multiplicative
@@ -468,7 +504,10 @@ impl LogNormal {
         let median = check_positive("median", median)?;
         let spread = check_positive("spread", spread)?;
         if spread <= 1.0 {
-            return Err(StatsError::BadParameter { name: "spread", value: spread });
+            return Err(StatsError::BadParameter {
+                name: "spread",
+                value: spread,
+            });
         }
         LogNormal::new(median.ln(), spread.ln())
     }
@@ -512,7 +551,10 @@ impl ContinuousDist for LogNormal {
     }
 
     fn quantile(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "quantile probability must be in (0,1), got {p}"
+        );
         (self.mu + self.sigma * crate::special::std_normal_quantile(p)).exp()
     }
 }
@@ -536,7 +578,9 @@ impl Poisson {
     /// Returns [`StatsError::BadParameter`] unless `lambda` is finite and
     /// positive.
     pub fn new(lambda: f64) -> Result<Self> {
-        Ok(Poisson { lambda: check_positive("lambda", lambda)? })
+        Ok(Poisson {
+            lambda: check_positive("lambda", lambda)?,
+        })
     }
 
     /// The mean `λ`.
@@ -634,7 +678,11 @@ mod tests {
     fn weibull_moments_match_samples() {
         let w = Weibull::new(1.7, 3.0).unwrap();
         let (m, v) = sample_mean_var(&w, 40_000);
-        assert!((m - w.mean()).abs() / w.mean() < 0.02, "mean {m} vs {}", w.mean());
+        assert!(
+            (m - w.mean()).abs() / w.mean() < 0.02,
+            "mean {m} vs {}",
+            w.mean()
+        );
         assert!((v - w.variance()).abs() / w.variance() < 0.08);
     }
 
@@ -643,8 +691,14 @@ mod tests {
         for &(k, theta) in &[(0.5, 2.0), (1.0, 1.0), (2.5, 4.0), (9.0, 0.5)] {
             let g = Gamma::new(k, theta).unwrap();
             let (m, v) = sample_mean_var(&g, 60_000);
-            assert!((m - g.mean()).abs() / g.mean() < 0.03, "shape {k}: mean {m}");
-            assert!((v - g.variance()).abs() / g.variance() < 0.10, "shape {k}: var {v}");
+            assert!(
+                (m - g.mean()).abs() / g.mean() < 0.03,
+                "shape {k}: mean {m}"
+            );
+            assert!(
+                (v - g.variance()).abs() / g.variance() < 0.10,
+                "shape {k}: var {v}"
+            );
         }
     }
 
@@ -698,7 +752,10 @@ mod tests {
         let n = 20_000;
         let samples: Vec<u64> = (0..n).map(|_| p.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<u64>() as f64 / n as f64;
-        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>()
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
             / (n - 1) as f64;
         assert!((mean - 200.0).abs() < 1.0, "mean {mean}");
         assert!((var - 200.0).abs() < 15.0, "var {var}");
@@ -723,7 +780,12 @@ mod tests {
                 integral += 0.5 * (d.pdf(x0.max(1e-12)) + d.pdf(x1)) * h;
             }
             let err = (integral - d.cdf(upper)).abs();
-            assert!(err < 1e-3, "{}: ∫pdf {integral} vs cdf {}", d.name(), d.cdf(upper));
+            assert!(
+                err < 1e-3,
+                "{}: ∫pdf {integral} vs cdf {}",
+                d.name(),
+                d.cdf(upper)
+            );
         }
     }
 
@@ -754,12 +816,24 @@ mod tests {
         // Exercise the trait default by calling it through a shim type.
         struct Shim(Gamma);
         impl ContinuousDist for Shim {
-            fn pdf(&self, x: f64) -> f64 { self.0.pdf(x) }
-            fn cdf(&self, x: f64) -> f64 { self.0.cdf(x) }
-            fn mean(&self) -> f64 { self.0.mean() }
-            fn variance(&self) -> f64 { self.0.variance() }
-            fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 { self.0.sample(rng) }
-            fn name(&self) -> &'static str { "Shim" }
+            fn pdf(&self, x: f64) -> f64 {
+                self.0.pdf(x)
+            }
+            fn cdf(&self, x: f64) -> f64 {
+                self.0.cdf(x)
+            }
+            fn mean(&self) -> f64 {
+                self.0.mean()
+            }
+            fn variance(&self) -> f64 {
+                self.0.variance()
+            }
+            fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+                self.0.sample(rng)
+            }
+            fn name(&self) -> &'static str {
+                "Shim"
+            }
         }
         let g = Gamma::new(3.0, 2.0).unwrap();
         let shim = Shim(g);

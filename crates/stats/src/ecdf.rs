@@ -25,7 +25,9 @@ impl Ecdf {
             return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
         }
         if data.iter().any(|x| !x.is_finite()) {
-            return Err(StatsError::BadSample { reason: "non-finite observation" });
+            return Err(StatsError::BadSample {
+                reason: "non-finite observation",
+            });
         }
         let mut sorted = data.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
@@ -62,7 +64,10 @@ impl Ecdf {
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile q must be in [0,1], got {q}"
+        );
         if q == 0.0 {
             return self.sorted[0];
         }

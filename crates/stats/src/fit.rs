@@ -73,7 +73,10 @@ impl std::fmt::Debug for FittedModel {
 
 fn check_positive_sample(data: &[f64], needed: usize) -> Result<()> {
     if data.len() < needed {
-        return Err(StatsError::NotEnoughData { needed, got: data.len() });
+        return Err(StatsError::NotEnoughData {
+            needed,
+            got: data.len(),
+        });
     }
     if data.iter().any(|&x| !x.is_finite() || x <= 0.0) {
         return Err(StatsError::BadSample {
@@ -98,7 +101,10 @@ pub fn fit_exponential(data: &[f64]) -> Result<ExponentialFit> {
     let mean = data.iter().sum::<f64>() / data.len() as f64;
     let rate = 1.0 / mean;
     let dist = Exponential::new(rate)?;
-    Ok(ExponentialFit { rate, log_likelihood: log_likelihood(&dist, data) })
+    Ok(ExponentialFit {
+        rate,
+        log_likelihood: log_likelihood(&dist, data),
+    })
 }
 
 /// Fits a Weibull distribution by maximum likelihood (Newton iteration on
@@ -114,7 +120,9 @@ pub fn fit_weibull(data: &[f64]) -> Result<WeibullFit> {
     let ln_xs: Vec<f64> = data.iter().map(|x| x.ln()).collect();
     let mean_ln = ln_xs.iter().sum::<f64>() / n;
     if data.iter().all(|&x| (x - data[0]).abs() < 1e-300) {
-        return Err(StatsError::BadSample { reason: "degenerate sample (all equal)" });
+        return Err(StatsError::BadSample {
+            reason: "degenerate sample (all equal)",
+        });
     }
 
     // Method-of-moments style start: k ≈ 1.2 / stddev(ln x).
@@ -144,11 +152,17 @@ pub fn fit_weibull(data: &[f64]) -> Result<WeibullFit> {
         }
     }
     if !converged || !k.is_finite() {
-        return Err(StatsError::NoConvergence { routine: "fit_weibull" });
+        return Err(StatsError::NoConvergence {
+            routine: "fit_weibull",
+        });
     }
     let scale = (data.iter().map(|x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
     let dist = Weibull::new(k, scale)?;
-    Ok(WeibullFit { shape: k, scale, log_likelihood: log_likelihood(&dist, data) })
+    Ok(WeibullFit {
+        shape: k,
+        scale,
+        log_likelihood: log_likelihood(&dist, data),
+    })
 }
 
 /// Fits a Gamma distribution by maximum likelihood (Newton iteration with
@@ -166,7 +180,9 @@ pub fn fit_gamma(data: &[f64]) -> Result<GammaFit> {
     let s = mean.ln() - mean_ln;
     if s <= 0.0 {
         // Happens only for (near-)degenerate samples by Jensen's inequality.
-        return Err(StatsError::BadSample { reason: "degenerate sample (all equal)" });
+        return Err(StatsError::BadSample {
+            reason: "degenerate sample (all equal)",
+        });
     }
 
     // Minka's approximation as the starting point.
@@ -185,11 +201,17 @@ pub fn fit_gamma(data: &[f64]) -> Result<GammaFit> {
         }
     }
     if !converged || !k.is_finite() || k <= 0.0 {
-        return Err(StatsError::NoConvergence { routine: "fit_gamma" });
+        return Err(StatsError::NoConvergence {
+            routine: "fit_gamma",
+        });
     }
     let scale = mean / k;
     let dist = Gamma::new(k, scale)?;
-    Ok(GammaFit { shape: k, scale, log_likelihood: log_likelihood(&dist, data) })
+    Ok(GammaFit {
+        shape: k,
+        scale,
+        log_likelihood: log_likelihood(&dist, data),
+    })
 }
 
 /// Fits all three of the paper's candidate models.
@@ -325,11 +347,16 @@ mod tests {
         let data = sample(&truth, 5_000, 8);
         let fits = fit_all(&data).unwrap();
         let ll = |name: &str| {
-            fits.iter().find(|f| f.dist.name() == name).map(|f| f.log_likelihood)
+            fits.iter()
+                .find(|f| f.dist.name() == name)
+                .map(|f| f.log_likelihood)
         };
         let exp_ll = ll("Exponential").unwrap();
         let gamma_ll = ll("Gamma").unwrap();
-        assert!(gamma_ll > exp_ll, "gamma {gamma_ll} should beat exponential {exp_ll}");
+        assert!(
+            gamma_ll > exp_ll,
+            "gamma {gamma_ll} should beat exponential {exp_ll}"
+        );
     }
 
     #[test]

@@ -50,19 +50,35 @@ impl Histogram {
     /// and `bins ≥ 1`.
     pub fn log(lo: f64, hi: f64, bins: usize) -> Result<Histogram> {
         if lo <= 0.0 {
-            return Err(StatsError::BadParameter { name: "lo", value: lo });
+            return Err(StatsError::BadParameter {
+                name: "lo",
+                value: lo,
+            });
         }
         Self::build(Binning::Log, lo, hi, bins)
     }
 
     fn build(binning: Binning, lo: f64, hi: f64, bins: usize) -> Result<Histogram> {
         if !(lo.is_finite() && hi.is_finite() && lo < hi) {
-            return Err(StatsError::BadParameter { name: "hi", value: hi });
+            return Err(StatsError::BadParameter {
+                name: "hi",
+                value: hi,
+            });
         }
         if bins == 0 {
-            return Err(StatsError::BadParameter { name: "bins", value: 0.0 });
+            return Err(StatsError::BadParameter {
+                name: "bins",
+                value: 0.0,
+            });
         }
-        Ok(Histogram { binning, lo, hi, counts: vec![0; bins], below: 0, above: 0 })
+        Ok(Histogram {
+            binning,
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+        })
     }
 
     /// Number of bins (excluding the under/overflow counters).

@@ -45,17 +45,26 @@ pub fn welch_t_test(
     var2: f64,
 ) -> Result<TTestResult> {
     if n1 < 2 || n2 < 2 {
-        return Err(StatsError::NotEnoughData { needed: 2, got: n1.min(n2) });
+        return Err(StatsError::NotEnoughData {
+            needed: 2,
+            got: n1.min(n2),
+        });
     }
     let se1 = var1 / n1 as f64;
     let se2 = var2 / n2 as f64;
     let se = se1 + se2;
     if se <= 0.0 {
-        return Err(StatsError::BadSample { reason: "both groups have zero variance" });
+        return Err(StatsError::BadSample {
+            reason: "both groups have zero variance",
+        });
     }
     let t = (mean1 - mean2) / se.sqrt();
     let df = se * se / (se1 * se1 / (n1 as f64 - 1.0) + se2 * se2 / (n2 as f64 - 1.0));
-    Ok(TTestResult { t, df, p_value: student_t_two_sided_p(t, df) })
+    Ok(TTestResult {
+        t,
+        df,
+        p_value: student_t_two_sided_p(t, df),
+    })
 }
 
 /// Welch's two-sample *t* test directly from raw samples.
@@ -107,11 +116,17 @@ pub fn chi_square_gof(
     fitted_params: usize,
 ) -> Result<ChiSquareResult> {
     if bins < 3 {
-        return Err(StatsError::BadParameter { name: "bins", value: bins as f64 });
+        return Err(StatsError::BadParameter {
+            name: "bins",
+            value: bins as f64,
+        });
     }
     let expected_per_bin = data.len() as f64 / bins as f64;
     if expected_per_bin < 5.0 {
-        return Err(StatsError::NotEnoughData { needed: bins * 5, got: data.len() });
+        return Err(StatsError::NotEnoughData {
+            needed: bins * 5,
+            got: data.len(),
+        });
     }
     if bins <= fitted_params + 1 {
         return Err(StatsError::BadParameter {
@@ -135,7 +150,11 @@ pub fn chi_square_gof(
         })
         .sum();
     let df = bins - 1 - fitted_params;
-    Ok(ChiSquareResult { statistic, df, p_value: chi_square_sf(statistic, df as f64) })
+    Ok(ChiSquareResult {
+        statistic,
+        df,
+        p_value: chi_square_sf(statistic, df as f64),
+    })
 }
 
 /// Result of a Kolmogorov–Smirnov one-sample test.
@@ -155,7 +174,10 @@ pub struct KsResult {
 /// Returns [`StatsError::NotEnoughData`] for samples smaller than 5.
 pub fn ks_test(data: &[f64], model: &dyn ContinuousDist) -> Result<KsResult> {
     if data.len() < 5 {
-        return Err(StatsError::NotEnoughData { needed: 5, got: data.len() });
+        return Err(StatsError::NotEnoughData {
+            needed: 5,
+            got: data.len(),
+        });
     }
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
@@ -179,7 +201,10 @@ pub fn ks_test(data: &[f64], model: &dyn ContinuousDist) -> Result<KsResult> {
             break;
         }
     }
-    Ok(KsResult { statistic: d, p_value: (2.0 * p).clamp(0.0, 1.0) })
+    Ok(KsResult {
+        statistic: d,
+        p_value: (2.0 * p).clamp(0.0, 1.0),
+    })
 }
 
 /// A symmetric confidence interval around an estimate.
@@ -218,16 +243,18 @@ impl ConfidenceInterval {
 ///
 /// Returns [`StatsError::BadParameter`] for non-positive exposure or a
 /// confidence level outside (0, 1).
-pub fn poisson_rate_ci(
-    events: u64,
-    exposure: f64,
-    confidence: f64,
-) -> Result<ConfidenceInterval> {
+pub fn poisson_rate_ci(events: u64, exposure: f64, confidence: f64) -> Result<ConfidenceInterval> {
     if !(exposure.is_finite() && exposure > 0.0) {
-        return Err(StatsError::BadParameter { name: "exposure", value: exposure });
+        return Err(StatsError::BadParameter {
+            name: "exposure",
+            value: exposure,
+        });
     }
     if !(0.0 < confidence && confidence < 1.0) {
-        return Err(StatsError::BadParameter { name: "confidence", value: confidence });
+        return Err(StatsError::BadParameter {
+            name: "confidence",
+            value: confidence,
+        });
     }
     let rate = events as f64 / exposure;
     let z = std_normal_quantile(0.5 + confidence / 2.0);
@@ -265,12 +292,15 @@ pub fn poisson_two_rate_test(
     }
     let r1 = events1 as f64 / exposure1;
     let r2 = events2 as f64 / exposure2;
-    let var = events1 as f64 / (exposure1 * exposure1)
-        + events2 as f64 / (exposure2 * exposure2);
+    let var = events1 as f64 / (exposure1 * exposure1) + events2 as f64 / (exposure2 * exposure2);
     let z = (r1 - r2) / var.sqrt();
     // Large-count normal approximation == t with huge df.
     let df = (events1 + events2) as f64;
-    Ok(TTestResult { t: z, df, p_value: student_t_two_sided_p(z, df.max(30.0)) })
+    Ok(TTestResult {
+        t: z,
+        df,
+        p_value: student_t_two_sided_p(z, df.max(30.0)),
+    })
 }
 
 #[cfg(test)]
@@ -324,11 +354,19 @@ mod tests {
         let data: Vec<f64> = (0..5_000).map(|_| truth.sample(&mut rng)).collect();
 
         let good = chi_square_gof(&data, &truth, 20, 2).unwrap();
-        assert!(!good.rejects_at(0.05), "true model rejected: p = {}", good.p_value);
+        assert!(
+            !good.rejects_at(0.05),
+            "true model rejected: p = {}",
+            good.p_value
+        );
 
         let wrong = Exponential::new(1.0 / truth.mean()).unwrap();
         let bad = chi_square_gof(&data, &wrong, 20, 1).unwrap();
-        assert!(bad.rejects_at(0.05), "wrong model accepted: p = {}", bad.p_value);
+        assert!(
+            bad.rejects_at(0.05),
+            "wrong model accepted: p = {}",
+            bad.p_value
+        );
         assert!(bad.statistic > good.statistic);
     }
 
@@ -348,7 +386,11 @@ mod tests {
         let data: Vec<f64> = (0..2_000).map(|_| truth.sample(&mut rng)).collect();
 
         let good = ks_test(&data, &truth).unwrap();
-        assert!(good.p_value > 0.05, "true model rejected: p = {}", good.p_value);
+        assert!(
+            good.p_value > 0.05,
+            "true model rejected: p = {}",
+            good.p_value
+        );
 
         let wrong = Exponential::new(1.0).unwrap();
         let bad = ks_test(&data, &wrong).unwrap();
@@ -393,9 +435,24 @@ mod tests {
 
     #[test]
     fn confidence_interval_overlap() {
-        let a = ConfidenceInterval { estimate: 1.0, lower: 0.8, upper: 1.2, confidence: 0.95 };
-        let b = ConfidenceInterval { estimate: 1.3, lower: 1.1, upper: 1.5, confidence: 0.95 };
-        let c = ConfidenceInterval { estimate: 2.0, lower: 1.8, upper: 2.2, confidence: 0.95 };
+        let a = ConfidenceInterval {
+            estimate: 1.0,
+            lower: 0.8,
+            upper: 1.2,
+            confidence: 0.95,
+        };
+        let b = ConfidenceInterval {
+            estimate: 1.3,
+            lower: 1.1,
+            upper: 1.5,
+            confidence: 0.95,
+        };
+        let c = ConfidenceInterval {
+            estimate: 2.0,
+            lower: 1.8,
+            upper: 2.2,
+            confidence: 0.95,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));

@@ -49,10 +49,9 @@ pub fn digamma(x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+    result + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
 }
 
 /// Trigamma function `ψ'(x)`, for `x > 0`.
@@ -69,9 +68,7 @@ pub fn trigamma(x: f64) -> f64 {
         + inv
             * (1.0
                 + 0.5 * inv
-                + inv2
-                    * (1.0 / 6.0
-                        - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0))))
+                + inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0))))
 }
 
 /// Error function `erf(x)`, via the regularized incomplete gamma function.
@@ -104,7 +101,10 @@ pub fn std_normal_cdf(x: f64) -> f64 {
 ///
 /// Panics if `p` is outside `(0, 1)`.
 pub fn std_normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "quantile probability must be in (0,1), got {p}"
+    );
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
@@ -263,7 +263,11 @@ pub fn inverse_lower_gamma_reg(a: f64, p: f64) -> f64 {
         }
         // dP/dx = x^{a-1} e^{-x} / Γ(a)
         let df = ((a - 1.0) * x.ln() - x - ln_ga).exp();
-        let newton = if df > 0.0 && df.is_finite() { x - f / df } else { f64::NAN };
+        let newton = if df > 0.0 && df.is_finite() {
+            x - f / df
+        } else {
+            f64::NAN
+        };
         let next = if newton.is_finite() && newton > lo && newton < hi {
             newton
         } else {
@@ -288,8 +292,7 @@ pub fn incomplete_beta_reg(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // Use the symmetry that keeps the continued fraction convergent.
     if x < (a + 1.0) / (a + b + 2.0) {
@@ -442,7 +445,13 @@ mod tests {
 
     #[test]
     fn incomplete_gamma_complementarity() {
-        for &(a, x) in &[(0.5, 0.3), (1.0, 1.0), (3.5, 2.0), (10.0, 14.0), (2.0, 30.0)] {
+        for &(a, x) in &[
+            (0.5, 0.3),
+            (1.0, 1.0),
+            (3.5, 2.0),
+            (10.0, 14.0),
+            (2.0, 30.0),
+        ] {
             close(lower_gamma_reg(a, x) + upper_gamma_reg(a, x), 1.0, 1e-12);
         }
     }

@@ -31,7 +31,9 @@ impl Summary {
             return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
         }
         if data.iter().any(|x| !x.is_finite()) {
-            return Err(StatsError::BadSample { reason: "non-finite observation" });
+            return Err(StatsError::BadSample {
+                reason: "non-finite observation",
+            });
         }
         let n = data.len();
         let mean = data.iter().sum::<f64>() / n as f64;
@@ -42,7 +44,13 @@ impl Summary {
         };
         let min = data.iter().copied().fold(f64::INFINITY, f64::min);
         let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Ok(Summary { n, mean, variance, min, max })
+        Ok(Summary {
+            n,
+            mean,
+            variance,
+            min,
+            max,
+        })
     }
 
     /// Sample standard deviation.
@@ -79,7 +87,10 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
         return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
     }
     if !(0.0..=1.0).contains(&q) {
-        return Err(StatsError::BadParameter { name: "q", value: q });
+        return Err(StatsError::BadParameter {
+            name: "q",
+            value: q,
+        });
     }
     let mut sorted: Vec<f64> = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
@@ -126,7 +137,10 @@ mod tests {
 
     #[test]
     fn summary_rejects_empty_and_nan() {
-        assert!(matches!(Summary::of(&[]), Err(StatsError::NotEnoughData { .. })));
+        assert!(matches!(
+            Summary::of(&[]),
+            Err(StatsError::NotEnoughData { .. })
+        ));
         assert!(matches!(
             Summary::of(&[1.0, f64::NAN]),
             Err(StatsError::BadSample { .. })

@@ -21,17 +21,30 @@ use ssfa::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Full-cascade corpus with benign noise: the honest setting for a
     // predictor (it must not get the failure labels for free).
-    let pipeline = ssfa::Pipeline::new().scale(0.01).seed(31).cascade_style(CascadeStyle::Full);
+    let pipeline = ssfa::Pipeline::new()
+        .scale(0.01)
+        .seed(31)
+        .cascade_style(CascadeStyle::Full);
     let fleet = pipeline.build_fleet();
     let output = pipeline.simulate(&fleet);
-    let book =
-        render_support_log_noisy(&fleet, &output, CascadeStyle::Full, NoiseParams::realistic(), 31);
+    let book = render_support_log_noisy(
+        &fleet,
+        &output,
+        CascadeStyle::Full,
+        NoiseParams::realistic(),
+        31,
+    );
     let input = classify(&book)?;
 
-    let disk_failures =
-        input.failures.iter().filter(|r| r.failure_type == FailureType::Disk).count();
-    let medium_errors =
-        book.iter().filter(|l| l.event.tag() == "disk.ioMediumError").count();
+    let disk_failures = input
+        .failures
+        .iter()
+        .filter(|r| r.failure_type == FailureType::Disk)
+        .count();
+    let medium_errors = book
+        .iter()
+        .filter(|l| l.event.tag() == "disk.ioMediumError")
+        .count();
     println!(
         "corpus: {} lines, {} medium-error events ({} benign noise + precursors), \
          {} actual disk failures\n",
@@ -49,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let eval = evaluate_predictor(
             &book,
             &input,
-            PrecursorPredictor { threshold, ..PrecursorPredictor::default() },
+            PrecursorPredictor {
+                threshold,
+                ..PrecursorPredictor::default()
+            },
         );
         println!(
             "{:>10} {:>8} {:>9.1}% {:>7.1}% {:>16.0} h",

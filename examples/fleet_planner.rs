@@ -42,14 +42,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (disk, shelf, dual_fraction) in candidates {
         let model = DiskModelId::parse(disk).expect("catalog model");
         let base = FleetConfig::paper();
-        let template = base.class(SystemClass::MidRange).expect("mid-range in paper config");
+        let template = base
+            .class(SystemClass::MidRange)
+            .expect("mid-range in paper config");
         let class_config = ClassConfig {
             n_systems: 400,
             dual_path_fraction: dual_fraction,
             mix: vec![(shelf, model, 1.0)],
             ..template.clone()
         };
-        let config = FleetConfig { classes: vec![class_config], ..base };
+        let config = FleetConfig {
+            classes: vec![class_config],
+            ..base
+        };
         let study = ssfa::Pipeline::new().config(config).seed(3).run()?;
 
         let by_class = study.afr_by_class(true);
@@ -59,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:>6} {:>7} {:>7} | {:>8.2}% {:>12.2}% {:>8.2}% | {:>22.0}",
             disk,
             shelf.letter(),
-            if dual_fraction > 0.0 { "dual" } else { "single" },
+            if dual_fraction > 0.0 {
+                "dual"
+            } else {
+                "single"
+            },
             b.afr(FailureType::Disk) * 100.0,
             b.afr(FailureType::PhysicalInterconnect) * 100.0,
             b.total_afr() * 100.0,

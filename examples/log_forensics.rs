@@ -54,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Verify against ground truth — the classifier must match exactly.
     let truth = output.exposed_records().len();
-    assert_eq!(input.failures.len(), truth, "classifier diverged from ground truth");
+    assert_eq!(
+        input.failures.len(),
+        truth,
+        "classifier diverged from ground truth"
+    );
     println!("ground-truth exposed failures: {truth} -> exact match\n");
 
     // Tag distribution of the corpus.
@@ -117,8 +121,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The audit trail is exact: every line the pipeline saw is either
     // ingested or counted in a skip bucket.
-    assert_eq!(health.lines_skipped_malformed, health.ledger.expect_malformed);
-    assert_eq!(health.lines_skipped_missing_topology, health.ledger.expect_missing_topology);
+    assert_eq!(
+        health.lines_skipped_malformed,
+        health.ledger.expect_malformed
+    );
+    assert_eq!(
+        health.lines_skipped_missing_topology,
+        health.ledger.expect_missing_topology
+    );
     println!("skip counters match the injector's ledger exactly");
     Ok(())
 }

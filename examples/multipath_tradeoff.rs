@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>10} {:>14} {:>14} {:>16}",
         "dual-path", "interconnect", "subsystem", "failures avoided"
     );
-    println!("{:>10} {:>14} {:>14} {:>16}", "fraction", "AFR", "AFR", "per 10k disk-yrs");
+    println!(
+        "{:>10} {:>14} {:>14} {:>16}",
+        "fraction", "AFR", "AFR", "per 10k disk-yrs"
+    );
 
     let mut baseline_total = None;
     for adoption in [0.0, 0.25, 0.5, 0.75, 1.0] {

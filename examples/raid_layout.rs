@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for layout in [LayoutPolicy::SpanShelves, LayoutPolicy::SameShelf] {
-        let study = ssfa::Pipeline::new().scale(0.03).seed(11).layout(layout).run()?;
+        let study = ssfa::Pipeline::new()
+            .scale(0.03)
+            .seed(11)
+            .layout(layout)
+            .run()?;
 
         let tbf = study.tbf(Scope::RaidGroup);
         let corr = study.correlation(Scope::RaidGroup, SimDuration::from_years(1.0));
@@ -37,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             tbf.overall().len(),
             tbf.overall().fraction_within(1e4) * 100.0,
             ic.empirical_p2 * 100.0,
-            ic.inflation.map(|x| format!("x{x:.1}")).unwrap_or_else(|| "-".into()),
+            ic.inflation
+                .map(|x| format!("x{x:.1}"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
 

@@ -41,13 +41,25 @@
 //! `scale(1.0)` reproduces the paper's complete fleet: ~39,000 systems and
 //! ~1.8 M disk instances, whose rendered support log runs to hundreds of
 //! MiB of text. [`Pipeline::run`] handles that by streaming: the log is
-//! rendered as one self-contained *shard per system*, shards are parsed
-//! and classified concurrently on [`Pipeline::threads`] workers, and each
-//! worker holds only its current shard's text in memory. Per-shard
+//! rendered as one self-contained *shard per system*, shards are batched
+//! into *chunks* (an automatic policy targets ~256 KiB of rendered text
+//! per chunk; [`Pipeline::chunk_systems`] pins an exact batch size), and
+//! worker threads pull chunks off a shared queue. One classifier serves a
+//! whole chunk — amortizing per-shard setup — but shards are rendered,
+//! fed, and dropped one at a time, so each worker holds only one shard of
+//! corpus at peak regardless of chunk size. Per-chunk
 //! [`ssfa_logs::AnalysisInput`] partials are then merged in fleet order, so
 //! the result is bit-identical to classifying the monolithic corpus
-//! ([`Pipeline::run_monolithic`]) for any `(fleet, seed, threads)` triple —
+//! ([`Pipeline::run_monolithic`], or its multi-threaded twin
+//! [`Pipeline::run_monolithic_parallel`]) for any
+//! `(fleet, seed, threads, chunking)` tuple —
 //! `tests/pipeline_differential.rs` proves this on every push.
+//!
+//! By default shards travel from render to classify as parsed lines, the
+//! same representation the monolithic oracle consumes.
+//! [`Pipeline::text_transport`] instead serializes every shard to corpus
+//! text and re-parses it — the full on-disk round trip, which stays
+//! differentially tested and is what fault-injected runs always use.
 //!
 //! ```no_run
 //! use ssfa::Pipeline;
@@ -57,14 +69,14 @@
 //! let study = Pipeline::new().scale(1.0).threads(8).run()?;
 //! println!("{} subsystem failures", study.input().failures.len());
 //!
-//! // Inspect the memory behavior directly:
+//! // Inspect the chunking and memory behavior directly:
 //! let (study, stats) = Pipeline::new()
 //!     .scale(1.0)
 //!     .threads(8)
 //!     .run_streaming_with_stats()?;
 //! println!(
-//!     "{} shards, peak resident shard {} bytes of {} total corpus bytes",
-//!     stats.shards, stats.max_shard_bytes, stats.total_bytes,
+//!     "{} shards in {} chunks, peak resident shard {} bytes of {} total corpus bytes",
+//!     stats.shards, stats.chunks, stats.max_shard_bytes, stats.total_bytes,
 //! );
 //! # drop(study);
 //! # Ok::<(), ssfa::PipelineError>(())
@@ -73,8 +85,9 @@
 //! # Degraded mode
 //!
 //! Real support corpora are lossy. [`Pipeline::lenient`] switches the
-//! classify stage to skip-and-count, isolates every shard behind a panic
-//! boundary (one retry, then quarantine), and —via
+//! classify stage to skip-and-count, isolates every chunk behind a panic
+//! boundary (one retry, then quarantine of the whole chunk, with an exact
+//! count of the systems and lines lost), and — via
 //! [`Pipeline::run_with_health`] — returns a [`RunHealth`] audit report
 //! accounting for every skipped line and lost shard. A deterministic
 //! fault-injection harness ([`ssfa_logs::faults`], wired in with
@@ -105,21 +118,23 @@ pub use ssfa_sim as sim;
 pub use ssfa_stats as stats;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use ssfa_logs::{
-    classify, render_support_log, render_system_log, CascadeStyle, Classifier, FaultInjector,
-    FaultLedger, FaultSpec, LogError, NoiseParams, ShardFate, ShardHealth, ShardPlan, Strictness,
+    classify, classify_parallel, render_support_log, render_system_log, CascadeStyle, ChunkPlan,
+    Classifier, FaultInjector, FaultLedger, FaultSpec, LogError, NoiseParams, ShardFate,
+    ShardHealth, ShardPlan, Strictness, DEFAULT_CHUNK_TARGET_BYTES,
 };
 use ssfa_model::{Fleet, FleetConfig, LayoutPolicy, SystemId};
 use ssfa_sim::{Calibration, SimOutput, Simulator};
 
 /// Convenience re-exports for examples and downstream binaries.
 pub mod prelude {
-    pub use crate::{RunHealth, ShardQuarantine};
+    pub use crate::{ChunkQuarantine, RunHealth};
     pub use ssfa_core::{AfrBreakdown, FindingsReport, Scope, Study};
     pub use ssfa_logs::{
-        classify, classify_with, render_support_log, CascadeStyle, FaultSpec, LogBook,
-        ShardHealth, Strictness,
+        classify, classify_with, render_support_log, CascadeStyle, FaultSpec, LogBook, ShardHealth,
+        Strictness,
     };
     pub use ssfa_model::{
         DiskModelId, FailureType, Fleet, FleetConfig, LayoutPolicy, PathConfig, ShelfModel,
@@ -190,6 +205,29 @@ pub struct Pipeline {
     threads: usize,
     strictness: Strictness,
     faults: FaultSpec,
+    chunking: ChunkPolicy,
+    transport: Transport,
+}
+
+/// How the streaming path batches shards into work units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChunkPolicy {
+    /// Greedy byte-budget batching targeting
+    /// [`DEFAULT_CHUNK_TARGET_BYTES`] of rendered text per chunk.
+    Auto,
+    /// Exactly `n` systems per chunk (the last chunk may be smaller).
+    Fixed(usize),
+}
+
+/// What representation of a shard travels from render to classify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    /// Parsed [`ssfa_logs::LogLine`]s are handed to the classifier
+    /// directly — the same representation the monolithic oracle consumes.
+    Lines,
+    /// Each shard is serialized to corpus text and re-parsed, exercising
+    /// the full on-disk round trip. Fault injection always uses this.
+    Text,
 }
 
 impl Pipeline {
@@ -204,7 +242,47 @@ impl Pipeline {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             strictness: Strictness::Strict,
             faults: FaultSpec::none(),
+            chunking: ChunkPolicy::Auto,
+            transport: Transport::Lines,
         }
+    }
+
+    /// Batches exactly `n` systems per streaming work unit. `1` reproduces
+    /// the original one-shard-per-work-unit scheduling; `n >=` fleet size
+    /// degenerates to a single chunk. The default is an automatic policy
+    /// targeting [`DEFAULT_CHUNK_TARGET_BYTES`] (~256 KiB) of rendered
+    /// text per chunk, which amortizes per-shard classifier setup without
+    /// raising peak memory: chunk workers still render, feed, and drop one
+    /// shard at a time. Results are bit-identical for every chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn chunk_systems(mut self, n: usize) -> Pipeline {
+        assert!(n > 0, "chunks must hold at least one system");
+        self.chunking = ChunkPolicy::Fixed(n);
+        self
+    }
+
+    /// Restores the default automatic chunking policy (see
+    /// [`Pipeline::chunk_systems`]).
+    #[must_use]
+    pub fn chunk_auto(mut self) -> Pipeline {
+        self.chunking = ChunkPolicy::Auto;
+        self
+    }
+
+    /// Makes the streaming path serialize every shard to corpus text and
+    /// re-parse it, instead of handing parsed lines straight to the
+    /// classifier. This is the full on-disk round trip — slower, and kept
+    /// differentially tested precisely because production corpora arrive
+    /// as text. Runs with fault injection use it implicitly (the injector
+    /// corrupts bytes).
+    #[must_use]
+    pub fn text_transport(mut self) -> Pipeline {
+        self.transport = Transport::Text;
+        self
     }
 
     /// Sets the number of simulation worker threads. Output is
@@ -267,7 +345,7 @@ impl Pipeline {
     /// Sets the error policy for the classify stage. The default,
     /// [`Strictness::Strict`], is the original fail-fast behavior; with
     /// [`Strictness::Lenient`] bad lines are skipped and counted, panicking
-    /// shard workers get one retry and are then quarantined, and the
+    /// chunk workers get one retry and are then quarantined, and the
     /// [`RunHealth`] from [`Pipeline::run_with_health`] accounts for every
     /// skip. At fault rate zero the two policies are bit-identical.
     #[must_use]
@@ -319,16 +397,16 @@ impl Pipeline {
         render_support_log(fleet, output, self.style)
     }
 
-    /// Runs the full pipeline to a [`ssfa_core::Study`] via the sharded
+    /// Runs the full pipeline to a [`ssfa_core::Study`] via the chunked
     /// streaming path: each system's log renders into its own shard,
-    /// worker threads parse and classify shards concurrently through
-    /// streaming readers, and the per-shard partials merge — in system
-    /// order — into one analysis input.
+    /// shards batch into chunks (see [`Pipeline::chunk_systems`]), worker
+    /// threads classify chunks concurrently, and the per-chunk partials
+    /// merge — in system order — into one analysis input.
     ///
     /// Memory stays bounded by the largest shard (plus the classified
     /// partials), never the whole rendered corpus; the result is
     /// bit-identical to [`Pipeline::run_monolithic`] for every
-    /// `(fleet, seed, threads)` triple.
+    /// `(fleet, seed, threads, chunking)` tuple.
     ///
     /// # Errors
     ///
@@ -352,7 +430,8 @@ impl Pipeline {
     /// failures outside the per-shard isolation boundary surface as
     /// errors).
     pub fn run_with_health(&self) -> Result<(ssfa_core::Study, RunHealth), PipelineError> {
-        self.run_streaming().map(|(study, _, health)| (study, health))
+        self.run_streaming()
+            .map(|(study, _, health)| (study, health))
     }
 
     /// The single-buffer reference pipeline: render the whole corpus into
@@ -373,6 +452,25 @@ impl Pipeline {
         Ok(ssfa_core::Study::new(input))
     }
 
+    /// [`Pipeline::run_monolithic`] with the classify stage fanned out
+    /// over [`Pipeline::threads`] workers via
+    /// [`ssfa_logs::classify_parallel`]: the corpus is bucketed by host,
+    /// host groups classify concurrently, and the partials merge. A second
+    /// independent oracle — it shares no scheduling code with the
+    /// streaming path, yet must agree with both it and the sequential
+    /// monolith bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Pipeline::run_monolithic`].
+    pub fn run_monolithic_parallel(&self) -> Result<ssfa_core::Study, PipelineError> {
+        let fleet = self.build_fleet();
+        let output = self.simulate(&fleet);
+        let book = self.render(&fleet, &output);
+        let input = classify_parallel(&book, self.threads)?;
+        Ok(ssfa_core::Study::new(input))
+    }
+
     /// [`Pipeline::run`], also reporting how the corpus was sharded and
     /// how much corpus text was resident at peak.
     ///
@@ -385,16 +483,20 @@ impl Pipeline {
         self.run_streaming().map(|(study, stats, _)| (study, stats))
     }
 
-    /// The streaming engine behind every `run_*` entry point: renders one
-    /// shard per system, pushes each shard through (optional) fault
-    /// injection and a per-shard [`Classifier`], and merges the partials
-    /// in system order.
+    /// The streaming engine behind every `run_*` entry point: plans one
+    /// shard per system, batches shards into chunks per the chunking
+    /// policy, and has worker threads pull chunks off a shared queue. Each
+    /// chunk runs one [`Classifier`] fed shard by shard (render → optional
+    /// fault injection → feed → drop), so peak corpus residency stays one
+    /// shard regardless of chunk size. Per-chunk partials merge in chunk
+    /// (= system) order, so scheduling cannot affect the result.
     ///
-    /// Each shard is processed inside a panic-isolation boundary. In
-    /// strict mode any shard error or panic aborts the run (original
-    /// behavior); in lenient mode a panicking shard gets one retry and is
-    /// then quarantined — its partial simply never joins the merge — and
-    /// classification errors are skip-counted by the lenient classifier.
+    /// Each chunk is processed inside a panic-isolation boundary. In
+    /// strict mode any error or panic aborts the run (original behavior);
+    /// in lenient mode a panicking chunk gets one retry and is then
+    /// quarantined whole — with an exact accounting of the systems and
+    /// lines lost — and classification errors are skip-counted by the
+    /// lenient classifier.
     fn run_streaming(&self) -> Result<(ssfa_core::Study, StreamStats, RunHealth), PipelineError> {
         let fleet = self.build_fleet();
         let output = self.simulate(&fleet);
@@ -403,133 +505,216 @@ impl Pipeline {
         if shards == 0 {
             return Ok((
                 ssfa_core::Study::from_partials([]),
-                StreamStats { shards: 0, max_shard_bytes: 0, total_bytes: 0 },
-                RunHealth { strictness: self.strictness, ..RunHealth::default() },
+                StreamStats {
+                    shards: 0,
+                    chunks: 0,
+                    max_shard_bytes: 0,
+                    total_bytes: 0,
+                },
+                RunHealth {
+                    strictness: self.strictness,
+                    ..RunHealth::default()
+                },
             ));
         }
-        let injector = (!self.faults.is_none())
-            .then(|| FaultInjector::new(self.faults.clone(), self.seed));
+        let chunks = match self.chunking {
+            ChunkPolicy::Fixed(n) => ChunkPlan::fixed(&plan, n),
+            ChunkPolicy::Auto => {
+                ChunkPlan::auto(&plan, &fleet, self.style, DEFAULT_CHUNK_TARGET_BYTES)
+            }
+        };
+        let n_chunks = chunks.chunk_count();
+        let injector =
+            (!self.faults.is_none()).then(|| FaultInjector::new(self.faults.clone(), self.seed));
 
-        // Contiguous shard ranges per worker; partials are collected in
-        // system order, so scheduling cannot affect the merge.
-        let workers = self.threads.min(shards);
-        let chunk = shards.div_ceil(workers);
-        let shard_ids: Vec<usize> = (0..shards).collect();
-        let mut chunk_results: Vec<ChunkResult> = Vec::new();
-        std::thread::scope(|scope| -> Result<(), PipelineError> {
-            let handles: Vec<_> = shard_ids
-                .chunks(chunk)
-                .map(|ids| {
+        // Workers pull chunk indices from a shared counter (static splits
+        // strand workers behind uneven chunks); outcomes are reassembled
+        // in chunk order below, so scheduling cannot affect the merge.
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let workers = self.threads.min(n_chunks);
+        let mut collected: Vec<(usize, Result<ChunkOutcome, PipelineError>)> =
+            Vec::with_capacity(n_chunks);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
                     let fleet = &fleet;
                     let output = &output;
                     let plan = &plan;
+                    let chunks = &chunks;
                     let injector = injector.as_ref();
-                    scope.spawn(move || -> Result<ChunkResult, PipelineError> {
-                        let mut result = ChunkResult::default();
-                        for &shard in ids {
-                            self.process_shard(
-                                fleet, output, plan, injector, shard, &mut result,
-                            )?;
+                    let next = &next;
+                    let failed = &failed;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        while !failed.load(Ordering::Relaxed) {
+                            let chunk = next.fetch_add(1, Ordering::Relaxed);
+                            if chunk >= n_chunks {
+                                break;
+                            }
+                            let result = self.process_chunk(
+                                fleet,
+                                output,
+                                plan,
+                                injector,
+                                chunk,
+                                chunks.shard_range(chunk),
+                            );
+                            let abort = result.is_err();
+                            if abort {
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                            mine.push((chunk, result));
+                            if abort {
+                                break;
+                            }
                         }
-                        Ok(result)
+                        mine
                     })
                 })
                 .collect();
             for handle in handles {
-                let chunk_result = handle
-                    .join()
-                    .unwrap_or_else(|payload| {
-                        // A panic that escaped the per-shard isolation
-                        // boundary — pool-level, not data-level.
-                        Err(PipelineError::Worker { what: panic_message(payload.as_ref()) })
-                    })?;
-                chunk_results.push(chunk_result);
+                match handle.join() {
+                    Ok(mine) => collected.extend(mine),
+                    // A panic that escaped the per-chunk isolation
+                    // boundary — pool-level, not data-level.
+                    Err(payload) => collected.push((
+                        usize::MAX,
+                        Err(PipelineError::Worker {
+                            what: panic_message(payload.as_ref()),
+                        }),
+                    )),
+                }
             }
-            Ok(())
-        })?;
+        });
+        collected.sort_by_key(|(chunk, _)| *chunk);
 
-        let mut stats = StreamStats { shards, max_shard_bytes: 0, total_bytes: 0 };
+        let mut stats = StreamStats {
+            shards,
+            chunks: n_chunks,
+            max_shard_bytes: 0,
+            total_bytes: 0,
+        };
         let mut health = RunHealth {
             strictness: self.strictness,
             shards_total: shards,
+            chunks_total: n_chunks,
             ..RunHealth::default()
         };
-        let mut partials = Vec::with_capacity(shards);
-        for result in chunk_results {
-            stats.max_shard_bytes = stats.max_shard_bytes.max(result.max_shard_bytes);
-            stats.total_bytes += result.total_bytes;
-            health.shards_processed += result.shards_processed;
-            health.shards_dropped += result.shards_dropped;
-            health.shards_retried += result.shards_retried;
-            health.quarantined.extend(result.quarantined);
-            health.lines_seen += result.health.lines_seen;
-            health.lines_skipped_malformed += result.health.malformed_skipped;
-            health.lines_skipped_missing_topology += result.health.missing_topology_skipped;
-            health.ledger.merge(&result.ledger);
-            partials.extend(result.partials);
+        let mut partials = Vec::with_capacity(n_chunks);
+        for (_, result) in collected {
+            // `?` here surfaces the lowest-index chunk's error first.
+            let outcome = result?;
+            stats.max_shard_bytes = stats.max_shard_bytes.max(outcome.max_shard_bytes);
+            stats.total_bytes += outcome.total_bytes;
+            health.shards_processed += outcome.systems_processed;
+            health.shards_dropped += outcome.systems_dropped;
+            health.shards_retried += outcome.systems_retried;
+            if outcome.quarantine.is_none() {
+                health.chunks_processed += 1;
+            }
+            health.quarantined.extend(outcome.quarantine);
+            health.lines_seen += outcome.health.lines_seen;
+            health.lines_skipped_malformed += outcome.health.malformed_skipped;
+            health.lines_skipped_missing_topology += outcome.health.missing_topology_skipped;
+            health.ledger.merge(&outcome.ledger);
+            partials.extend(outcome.partial.map(|boxed| *boxed));
         }
         Ok((ssfa_core::Study::from_partials(partials), stats, health))
     }
 
-    /// Processes one shard end to end (render → inject → classify) inside
-    /// a panic-isolation boundary, applying the retry/quarantine policy.
-    fn process_shard(
+    /// Processes one chunk end to end inside a panic-isolation boundary,
+    /// applying the retry/quarantine policy. One [`Classifier`] serves the
+    /// whole chunk — that is the amortization — but shards are still
+    /// rendered, fed, and dropped one at a time, so the worker never holds
+    /// more than one shard of corpus.
+    fn process_chunk(
         &self,
         fleet: &Fleet,
         output: &SimOutput,
         plan: &ShardPlan,
         injector: Option<&FaultInjector>,
-        shard: usize,
-        result: &mut ChunkResult,
-    ) -> Result<(), PipelineError> {
-        let system = fleet.systems()[shard].id;
+        chunk: usize,
+        range: std::ops::Range<usize>,
+    ) -> Result<ChunkOutcome, PipelineError> {
         let mut attempt: u32 = 0;
         loop {
-            // A fresh ledger per attempt: a quarantined shard's lines never
-            // reach the classifier, so its injection record must not reach
-            // the run ledger either.
+            // A fresh ledger per attempt: a quarantined chunk's lines never
+            // reach the merge, so its injection record must not reach the
+            // run ledger either.
             let mut ledger = FaultLedger::default();
-            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<ShardOutcome, LogError> {
-                // One shard's text is the only corpus buffer this worker
-                // ever holds.
-                let text = render_system_log(
-                    fleet,
-                    output,
-                    plan,
-                    shard,
-                    self.style,
-                    NoiseParams::none(),
-                    self.seed,
-                )
-                .to_text();
-                let fed: Vec<u8> = match injector {
-                    Some(injector) => {
-                        match injector.corrupt_shard(shard, attempt, &text, &mut ledger) {
-                            ShardFate::Processed(bytes) => bytes,
-                            ShardFate::Dropped => return Ok(ShardOutcome::Dropped),
+            let mut dropped = 0usize;
+            let mut max_shard_bytes = 0usize;
+            let mut total_bytes = 0usize;
+            let outcome = catch_unwind(AssertUnwindSafe(
+                || -> Result<(ssfa_logs::AnalysisInput, ShardHealth), LogError> {
+                    let mut classifier = Classifier::with_strictness(self.strictness);
+                    for shard in range.clone() {
+                        let book = render_system_log(
+                            fleet,
+                            output,
+                            plan,
+                            shard,
+                            self.style,
+                            NoiseParams::none(),
+                            self.seed,
+                        );
+                        match injector {
+                            // Injection corrupts bytes, so injected runs
+                            // always take the text transport. Faults stay
+                            // keyed by shard index, not chunk, so the
+                            // ledger is invariant under chunking.
+                            Some(injector) => {
+                                let text = book.to_text();
+                                drop(book);
+                                match injector.corrupt_shard(shard, attempt, &text, &mut ledger) {
+                                    ShardFate::Processed(bytes) => {
+                                        max_shard_bytes = max_shard_bytes.max(bytes.len());
+                                        total_bytes += bytes.len();
+                                        classifier.feed_bytes(&bytes)?;
+                                        // Restore per-shard-file EOF
+                                        // semantics: a truncated tail must
+                                        // not glue onto the next shard's
+                                        // first line.
+                                        classifier.flush_tail()?;
+                                    }
+                                    ShardFate::Dropped => dropped += 1,
+                                }
+                            }
+                            None => match self.transport {
+                                Transport::Lines => {
+                                    let bytes = book.resident_bytes();
+                                    max_shard_bytes = max_shard_bytes.max(bytes);
+                                    total_bytes += bytes;
+                                    classifier.feed_book(&book)?;
+                                }
+                                Transport::Text => {
+                                    let text = book.to_text();
+                                    drop(book);
+                                    max_shard_bytes = max_shard_bytes.max(text.len());
+                                    total_bytes += text.len();
+                                    classifier.feed_bytes(text.as_bytes())?;
+                                    classifier.flush_tail()?;
+                                }
+                            },
                         }
                     }
-                    None => text.into_bytes(),
-                };
-                let mut classifier = Classifier::with_strictness(self.strictness);
-                classifier.feed_bytes(&fed)?;
-                let (partial, health) = classifier.finish_with_health()?;
-                Ok(ShardOutcome::Done { partial: Box::new(partial), health, bytes: fed.len() })
-            }));
+                    classifier.finish_with_health()
+                },
+            ));
             match outcome {
-                Ok(Ok(ShardOutcome::Done { partial, health, bytes })) => {
-                    result.max_shard_bytes = result.max_shard_bytes.max(bytes);
-                    result.total_bytes += bytes;
-                    result.shards_processed += 1;
-                    result.health.merge(&health);
-                    result.ledger.merge(&ledger);
-                    result.partials.push(*partial);
-                    return Ok(());
-                }
-                Ok(Ok(ShardOutcome::Dropped)) => {
-                    result.shards_dropped += 1;
-                    result.ledger.merge(&ledger);
-                    return Ok(());
+                Ok(Ok((partial, health))) => {
+                    return Ok(ChunkOutcome {
+                        partial: Some(Box::new(partial)),
+                        health,
+                        ledger,
+                        systems_processed: range.len() - dropped,
+                        systems_dropped: dropped,
+                        systems_retried: if attempt > 0 { range.len() } else { 0 },
+                        quarantine: None,
+                        max_shard_bytes,
+                        total_bytes,
+                    });
                 }
                 Ok(Err(err)) => {
                     // In lenient mode the classifier absorbs everything
@@ -538,35 +723,96 @@ impl Pipeline {
                     if self.strictness == Strictness::Strict {
                         return Err(err.into());
                     }
-                    result.quarantined.push(ShardQuarantine {
-                        shard,
-                        system,
-                        attempts: attempt + 1,
-                        reason: err.to_string(),
-                    });
-                    return Ok(());
+                    return Ok(self.quarantine_outcome(
+                        fleet,
+                        output,
+                        plan,
+                        chunk,
+                        range,
+                        attempt,
+                        err.to_string(),
+                    ));
                 }
                 Err(payload) => {
                     let msg = panic_message(payload.as_ref());
                     if self.strictness == Strictness::Strict {
+                        let first = fleet.systems()[range.start].id;
                         return Err(PipelineError::Worker {
-                            what: format!("shard {shard} (sys-{}) panicked: {msg}", system.0),
+                            what: format!(
+                                "chunk {chunk} (shards {}..{}, first sys-{}) panicked: {msg}",
+                                range.start, range.end, first.0,
+                            ),
                         });
                     }
                     if attempt == 0 {
                         attempt = 1;
-                        result.shards_retried += 1;
                         continue;
                     }
-                    result.quarantined.push(ShardQuarantine {
-                        shard,
-                        system,
-                        attempts: attempt + 1,
-                        reason: format!("worker panicked twice: {msg}"),
-                    });
-                    return Ok(());
+                    return Ok(self.quarantine_outcome(
+                        fleet,
+                        output,
+                        plan,
+                        chunk,
+                        range,
+                        attempt,
+                        format!("worker panicked twice: {msg}"),
+                    ));
                 }
             }
+        }
+    }
+
+    /// Builds the outcome for a quarantined chunk: no partial, no ledger
+    /// contribution, and an exact accounting of what was lost — every
+    /// system in the chunk by id, plus the rendered line count of each
+    /// shard (re-rendered under its own panic guard, since something in
+    /// this chunk just panicked).
+    #[allow(clippy::too_many_arguments)]
+    fn quarantine_outcome(
+        &self,
+        fleet: &Fleet,
+        output: &SimOutput,
+        plan: &ShardPlan,
+        chunk: usize,
+        range: std::ops::Range<usize>,
+        attempt: u32,
+        reason: String,
+    ) -> ChunkOutcome {
+        let systems: Vec<SystemId> = range
+            .clone()
+            .map(|shard| fleet.systems()[shard].id)
+            .collect();
+        let mut lines_lost = Some(0u64);
+        for shard in range.clone() {
+            let count = catch_unwind(AssertUnwindSafe(|| {
+                render_system_log(
+                    fleet,
+                    output,
+                    plan,
+                    shard,
+                    self.style,
+                    NoiseParams::none(),
+                    self.seed,
+                )
+                .len() as u64
+            }))
+            .ok();
+            lines_lost = match (lines_lost, count) {
+                (Some(total), Some(n)) => Some(total + n),
+                _ => None,
+            };
+        }
+        ChunkOutcome {
+            systems_retried: if attempt > 0 { range.len() } else { 0 },
+            quarantine: Some(ChunkQuarantine {
+                chunk,
+                shards: range,
+                systems,
+                attempts: attempt + 1,
+                reason,
+                lines_lost,
+            }),
+            ..ChunkOutcome::default()
         }
     }
 }
@@ -577,28 +823,46 @@ impl Pipeline {
 /// held at once).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamStats {
-    /// Number of shards processed (= systems in the fleet).
+    /// Number of shards planned (= systems in the fleet).
     pub shards: usize,
-    /// Largest single shard, in corpus-text bytes.
+    /// Number of chunks the shards were batched into.
+    pub chunks: usize,
+    /// Largest single shard the run held at once — corpus-text bytes on
+    /// the text transport (and under fault injection), in-memory parsed
+    /// line bytes on the default transport.
     pub max_shard_bytes: usize,
-    /// Total corpus-text bytes across all shards.
+    /// Total corpus bytes across all shards, in the same unit as
+    /// `max_shard_bytes`.
     pub total_bytes: usize,
 }
 
-/// One shard quarantined by the degraded-mode pipeline: its worker kept
-/// failing, so its partial was excluded from the merge instead of killing
-/// the run.
+/// One chunk quarantined by the degraded-mode pipeline: its worker kept
+/// failing, so the whole chunk's partial was excluded from the merge
+/// instead of killing the run. Carries an exact accounting of the loss.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ShardQuarantine {
-    /// Shard index (= position in fleet system order).
-    pub shard: usize,
-    /// The system whose log the shard holds.
-    pub system: SystemId,
+pub struct ChunkQuarantine {
+    /// Chunk index in the run's [`ssfa_logs::ChunkPlan`].
+    pub chunk: usize,
+    /// The contiguous shard range the chunk held (= positions in fleet
+    /// system order).
+    pub shards: std::ops::Range<usize>,
+    /// Every system whose log was lost with the chunk.
+    pub systems: Vec<SystemId>,
     /// Processing attempts consumed (2 = failed, retried, failed again).
     pub attempts: u32,
     /// Why the last attempt failed — for panics, the downcast panic
     /// message.
     pub reason: String,
+    /// Exactly how many rendered log lines the quarantined shards held,
+    /// or `None` if rendering itself panics (then no count exists).
+    pub lines_lost: Option<u64>,
+}
+
+impl ChunkQuarantine {
+    /// Number of systems lost with this chunk.
+    pub fn systems_lost(&self) -> usize {
+        self.systems.len()
+    }
 }
 
 /// The degraded-mode audit report: exactly what a streaming run ingested,
@@ -616,14 +880,20 @@ pub struct RunHealth {
     pub strictness: Strictness,
     /// Shards the plan contained (= systems in the fleet).
     pub shards_total: usize,
+    /// Chunks the shards were batched into.
+    pub chunks_total: usize,
+    /// Chunks that completed (their shards are processed or individually
+    /// dropped, never quarantined).
+    pub chunks_processed: usize,
     /// Shards fully classified and merged.
     pub shards_processed: usize,
     /// Shards dropped whole by fault injection (upload never arrived).
     pub shards_dropped: usize,
-    /// Shards whose worker panicked once and was retried.
+    /// Shards re-processed because their chunk's worker panicked once and
+    /// was retried (every shard in a retried chunk counts).
     pub shards_retried: usize,
-    /// Shards excluded from the merge after repeated failure.
-    pub quarantined: Vec<ShardQuarantine>,
+    /// Chunks excluded from the merge after repeated failure.
+    pub quarantined: Vec<ChunkQuarantine>,
     /// Complete non-blank lines fed to per-shard classifiers.
     pub lines_seen: u64,
     /// Lines skipped as unparseable or non-UTF-8.
@@ -636,9 +906,27 @@ pub struct RunHealth {
 }
 
 impl RunHealth {
-    /// Number of quarantined shards.
-    pub fn shards_quarantined(&self) -> usize {
+    /// Number of quarantined chunks.
+    pub fn chunks_quarantined(&self) -> usize {
         self.quarantined.len()
+    }
+
+    /// Number of shards lost to quarantined chunks (each quarantined
+    /// chunk loses every system it held).
+    pub fn shards_quarantined(&self) -> usize {
+        self.quarantined
+            .iter()
+            .map(ChunkQuarantine::systems_lost)
+            .sum()
+    }
+
+    /// Exactly how many rendered log lines the quarantined chunks held,
+    /// or `None` if any chunk's loss could not be counted (its shards no
+    /// longer render).
+    pub fn lines_lost(&self) -> Option<u64> {
+        self.quarantined
+            .iter()
+            .try_fold(0u64, |total, q| Some(total + q.lines_lost?))
     }
 
     /// Fraction of shards fully classified and merged, in `[0, 1]`
@@ -669,12 +957,14 @@ impl std::fmt::Display for RunHealth {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "run health ({:?}): {}/{} shards processed ({:.2}% coverage), \
-             {} dropped, {} retried, {} quarantined",
+            "run health ({:?}): {}/{} shards processed ({:.2}% coverage) \
+             in {}/{} chunks, {} dropped, {} retried, {} quarantined",
             self.strictness,
             self.shards_processed,
             self.shards_total,
             self.coverage() * 100.0,
+            self.chunks_processed,
+            self.chunks_total,
             self.shards_dropped,
             self.shards_retried,
             self.shards_quarantined(),
@@ -690,37 +980,34 @@ impl std::fmt::Display for RunHealth {
         for q in &self.quarantined {
             write!(
                 f,
-                "\nquarantined shard {} (sys-{}) after {} attempt(s): {}",
-                q.shard, q.system.0, q.attempts, q.reason,
+                "\nquarantined chunk {} (shards {}..{}, {} system(s), ",
+                q.chunk,
+                q.shards.start,
+                q.shards.end,
+                q.systems_lost(),
             )?;
+            match q.lines_lost {
+                Some(lines) => write!(f, "{lines} line(s) lost)")?,
+                None => write!(f, "lines lost uncountable)")?,
+            }
+            write!(f, " after {} attempt(s): {}", q.attempts, q.reason)?;
         }
         Ok(())
     }
 }
 
-/// What one shard's isolated processing attempt produced.
-enum ShardOutcome {
-    /// Classified: a partial to merge plus its data-quality tally. Boxed
-    /// so the enum stays pointer-sized next to the empty variant.
-    Done {
-        partial: Box<ssfa_logs::AnalysisInput>,
-        health: ShardHealth,
-        bytes: usize,
-    },
-    /// Fault injection dropped the whole shard.
-    Dropped,
-}
-
-/// Per-worker accumulation for the streaming path.
+/// What one chunk's isolated processing produced: either a merged partial
+/// with its counters, or a quarantine record. The partial is boxed so the
+/// struct stays small for the quarantined case.
 #[derive(Default)]
-struct ChunkResult {
-    partials: Vec<ssfa_logs::AnalysisInput>,
+struct ChunkOutcome {
+    partial: Option<Box<ssfa_logs::AnalysisInput>>,
     health: ShardHealth,
     ledger: FaultLedger,
-    shards_processed: usize,
-    shards_dropped: usize,
-    shards_retried: usize,
-    quarantined: Vec<ShardQuarantine>,
+    systems_processed: usize,
+    systems_dropped: usize,
+    systems_retried: usize,
+    quarantine: Option<ChunkQuarantine>,
     max_shard_bytes: usize,
     total_bytes: usize,
 }

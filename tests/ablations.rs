@@ -24,7 +24,10 @@ fn without_episodes_failures_become_independent() {
     let ic = FailureType::PhysicalInterconnect.index();
     assert!(corr_with[ic].inflation.unwrap() > 2.5);
     let independent = corr_without[ic].inflation.unwrap();
-    assert!((0.4..1.8).contains(&independent), "independent inflation {independent}");
+    assert!(
+        (0.4..1.8).contains(&independent),
+        "independent inflation {independent}"
+    );
 
     // Total failure volume is preserved (shares folded into background).
     let a = with.input().failures.len() as f64;
@@ -78,8 +81,15 @@ fn masking_probability_drives_exposed_interconnect_rate_monotonically() {
             / panels.len() as f64;
         rates.push(dual_ic);
     }
-    assert!(rates[0] > rates[1] && rates[1] > rates[2], "not monotone: {rates:?}");
-    assert!(rates[2] < 1e-6, "full masking must expose nothing, got {}", rates[2]);
+    assert!(
+        rates[0] > rates[1] && rates[1] > rates[2],
+        "not monotone: {rates:?}"
+    );
+    assert!(
+        rates[2] < 1e-6,
+        "full masking must expose nothing, got {}",
+        rates[2]
+    );
     // Half masking halves the exposed rate (within sampling tolerance).
     let ratio = rates[1] / rates[0];
     assert!((0.35..0.65).contains(&ratio), "half-masking ratio {ratio}");
@@ -92,6 +102,10 @@ fn single_path_fleets_show_no_dual_panels() {
     for class in &mut config.classes {
         class.dual_path_fraction = 0.0;
     }
-    let study = ssfa::Pipeline::new().config(config).seed(58).run().expect("pipeline");
+    let study = ssfa::Pipeline::new()
+        .config(config)
+        .seed(58)
+        .run()
+        .expect("pipeline");
     assert!(study.fig7_panels().is_empty());
 }

@@ -63,7 +63,10 @@ fn external_ledger(seed: u64, spec: &FaultSpec) -> FaultLedger {
 /// The exact-accounting contract between a run's health and its ledger.
 fn assert_exact_accounting(health: &RunHealth, context: &str) {
     let ledger = &health.ledger;
-    assert_eq!(health.lines_seen, ledger.lines_out, "lines seen vs injector output: {context}");
+    assert_eq!(
+        health.lines_seen, ledger.lines_out,
+        "lines seen vs injector output: {context}"
+    );
     assert_eq!(
         health.lines_skipped_malformed, ledger.expect_malformed,
         "malformed skips vs ledger: {context}"
@@ -72,7 +75,10 @@ fn assert_exact_accounting(health: &RunHealth, context: &str) {
         health.lines_skipped_missing_topology, ledger.expect_missing_topology,
         "missing-topology skips vs ledger: {context}"
     );
-    assert_eq!(health.shards_dropped, ledger.shards_dropped, "dropped shards: {context}");
+    assert_eq!(
+        health.shards_dropped, ledger.shards_dropped,
+        "dropped shards: {context}"
+    );
     assert_eq!(
         health.shards_processed + health.shards_dropped + health.shards_quarantined(),
         health.shards_total,
@@ -85,8 +91,11 @@ fn zero_rate_lenient_is_bit_identical_to_strict() {
     for seed in SEEDS {
         let strict = pipeline(seed).run().unwrap();
         for threads in THREADS {
-            let (lenient, health) =
-                pipeline(seed).threads(threads).lenient().run_with_health().unwrap();
+            let (lenient, health) = pipeline(seed)
+                .threads(threads)
+                .lenient()
+                .run_with_health()
+                .unwrap();
             assert_eq!(
                 lenient.input(),
                 strict.input(),
@@ -110,7 +119,10 @@ fn strict_mode_is_backward_compatible_with_health_reporting() {
     let (study, health) = pipeline(7).run_with_health().unwrap();
     assert_eq!(study.input(), pipeline(7).run().unwrap().input());
     assert_eq!(health.strictness, Strictness::Strict);
-    assert!(health.is_clean(), "strict clean run must have a clean bill: {health}");
+    assert!(
+        health.is_clean(),
+        "strict clean run must have a clean bill: {health}"
+    );
     assert!(health.lines_seen > 0);
 }
 
@@ -146,6 +158,29 @@ fn injected_runs_complete_with_exact_accounting() {
                     }
                 }
             }
+            // Faults are keyed by shard index, so the ledger — and the
+            // exact-accounting contract — is invariant under chunking.
+            let (_, chunked) = pipeline(seed)
+                .threads(2)
+                .chunk_systems(7)
+                .lenient()
+                .faults(spec.clone())
+                .run_with_health()
+                .unwrap();
+            let context = format!("rate {rate}, seed {seed}, chunk_systems(7)");
+            assert_exact_accounting(&chunked, &context);
+            assert_eq!(
+                chunked.ledger, oracle,
+                "chunked ledger diverged from replay: {context}"
+            );
+            let auto = baseline.expect("threads loop ran");
+            assert_eq!(chunked.lines_seen, auto.lines_seen, "{context}");
+            assert_eq!(chunked.shards_dropped, auto.shards_dropped, "{context}");
+            assert_eq!(
+                chunked.lines_skipped_total(),
+                auto.lines_skipped_total(),
+                "{context}"
+            );
         }
     }
 }
@@ -161,7 +196,10 @@ fn small_rate_keeps_afr_deltas_bounded() {
         .faults(FaultSpec::uniform(1e-4))
         .run_with_health()
         .unwrap();
-    assert!(health.ledger.faults_landed() > 0, "rate 1e-4 should land at least one fault");
+    assert!(
+        health.ledger.faults_landed() > 0,
+        "rate 1e-4 should land at least one fault"
+    );
     let clean_afr = clean.afr_by_class(true);
     let dirty_afr = dirty.afr_by_class(true);
     for (class, clean_breakdown) in &clean_afr {
@@ -185,30 +223,63 @@ fn panicking_shard_is_quarantined_without_killing_the_run() {
         panic_once_shards: BTreeSet::from([5]),
         ..FaultSpec::none()
     };
-    let (study, health) =
-        pipeline(7).threads(4).lenient().faults(spec).run_with_health().unwrap();
+    // One system per chunk pins quarantine to exactly the panicking shard;
+    // the multi-system-chunk blast radius is covered in tests/chunking.rs.
+    let (study, health) = pipeline(7)
+        .threads(4)
+        .chunk_systems(1)
+        .lenient()
+        .faults(spec)
+        .run_with_health()
+        .unwrap();
 
     // Shard 2 panicked, was retried, panicked again → quarantined.
     // Shard 5 panicked once, was retried → processed.
     assert_eq!(health.shards_retried, 2, "{health}");
     assert_eq!(health.shards_quarantined(), 1, "{health}");
+    assert_eq!(health.chunks_quarantined(), 1, "{health}");
+    assert_eq!(health.chunks_processed, health.chunks_total - 1, "{health}");
     let q = &health.quarantined[0];
-    assert_eq!(q.shard, 2);
+    assert_eq!(q.shards, 2..3);
+    assert_eq!(q.systems_lost(), 1);
     assert_eq!(q.attempts, 2);
     assert!(
         q.reason.contains("deliberate worker panic on shard 2"),
         "quarantine must carry the panic message: {}",
         q.reason
     );
+    // The loss is counted exactly: the quarantined shard's rendered lines.
+    let p = pipeline(7);
+    let fleet = p.build_fleet();
+    let output = p.simulate(&fleet);
+    let plan = ShardPlan::new(&fleet, &output);
+    let lost_shard_lines = render_system_log(
+        &fleet,
+        &output,
+        &plan,
+        2,
+        CascadeStyle::RaidOnly,
+        NoiseParams::none(),
+        7,
+    )
+    .len() as u64;
+    assert_eq!(q.lines_lost, Some(lost_shard_lines), "{health}");
+    assert_eq!(health.lines_lost(), Some(lost_shard_lines));
     assert_eq!(health.shards_processed, health.shards_total - 1);
     // The quarantined system is the only one missing from the merge.
-    assert_eq!(study.input().topology.systems.len(), health.shards_total - 1);
-    assert!(!study.input().topology.systems.contains_key(&q.system));
+    assert_eq!(
+        study.input().topology.systems.len(),
+        health.shards_total - 1
+    );
+    assert!(!study.input().topology.systems.contains_key(&q.systems[0]));
 }
 
 #[test]
 fn strict_mode_worker_error_carries_the_panic_message() {
-    let spec = FaultSpec { panic_shards: BTreeSet::from([0]), ..FaultSpec::none() };
+    let spec = FaultSpec {
+        panic_shards: BTreeSet::from([0]),
+        ..FaultSpec::none()
+    };
     let err = pipeline(7).threads(2).faults(spec).run().unwrap_err();
     match err {
         PipelineError::Worker { what } => {
@@ -216,7 +287,10 @@ fn strict_mode_worker_error_carries_the_panic_message() {
                 what.contains("deliberate worker panic on shard 0"),
                 "worker error lost the panic payload: {what}"
             );
-            assert!(what.contains("sys-"), "worker error should name the system: {what}");
+            assert!(
+                what.contains("sys-"),
+                "worker error should name the system: {what}"
+            );
         }
         other => panic!("expected PipelineError::Worker, got {other:?}"),
     }
@@ -237,9 +311,16 @@ fn ci_matrix_point() {
     let seed = 7;
     if rate == 0.0 {
         let strict = pipeline(seed).run().unwrap();
-        let (lenient, health) =
-            pipeline(seed).threads(threads).lenient().run_with_health().unwrap();
-        assert_eq!(lenient.input(), strict.input(), "rate 0 must be bit-identical to strict");
+        let (lenient, health) = pipeline(seed)
+            .threads(threads)
+            .lenient()
+            .run_with_health()
+            .unwrap();
+        assert_eq!(
+            lenient.input(),
+            strict.input(),
+            "rate 0 must be bit-identical to strict"
+        );
         assert!(health.is_clean(), "{health}");
     } else {
         let spec = FaultSpec::uniform(rate);

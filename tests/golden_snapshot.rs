@@ -23,7 +23,9 @@ const SCALE: f64 = 0.002;
 const SEED: u64 = 7;
 
 fn golden_path(name: &str) -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
 }
 
 /// FNV-1a over the corpus bytes: dependency-free, stable across platforms.
@@ -43,11 +45,14 @@ fn check_or_regenerate(name: &str, actual: &str) {
         std::fs::write(&path, actual).unwrap();
         return;
     }
-    let expected = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); see test header", path.display()));
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); see test header",
+            path.display()
+        )
+    });
     assert_eq!(
-        actual,
-        expected,
+        actual, expected,
         "golden snapshot {name} diverged; if intentional, regenerate per the test header"
     );
 }
@@ -80,7 +85,17 @@ fn table1_matches_golden() {
 #[test]
 fn snapshot_run_is_thread_count_invariant() {
     // The golden table must not depend on the machine's core count.
-    let a = Pipeline::new().scale(SCALE).seed(SEED).threads(1).run().unwrap();
-    let b = Pipeline::new().scale(SCALE).seed(SEED).threads(8).run().unwrap();
+    let a = Pipeline::new()
+        .scale(SCALE)
+        .seed(SEED)
+        .threads(1)
+        .run()
+        .unwrap();
+    let b = Pipeline::new()
+        .scale(SCALE)
+        .seed(SEED)
+        .threads(8)
+        .run()
+        .unwrap();
     assert_eq!(format!("{:?}", a.table1()), format!("{:?}", b.table1()));
 }

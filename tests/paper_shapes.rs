@@ -12,14 +12,22 @@ use ssfa::prelude::*;
 fn study() -> &'static Study {
     static STUDY: OnceLock<Study> = OnceLock::new();
     STUDY.get_or_init(|| {
-        ssfa::Pipeline::new().scale(0.12).seed(20_08).run().expect("pipeline runs")
+        ssfa::Pipeline::new()
+            .scale(0.12)
+            .seed(20_08)
+            .run()
+            .expect("pipeline runs")
     })
 }
 
 #[test]
 fn finding1_disks_are_not_dominant_in_primary_classes() {
     let by_class = study().afr_by_class(false);
-    for class in [SystemClass::LowEnd, SystemClass::MidRange, SystemClass::HighEnd] {
+    for class in [
+        SystemClass::LowEnd,
+        SystemClass::MidRange,
+        SystemClass::HighEnd,
+    ] {
         let b = &by_class[&class];
         let disk_share = b.share(FailureType::Disk).unwrap();
         let ic_share = b.share(FailureType::PhysicalInterconnect).unwrap();
@@ -27,7 +35,10 @@ fn finding1_disks_are_not_dominant_in_primary_classes() {
             ic_share > disk_share,
             "{class}: interconnect {ic_share} should exceed disk {disk_share}"
         );
-        assert!((0.15..0.62).contains(&disk_share), "{class}: disk share {disk_share}");
+        assert!(
+            (0.15..0.62).contains(&disk_share),
+            "{class}: disk share {disk_share}"
+        );
     }
     // Near-line is the one class where disks carry the majority.
     let nl = &by_class[&SystemClass::NearLine];
@@ -44,8 +55,16 @@ fn figure4_class_afr_crossover() {
     // ...yet near-line subsystems are *more* reliable than low-end ones.
     assert!(nl.total_afr() < le.total_afr());
     // Absolute bands, generous around the paper's 3.4% / 4.6%.
-    assert!((0.025..0.045).contains(&nl.total_afr()), "nl {}", nl.total_afr());
-    assert!((0.035..0.060).contains(&le.total_afr()), "le {}", le.total_afr());
+    assert!(
+        (0.025..0.045).contains(&nl.total_afr()),
+        "nl {}",
+        nl.total_afr()
+    );
+    assert!(
+        (0.035..0.060).contains(&le.total_afr()),
+        "le {}",
+        le.total_afr()
+    );
     // FC disk AFR below 1%, SATA around 2%.
     assert!(le.afr(FailureType::Disk) < 0.011);
     assert!((0.015..0.025).contains(&nl.afr(FailureType::Disk)));
@@ -95,7 +114,11 @@ fn figure6_shelf_choice_depends_on_disk_model() {
     // reduced scale (the paper, at ~17x our exposure, gets all four).
     let significant = panels
         .iter()
-        .filter(|p| p.interconnect_test.as_ref().is_some_and(|t| t.significant_at(0.995)))
+        .filter(|p| {
+            p.interconnect_test
+                .as_ref()
+                .is_some_and(|t| t.significant_at(0.995))
+        })
         .count();
     assert!(significant >= 1, "no significant panels");
 }
@@ -107,9 +130,17 @@ fn figure7_multipath_cuts_interconnect_failures() {
     for panel in &panels {
         let ic = FailureType::PhysicalInterconnect;
         let cut = 1.0 - panel.dual.afr(ic) / panel.single.afr(ic);
-        assert!((0.40..0.70).contains(&cut), "{}: interconnect cut {cut}", panel.class);
+        assert!(
+            (0.40..0.70).contains(&cut),
+            "{}: interconnect cut {cut}",
+            panel.class
+        );
         let total_cut = 1.0 - panel.dual.total_afr() / panel.single.total_afr();
-        assert!((0.15..0.55).contains(&total_cut), "{}: total cut {total_cut}", panel.class);
+        assert!(
+            (0.15..0.55).contains(&total_cut),
+            "{}: total cut {total_cut}",
+            panel.class
+        );
         assert!(panel
             .interconnect_test
             .as_ref()
@@ -127,15 +158,19 @@ fn figure9_burstiness_ordering() {
     // Interconnect most bursty, disk least (shelf scope).
     assert!(f(&shelf, FailureType::PhysicalInterconnect) > 0.5);
     assert!(f(&shelf, FailureType::Disk) < 0.25);
-    assert!(
-        f(&shelf, FailureType::PhysicalInterconnect) > f(&shelf, FailureType::Disk) + 0.25
-    );
+    assert!(f(&shelf, FailureType::PhysicalInterconnect) > f(&shelf, FailureType::Disk) + 0.25);
     // Overall: near the paper's 48% (shelf) and 30% (RAID group), and
     // strictly ordered.
     let shelf_overall = shelf.overall().fraction_within(1e4);
     let rg_overall = rg.overall().fraction_within(1e4);
-    assert!((0.30..0.60).contains(&shelf_overall), "shelf overall {shelf_overall}");
-    assert!((0.15..0.45).contains(&rg_overall), "rg overall {rg_overall}");
+    assert!(
+        (0.30..0.60).contains(&shelf_overall),
+        "shelf overall {shelf_overall}"
+    );
+    assert!(
+        (0.15..0.45).contains(&rg_overall),
+        "rg overall {rg_overall}"
+    );
     assert!(rg_overall < shelf_overall);
 }
 
@@ -148,9 +183,16 @@ fn figure9_gamma_is_best_disk_failure_model() {
         .iter()
         .min_by(|a, b| a.0.aic().partial_cmp(&b.0.aic()).unwrap())
         .expect("non-empty");
-    assert_eq!(best.0.dist.name(), "Gamma", "paper: Gamma best fits disk gaps");
+    assert_eq!(
+        best.0.dist.name(),
+        "Gamma",
+        "paper: Gamma best fits disk gaps"
+    );
     // And the exponential (independence) model is decisively worse.
-    let exp = fits.iter().find(|(m, _)| m.dist.name() == "Exponential").unwrap();
+    let exp = fits
+        .iter()
+        .find(|(m, _)| m.dist.name() == "Exponential")
+        .unwrap();
     assert!(exp.0.aic() > best.0.aic() + 100.0);
 }
 
@@ -160,11 +202,19 @@ fn figure10_correlation_inflation() {
         let results = study().correlation(scope, SimDuration::from_years(1.0));
         for r in &results {
             let inflation = r.inflation.expect("theoretical P(2) positive");
-            assert!(inflation > 1.8, "{scope} {}: inflation {inflation}", r.failure_type);
+            assert!(
+                inflation > 1.8,
+                "{scope} {}: inflation {inflation}",
+                r.failure_type
+            );
             // Shelf scope carries the paper's full significance bar; the
             // RAID-group scope has ~40% fewer multi-failure groups at our
             // reduced scale, so it gets 99% instead of 99.5%.
-            let bar = if matches!(scope, Scope::Shelf) { 0.995 } else { 0.99 };
+            let bar = if matches!(scope, Scope::Shelf) {
+                0.995
+            } else {
+                0.99
+            };
             assert!(
                 r.significant_at(bar),
                 "{scope} {}: not significant (z = {})",
@@ -175,12 +225,17 @@ fn figure10_correlation_inflation() {
         // Disk failures are the least correlated type (paper: x6 vs x10-25).
         let disk = results[FailureType::Disk.index()].inflation.unwrap();
         let others = [
-            results[FailureType::PhysicalInterconnect.index()].inflation.unwrap(),
+            results[FailureType::PhysicalInterconnect.index()]
+                .inflation
+                .unwrap(),
             results[FailureType::Protocol.index()].inflation.unwrap(),
             results[FailureType::Performance.index()].inflation.unwrap(),
         ];
         let max_other = others.iter().cloned().fold(0.0, f64::max);
-        assert!(disk < max_other, "{scope}: disk {disk} vs max other {max_other}");
+        assert!(
+            disk < max_other,
+            "{scope}: disk {disk} vs max other {max_other}"
+        );
     }
 }
 

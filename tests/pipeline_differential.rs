@@ -1,6 +1,7 @@
-//! Differential determinism harness: the sharded streaming pipeline must
+//! Differential determinism harness: the chunked streaming pipeline must
 //! be bit-identical to the monolithic reference pipeline for every
-//! `(scale, seed, threads)` triple.
+//! `(scale, seed, threads, chunk size, transport)` tuple, and the
+//! parallel monolithic classifier must agree as a second oracle.
 //!
 //! "Bit-identical" is checked at both levels the analysis consumes:
 //! the full [`AnalysisInput`] (every recovered lifetime, failure record,
@@ -17,8 +18,20 @@ const GRID: [(f64, u64); 3] = [(0.002, 7), (0.004, 1234), (0.006, 424_242)];
 /// Thread counts per ISSUE: serial, even split, oversubscribed.
 const THREADS: [usize; 3] = [1, 2, 8];
 
+/// Chunk sizes: the legacy one-system granularity, small batches that
+/// straddle chunk boundaries, and one far beyond any grid fleet (a single
+/// chunk). `None` is the auto byte-budget policy.
+const CHUNKS: [Option<usize>; 4] = [Some(1), Some(7), Some(100_000), None];
+
 fn pipeline(scale: f64, seed: u64) -> Pipeline {
     Pipeline::new().scale(scale).seed(seed)
+}
+
+fn chunked(p: Pipeline, chunk: Option<usize>) -> Pipeline {
+    match chunk {
+        Some(n) => p.chunk_systems(n),
+        None => p.chunk_auto(),
+    }
 }
 
 #[test]
@@ -26,11 +39,56 @@ fn streaming_equals_monolithic_across_the_grid() {
     for (scale, seed) in GRID {
         let reference = pipeline(scale, seed).run_monolithic().unwrap();
         for threads in THREADS {
-            let streamed = pipeline(scale, seed).threads(threads).run().unwrap();
+            for chunk in CHUNKS {
+                let streamed = chunked(pipeline(scale, seed).threads(threads), chunk)
+                    .run()
+                    .unwrap();
+                assert_eq!(
+                    streamed.input(),
+                    reference.input(),
+                    "analysis input diverged at scale {scale}, seed {seed}, \
+                     {threads} threads, chunk {chunk:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn text_transport_equals_monolithic_across_the_grid() {
+    // The full serialize → re-parse round trip (what production corpora
+    // arrive as) stays differentially tested even though the default
+    // transport hands parsed lines straight to the classifier.
+    for (scale, seed) in GRID {
+        let reference = pipeline(scale, seed).run_monolithic().unwrap();
+        for (threads, chunk) in [(1, Some(1)), (2, Some(7)), (8, None)] {
+            let streamed = chunked(pipeline(scale, seed).threads(threads), chunk)
+                .text_transport()
+                .run()
+                .unwrap();
             assert_eq!(
                 streamed.input(),
                 reference.input(),
-                "analysis input diverged at scale {scale}, seed {seed}, {threads} threads"
+                "text transport diverged at scale {scale}, seed {seed}, \
+                 {threads} threads, chunk {chunk:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_monolithic_classify_is_a_second_oracle() {
+    for (scale, seed) in GRID {
+        let reference = pipeline(scale, seed).run_monolithic().unwrap();
+        for threads in THREADS {
+            let parallel = pipeline(scale, seed)
+                .threads(threads)
+                .run_monolithic_parallel()
+                .unwrap();
+            assert_eq!(
+                parallel.input(),
+                reference.input(),
+                "classify_parallel diverged at scale {scale}, seed {seed}, {threads} threads"
             );
         }
     }
@@ -41,7 +99,11 @@ fn table1_rows_are_identical_across_thread_counts() {
     for (scale, seed) in GRID {
         let reference = pipeline(scale, seed).run_monolithic().unwrap().table1();
         for threads in THREADS {
-            let streamed = pipeline(scale, seed).threads(threads).run().unwrap().table1();
+            let streamed = pipeline(scale, seed)
+                .threads(threads)
+                .run()
+                .unwrap()
+                .table1();
             assert_eq!(
                 format!("{streamed:?}"),
                 format!("{reference:?}"),
@@ -60,31 +122,62 @@ fn thread_counts_agree_with_each_other_bitwise() {
     let one = pipeline(scale, seed).threads(1).run().unwrap();
     for threads in [2, 3, 8, 64] {
         let many = pipeline(scale, seed).threads(threads).run().unwrap();
-        assert_eq!(many.input(), one.input(), "threads={threads} diverged from threads=1");
+        assert_eq!(
+            many.input(),
+            one.input(),
+            "threads={threads} diverged from threads=1"
+        );
     }
 }
 
 #[test]
 fn streaming_memory_is_bounded_by_shard_size() {
-    let (study, stats) = pipeline(0.006, 7).threads(4).run_streaming_with_stats().unwrap();
+    let (study, stats) = pipeline(0.006, 7)
+        .threads(4)
+        .run_streaming_with_stats()
+        .unwrap();
     assert_eq!(stats.shards, study.input().topology.systems.len());
-    assert!(stats.shards > 8, "grid scale should give a multi-shard fleet");
+    assert!(
+        stats.shards > 8,
+        "grid scale should give a multi-shard fleet"
+    );
+    assert!(
+        stats.chunks > 0 && stats.chunks <= stats.shards,
+        "{stats:?}"
+    );
     assert!(stats.max_shard_bytes > 0 && stats.total_bytes > stats.max_shard_bytes);
     // The bounded-memory claim: the biggest corpus buffer any worker held
-    // is a small fraction of what the monolithic path materializes.
+    // is a small fraction of what the monolithic path materializes —
+    // chunking batches classifier setup, not shard residency, so this
+    // holds for the auto policy too.
     assert!(
         stats.max_shard_bytes * 4 < stats.total_bytes,
         "peak shard {} bytes vs total {} bytes",
         stats.max_shard_bytes,
         stats.total_bytes
     );
+    // And it holds when whole-fleet chunking forces a single work unit.
+    let (_, one_chunk) = pipeline(0.006, 7)
+        .threads(4)
+        .chunk_systems(100_000)
+        .run_streaming_with_stats()
+        .unwrap();
+    assert_eq!(one_chunk.chunks, 1, "{one_chunk:?}");
+    assert!(
+        one_chunk.max_shard_bytes * 4 < one_chunk.total_bytes,
+        "single-chunk peak {} bytes vs total {} bytes",
+        one_chunk.max_shard_bytes,
+        one_chunk.total_bytes
+    );
 }
 
 #[test]
 fn full_cascade_style_is_also_differential() {
     let (scale, seed) = GRID[0];
-    let reference =
-        pipeline(scale, seed).cascade_style(CascadeStyle::Full).run_monolithic().unwrap();
+    let reference = pipeline(scale, seed)
+        .cascade_style(CascadeStyle::Full)
+        .run_monolithic()
+        .unwrap();
     for threads in THREADS {
         let streamed = pipeline(scale, seed)
             .cascade_style(CascadeStyle::Full)

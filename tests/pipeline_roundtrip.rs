@@ -53,8 +53,11 @@ fn disk_year_accounting_matches_ground_truth() {
 
     // Every failed lifetime in the derived set corresponds to a
     // ground-truth replacement.
-    let failed_derived =
-        input.lifetimes.iter().filter(|lt| lt.removed_by_failure).count();
+    let failed_derived = input
+        .lifetimes
+        .iter()
+        .filter(|lt| lt.removed_by_failure)
+        .count();
     let failed_truth = output
         .disks()
         .iter()
@@ -69,7 +72,11 @@ fn pipeline_is_deterministic_and_seed_sensitive() {
     let b = pipeline().run().expect("run b");
     assert_eq!(a.input().failures, b.input().failures);
 
-    let c = ssfa::Pipeline::new().scale(0.003).seed(1235).run().expect("run c");
+    let c = ssfa::Pipeline::new()
+        .scale(0.003)
+        .seed(1235)
+        .run()
+        .expect("run c");
     assert_ne!(
         a.input().failures.len(),
         c.input().failures.len(),
@@ -85,7 +92,11 @@ fn every_failure_record_references_valid_topology() {
         assert!(input.topology.systems.contains_key(&rec.system));
         let shelf = input.topology.shelves.get(&rec.shelf).expect("shelf known");
         assert_eq!(shelf.system, rec.system);
-        let rg = input.topology.raid_groups.get(&rec.raid_group).expect("rg known");
+        let rg = input
+            .topology
+            .raid_groups
+            .get(&rec.raid_group)
+            .expect("rg known");
         assert_eq!(rg.system, rec.system);
         assert_eq!(shelf.fc_loop, rec.fc_loop);
     }
@@ -96,11 +107,8 @@ fn table1_composition_tracks_fleet_scale() {
     let study = pipeline().run().expect("pipeline");
     let rows = study.table1();
     // Low-end systems are by far the most numerous class (paper Table 1).
-    let by_class: std::collections::HashMap<_, _> =
-        rows.iter().map(|r| (r.class, r)).collect();
-    assert!(
-        by_class[&SystemClass::LowEnd].systems > by_class[&SystemClass::NearLine].systems * 2
-    );
+    let by_class: std::collections::HashMap<_, _> = rows.iter().map(|r| (r.class, r)).collect();
+    assert!(by_class[&SystemClass::LowEnd].systems > by_class[&SystemClass::NearLine].systems * 2);
     // Disk counts dominated by near-line / mid-range / high-end.
     assert!(by_class[&SystemClass::MidRange].disks > by_class[&SystemClass::LowEnd].disks);
     // Every class saw failures of every type at this scale.

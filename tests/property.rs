@@ -28,7 +28,9 @@ fn arb_time() -> impl Strategy<Value = SimTime> {
 fn arb_failure_event() -> impl Strategy<Value = LogEvent> {
     (arb_device(), arb_serial(), 0u8..10).prop_map(|(device, serial, kind)| match kind {
         0 => LogEvent::FciDeviceTimeout { device },
-        1 => LogEvent::FciAdapterReset { adapter: device.adapter },
+        1 => LogEvent::FciAdapterReset {
+            adapter: device.adapter,
+        },
         2 => LogEvent::ScsiCmdAborted { device },
         3 => LogEvent::ScsiSelectionTimeout { device },
         4 => LogEvent::ScsiNoMorePaths { device },
