@@ -10,7 +10,7 @@
 //! within an `accumulation` window; [`evaluate_predictor`] scores alarms
 //! against the corpus's actual disk failures.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ssfa_logs::{AnalysisInput, LogBook, LogEvent};
 use ssfa_model::{DeviceAddr, FailureType, SimDuration, SimTime, SystemId};
@@ -99,7 +99,7 @@ impl PredictionEval {
             return None;
         }
         let mut sorted = self.lead_times_hours.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite lead times"));
+        sorted.sort_by(f64::total_cmp);
         Some(sorted[sorted.len() / 2])
     }
 }
@@ -148,7 +148,7 @@ pub fn evaluate_predictor(
     }
 
     // --- Score against actual disk failures --------------------------------
-    let mut failures_by_device: HashMap<(SystemId, DeviceAddr), Vec<SimTime>> = HashMap::new();
+    let mut failures_by_device: BTreeMap<(SystemId, DeviceAddr), Vec<SimTime>> = BTreeMap::new();
     let mut total_failures = 0usize;
     for rec in &input.failures {
         if rec.failure_type == FailureType::Disk {

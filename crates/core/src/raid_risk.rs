@@ -11,7 +11,7 @@
 //! the independence prediction — quantifying exactly how much the standard
 //! model underestimates data-loss risk on bursty, correlated failures.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ssfa_logs::AnalysisInput;
 use ssfa_model::{FailureType, RaidType, SimDuration, SimTime};
@@ -132,7 +132,10 @@ pub fn raid_data_loss_risk(
 
     // Observation window per group: from system install to study end.
     let study_end = SimTime::study_end();
-    let group_meta: HashMap<u32, (RaidType, f64)> = input
+    // Iterated below with floating-point accumulation: BTreeMap keeps the
+    // summation order (and thus the low-order bits) independent of hasher
+    // state.
+    let group_meta: BTreeMap<u32, (RaidType, f64)> = input
         .topology
         .raid_groups
         .iter()

@@ -1,8 +1,7 @@
 //! The [`Study`] orchestrator: computes every table and figure of the
 //! paper from one [`AnalysisInput`].
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 use ssfa_logs::classify::SystemMeta;
 use ssfa_logs::AnalysisInput;
@@ -105,12 +104,14 @@ impl Study {
     /// Groups exposure and failure counts by an arbitrary key derived from
     /// each record's owning system. Records whose key function returns
     /// `None` are excluded (from both numerator and denominator).
-    pub fn breakdown_by<K, F>(&self, key: F) -> HashMap<K, AfrBreakdown>
+    pub fn breakdown_by<K, F>(&self, key: F) -> BTreeMap<K, AfrBreakdown>
     where
-        K: Eq + Hash,
+        K: Ord,
         F: Fn(SystemId, &SystemMeta) -> Option<K>,
     {
-        let mut map: HashMap<K, AfrBreakdown> = HashMap::new();
+        // Callers iterate these breakdowns (often accumulating floats), so
+        // the map must iterate in key order, not hasher order.
+        let mut map: BTreeMap<K, AfrBreakdown> = BTreeMap::new();
         for lt in &self.input.lifetimes {
             if let Some(meta) = self.system_meta(lt.system) {
                 if let Some(k) = key(lt.system, meta) {
@@ -176,7 +177,7 @@ impl Study {
     /// Figure 4: AFR breakdown per system class, optionally excluding
     /// subsystems built from the problematic disk family `H`
     /// (4a = `true`, 4b = `false`).
-    pub fn afr_by_class(&self, include_problematic: bool) -> HashMap<SystemClass, AfrBreakdown> {
+    pub fn afr_by_class(&self, include_problematic: bool) -> BTreeMap<SystemClass, AfrBreakdown> {
         self.breakdown_by(|_, meta| {
             if !include_problematic && meta.disk_model.family.is_problematic() {
                 None
@@ -190,7 +191,7 @@ impl Study {
     /// combination present in the fleet.
     pub fn afr_by_environment(
         &self,
-    ) -> HashMap<(SystemClass, ShelfModel, DiskModelId), AfrBreakdown> {
+    ) -> BTreeMap<(SystemClass, ShelfModel, DiskModelId), AfrBreakdown> {
         self.breakdown_by(|_, meta| Some((meta.class, meta.shelf_model, meta.disk_model)))
     }
 
@@ -353,7 +354,7 @@ impl Study {
     /// environments.
     pub fn disk_model_spread(&self, min_disk_years: f64) -> Vec<ModelSpread> {
         let env = self.afr_by_environment();
-        let mut by_model: HashMap<DiskModelId, Vec<&AfrBreakdown>> = HashMap::new();
+        let mut by_model: BTreeMap<DiskModelId, Vec<&AfrBreakdown>> = BTreeMap::new();
         for ((_, _, model), b) in &env {
             if b.disk_years() >= min_disk_years {
                 by_model.entry(*model).or_default().push(b);
@@ -397,7 +398,7 @@ impl Study {
     /// subsystem-rate homogeneity tests.
     pub fn disk_model_homogeneity(&self, min_disk_years: f64) -> Vec<ModelHomogeneity> {
         let env = self.afr_by_environment();
-        let mut by_model: HashMap<DiskModelId, Vec<&AfrBreakdown>> = HashMap::new();
+        let mut by_model: BTreeMap<DiskModelId, Vec<&AfrBreakdown>> = BTreeMap::new();
         for ((_, _, model), b) in &env {
             if b.disk_years() >= min_disk_years {
                 by_model.entry(*model).or_default().push(b);

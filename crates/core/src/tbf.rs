@@ -8,7 +8,7 @@
 //! component. Disk-failure gaps are additionally fitted against the
 //! paper's three candidate models.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ssfa_model::{FailureRecord, FailureType, SimDuration};
 use ssfa_stats::ecdf::Ecdf;
@@ -111,8 +111,10 @@ impl TbfAnalysis {
     /// Records need not be sorted; duplicates are filtered per
     /// [`DEDUP_WINDOW`].
     pub fn compute(scope: Scope, records: &[FailureRecord]) -> TbfAnalysis {
-        // Group records by scope key.
-        let mut groups: HashMap<u32, Vec<&FailureRecord>> = HashMap::new();
+        // Group records by scope key — in key order (BTreeMap), so the
+        // gap-sample vectors are filled in the same order however the
+        // records were produced.
+        let mut groups: BTreeMap<u32, Vec<&FailureRecord>> = BTreeMap::new();
         for rec in records {
             groups.entry(scope.key(rec)).or_default().push(rec);
         }

@@ -27,6 +27,7 @@ pub enum Throughput {
 }
 
 /// The timing driver handed to each benchmark closure.
+#[derive(Debug)]
 pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: u64,
@@ -60,6 +61,7 @@ impl Bencher {
 }
 
 /// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
@@ -142,7 +144,7 @@ fn fmt_duration(d: Duration) -> String {
 }
 
 /// The benchmark manager passed to each `criterion_group!` target.
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct Criterion {}
 
 impl Criterion {

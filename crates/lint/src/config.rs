@@ -1,0 +1,283 @@
+//! `lint.toml`: scanner configuration and the reviewed allowlist.
+//!
+//! Parsed by a tiny hand-rolled TOML-subset reader (sections, array-of-
+//! table headers, string and string-array values, `#` comments) — the
+//! workspace is offline, so no `toml` crate. The format is deliberately
+//! small; anything unrecognized is a hard error so a typo cannot silently
+//! disable a rule.
+//!
+//! The allowlist is an explicit burndown, not blanket grandfathering:
+//! every `[[allow]]` entry names one rule at one path (optionally narrowed
+//! to lines containing a substring) with a human reason, and an entry that
+//! no longer matches anything is itself reported (`unused-allow`) so stale
+//! blessings cannot accumulate.
+
+use std::path::Path;
+
+/// One reviewed `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule name the entry silences (e.g. `no-raw-spawn`).
+    pub rule: String,
+    /// Workspace-relative path prefix the entry applies to.
+    pub path: String,
+    /// Optional substring the flagged line must contain.
+    pub contains: Option<String>,
+    /// Why this occurrence is acceptable. Required.
+    pub reason: String,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path prefixes (relative to the root) treated as deterministic code
+    /// for `no-hashmap-iter`.
+    pub deterministic_paths: Vec<String>,
+    /// Path prefixes where wall clocks are expected (bench harnesses).
+    pub wall_clock_allowed: Vec<String>,
+    /// Path prefixes blessed to spawn or scope raw threads (worker pools).
+    pub raw_spawn_allowed: Vec<String>,
+    /// Path prefixes the scanner skips entirely (fixtures, build output).
+    pub skip: Vec<String>,
+    /// The reviewed burndown allowlist.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Parses `lint.toml` text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for anything outside
+    /// the accepted subset, an unknown key, or an `[[allow]]` entry
+    /// missing `rule`, `path`, or `reason`.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Scanner,
+            Allow,
+        }
+        let mut section = Section::None;
+        let mut allow: Option<AllowEntry> = None;
+
+        let flush_allow =
+            |allow: &mut Option<AllowEntry>, config: &mut Config| -> Result<(), String> {
+                if let Some(entry) = allow.take() {
+                    if entry.rule.is_empty() || entry.path.is_empty() {
+                        return Err("[[allow]] entry needs both `rule` and `path`".into());
+                    }
+                    if entry.reason.is_empty() {
+                        return Err(format!(
+                            "[[allow]] entry for {} at {} needs a `reason`",
+                            entry.rule, entry.path
+                        ));
+                    }
+                    config.allows.push(entry);
+                }
+                Ok(())
+            };
+
+        let mut lines = text.lines().enumerate();
+        while let Some((no, raw)) = lines.next() {
+            let mut line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            // Multi-line arrays: keep consuming until the bracket closes.
+            if line.contains('[') && line.contains('=') && !line.contains(']') {
+                for (_, cont) in lines.by_ref() {
+                    let cont = strip_toml_comment(cont).trim();
+                    line.push_str(cont);
+                    if cont.contains(']') {
+                        break;
+                    }
+                }
+            }
+            let line = line.as_str();
+            if line == "[scanner]" {
+                flush_allow(&mut allow, &mut config)?;
+                section = Section::Scanner;
+                continue;
+            }
+            if line == "[[allow]]" {
+                flush_allow(&mut allow, &mut config)?;
+                section = Section::Allow;
+                allow = Some(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    contains: None,
+                    reason: String::new(),
+                });
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("lint.toml line {}: unknown section {line}", no + 1));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint.toml line {}: expected `key = value`", no + 1))?;
+            let key = key.trim();
+            let value = value.trim();
+            match section {
+                Section::Scanner => {
+                    let list = parse_string_array(value)
+                        .ok_or_else(|| format!("lint.toml line {}: expected an array", no + 1))?;
+                    match key {
+                        "deterministic_paths" => config.deterministic_paths = list,
+                        "wall_clock_allowed" => config.wall_clock_allowed = list,
+                        "raw_spawn_allowed" => config.raw_spawn_allowed = list,
+                        "skip" => config.skip = list,
+                        _ => {
+                            return Err(format!(
+                                "lint.toml line {}: unknown [scanner] key `{key}`",
+                                no + 1
+                            ))
+                        }
+                    }
+                }
+                Section::Allow => {
+                    let s = parse_string(value)
+                        .ok_or_else(|| format!("lint.toml line {}: expected a string", no + 1))?;
+                    let entry = allow.as_mut().expect("inside [[allow]]");
+                    match key {
+                        "rule" => entry.rule = s,
+                        "path" => entry.path = s,
+                        "contains" => entry.contains = Some(s),
+                        "reason" => entry.reason = s,
+                        _ => {
+                            return Err(format!(
+                                "lint.toml line {}: unknown [[allow]] key `{key}`",
+                                no + 1
+                            ))
+                        }
+                    }
+                }
+                Section::None => {
+                    return Err(format!(
+                        "lint.toml line {}: key outside any section",
+                        no + 1
+                    ))
+                }
+            }
+        }
+        flush_allow(&mut allow, &mut config)?;
+        Ok(config)
+    }
+
+    /// Loads and parses `root/lint.toml`. A missing file is an empty
+    /// config (every rule applies everywhere, nothing is allowlisted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read and [`Config::parse`] errors.
+    pub fn load(root: &Path) -> Result<Config, String> {
+        let path = root.join("lint.toml");
+        if !path.exists() {
+            return Ok(Config::default());
+        }
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Config::parse(&text)
+    }
+
+    /// Whether `rel` (workspace-relative, `/`-separated) is under any of
+    /// the given prefixes.
+    pub fn under(rel: &str, prefixes: &[String]) -> bool {
+        prefixes
+            .iter()
+            .any(|p| rel == p || rel.starts_with(&format!("{p}/")))
+    }
+}
+
+/// Drops a trailing `# comment` (respecting quoted strings).
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str) -> Option<String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Some(v[1..v.len() - 1].to_string())
+    } else {
+        None
+    }
+}
+
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let v = value.trim();
+    let inner = v.strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_string(item)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scanner_and_allow_sections() {
+        let text = r#"
+# reviewed allowlist
+[scanner]
+deterministic_paths = ["crates/core", "src"]
+skip = ["target"]
+
+[[allow]]
+rule = "no-raw-spawn"
+path = "crates/sim/src/engine.rs"
+contains = "scope.spawn"
+reason = "bounded worker pool"
+"#;
+        let config = Config::parse(text).unwrap();
+        assert_eq!(config.deterministic_paths, vec!["crates/core", "src"]);
+        assert_eq!(config.skip, vec!["target"]);
+        assert_eq!(config.allows.len(), 1);
+        assert_eq!(config.allows[0].rule, "no-raw-spawn");
+        assert_eq!(config.allows[0].contains.as_deref(), Some("scope.spawn"));
+    }
+
+    #[test]
+    fn multi_line_arrays_parse() {
+        let text = "[scanner]\nskip = [\n    \"a\", # fixture\n    \"b/c\",\n]\n";
+        let config = Config::parse(text).unwrap();
+        assert_eq!(config.skip, vec!["a", "b/c"]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let text = "[[allow]]\nrule = \"no-wall-clock\"\npath = \"src/lib.rs\"\n";
+        let err = Config::parse(text).unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_are_hard_errors() {
+        let err = Config::parse("[scanner]\ntypo_key = [\"x\"]\n").unwrap_err();
+        assert!(err.contains("typo_key"), "{err}");
+    }
+
+    #[test]
+    fn under_matches_prefixes_not_substrings() {
+        let prefixes = vec!["crates/core".to_string()];
+        assert!(Config::under("crates/core/src/afr.rs", &prefixes));
+        assert!(Config::under("crates/core", &prefixes));
+        assert!(!Config::under("crates/core2/src/x.rs", &prefixes));
+    }
+}

@@ -1,0 +1,166 @@
+//! Diagnostics: rustc-style human rendering and a stable `--json` form.
+
+use std::fmt;
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (e.g. `no-hashmap-iter`).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column of the match.
+    pub col: usize,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix or justify it.
+    pub help: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
+        writeln!(f, "  --> {}:{}:{}", self.path, self.line, self.col)?;
+        write!(f, "   = help: {}", self.help)
+    }
+}
+
+/// One `unsafe` site with its justification, for the machine-readable
+/// inventory (present even when the rule passes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the `unsafe` token.
+    pub line: usize,
+    /// The `// SAFETY:` text that justifies it.
+    pub safety: String,
+}
+
+/// Everything one `check` run produced.
+#[derive(Debug, Clone, Default)]
+pub struct ScanResult {
+    /// Findings not covered by a suppression comment or allowlist entry.
+    pub findings: Vec<Diagnostic>,
+    /// Findings that matched an `[[allow]]` entry (reported in JSON so the
+    /// burndown is visible, but they do not fail the run).
+    pub allowed: Vec<Diagnostic>,
+    /// Machine-readable inventory of every justified `unsafe` block.
+    pub unsafe_inventory: Vec<UnsafeSite>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+/// Minimal JSON string escaping (the only JSON writer this crate needs).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn diag_json(d: &Diagnostic) -> String {
+    format!(
+        "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{},\"help\":{}}}",
+        json_str(d.rule),
+        json_str(&d.path),
+        d.line,
+        d.col,
+        json_str(&d.message),
+        json_str(&d.help)
+    )
+}
+
+impl ScanResult {
+    /// The stable JSON document `check --json` emits (and CI archives).
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self.findings.iter().map(diag_json).collect();
+        let allowed: Vec<String> = self.allowed.iter().map(diag_json).collect();
+        let inventory: Vec<String> = self
+            .unsafe_inventory
+            .iter()
+            .map(|u| {
+                format!(
+                    "{{\"path\":{},\"line\":{},\"safety\":{}}}",
+                    json_str(&u.path),
+                    u.line,
+                    json_str(&u.safety)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"files_scanned\":{},\"findings\":[{}],\"allowed\":[{}],\"unsafe_inventory\":[{}]}}\n",
+            self.files_scanned,
+            findings.join(","),
+            allowed.join(","),
+            inventory.join(",")
+        )
+    }
+
+    /// Human (rustc-style) rendering of the findings plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.findings {
+            out.push_str(&d.to_string());
+            out.push_str("\n\n");
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned, {} finding(s), {} allowlisted, {} unsafe site(s) inventoried\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.allowed.len(),
+            self.unsafe_inventory.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "no-wall-clock",
+            path: "src/lib.rs".into(),
+            line: 7,
+            col: 13,
+            message: "wall-clock read in deterministic code".into(),
+            help: "inject time or move to crates/bench".into(),
+        }
+    }
+
+    #[test]
+    fn human_rendering_is_rustc_shaped() {
+        let text = sample().to_string();
+        assert!(text.starts_with("error[no-wall-clock]:"));
+        assert!(text.contains("--> src/lib.rs:7:13"));
+        assert!(text.contains("= help:"));
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let mut result = ScanResult::default();
+        let mut d = sample();
+        d.message = "quote \" and\nnewline".into();
+        result.findings.push(d);
+        result.files_scanned = 3;
+        let json = result.to_json();
+        assert!(json.contains("\"files_scanned\":3"));
+        assert!(json.contains("quote \\\" and\\nnewline"));
+        assert!(json.contains("\"unsafe_inventory\":[]"));
+    }
+}

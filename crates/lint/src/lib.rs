@@ -1,0 +1,176 @@
+//! # ssfa-lint: the workspace determinism/concurrency analyzer
+//!
+//! Run as `cargo run -p ssfa-lint -- check` (CI adds `--json`). Scans
+//! every `.rs` file in the workspace with a hand-rolled token-level lexer
+//! (no `syn`, fully offline) and enforces the determinism rules the
+//! reproduction depends on — see [`rules`] for the list and DESIGN.md
+//! ("Static analysis & determinism guarantees") for the rationale.
+//!
+//! Findings are individually suppressible with a justification comment on
+//! or above the line, or via reviewed `[[allow]]` entries in `lint.toml`
+//! (an explicit burndown — unused entries fail the run so stale blessings
+//! cannot accumulate).
+
+pub mod config;
+pub mod diag;
+pub mod fix;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use diag::{Diagnostic, ScanResult, UnsafeSite};
+
+use rules::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned regardless of configuration.
+const ALWAYS_SKIP: [&str; 3] = [".git", "target", ".claude"];
+
+/// Collects every `.rs` file under `root` (workspace-relative,
+/// `/`-separated, sorted — the scan must itself be deterministic), honoring
+/// the config's `skip` prefixes.
+///
+/// # Errors
+///
+/// Propagates directory-walk I/O errors.
+pub fn collect_sources(root: &Path, config: &Config) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let rel = rel_path(root, &path);
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if ALWAYS_SKIP.contains(&name.as_ref()) || Config::under(&rel, &config.skip) {
+                    continue;
+                }
+                stack.push(path);
+            } else if rel.ends_with(".rs") && !Config::under(&rel, &config.skip) {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// `path` relative to `root`, `/`-separated.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Runs every rule over the workspace at `root` under `config`.
+///
+/// # Errors
+///
+/// Propagates file-read I/O errors; the scan itself cannot fail.
+pub fn check_workspace(root: &Path, config: &Config) -> std::io::Result<ScanResult> {
+    let paths = collect_sources(root, config)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let source = std::fs::read_to_string(path)?;
+        files.push(SourceFile {
+            rel: rel_path(root, path),
+            stripped: lexer::strip(&source),
+        });
+    }
+
+    let index = rules::HashNameIndex::build(&files);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut inventory: Vec<UnsafeSite> = Vec::new();
+    for file in &files {
+        rules::no_hashmap_iter(file, &index, config, &mut raw);
+        rules::no_wall_clock(file, config, &mut raw);
+        rules::no_unseeded_rng(file, &mut raw);
+        rules::no_raw_spawn(file, config, &mut raw);
+        rules::no_float_keys(file, &mut raw);
+        rules::unsafe_inventory(file, &mut raw, &mut inventory);
+    }
+
+    // Apply suppression comments, then the lint.toml allowlist.
+    let by_rel: std::collections::BTreeMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.rel.as_str(), f)).collect();
+    let mut findings = Vec::new();
+    let mut allowed = Vec::new();
+    let mut allow_hits = vec![0usize; config.allows.len()];
+    'diag: for d in raw {
+        if let Some(file) = by_rel.get(d.path.as_str()) {
+            if rules::suppressed(file, d.rule, d.line) {
+                allowed.push(d);
+                continue;
+            }
+            for (i, entry) in config.allows.iter().enumerate() {
+                let line_text = file
+                    .stripped
+                    .code
+                    .lines()
+                    .nth(d.line - 1)
+                    .unwrap_or_default();
+                let matches = entry.rule == d.rule
+                    && Config::under(&d.path, std::slice::from_ref(&entry.path))
+                    && entry
+                        .contains
+                        .as_ref()
+                        .is_none_or(|needle| line_text.contains(needle.as_str()));
+                if matches {
+                    allow_hits[i] += 1;
+                    allowed.push(d);
+                    continue 'diag;
+                }
+            }
+        }
+        findings.push(d);
+    }
+
+    // An allow entry that matched nothing is itself a finding: the
+    // burndown list must shrink as the code improves, never fossilize.
+    for (entry, hits) in config.allows.iter().zip(&allow_hits) {
+        if *hits == 0 {
+            findings.push(Diagnostic {
+                rule: "unused-allow",
+                path: "lint.toml".into(),
+                line: 0,
+                col: 0,
+                message: format!(
+                    "[[allow]] entry for `{}` at `{}` no longer matches anything",
+                    entry.rule, entry.path
+                ),
+                help: "delete the stale entry (the violation it blessed is gone)".into(),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    inventory.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+
+    Ok(ScanResult {
+        findings,
+        allowed,
+        unsafe_inventory: inventory,
+        files_scanned: files.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_path_is_slash_separated() {
+        let root = Path::new("/tmp/ws");
+        assert_eq!(
+            rel_path(root, Path::new("/tmp/ws/crates/core/src/afr.rs")),
+            "crates/core/src/afr.rs"
+        );
+    }
+}

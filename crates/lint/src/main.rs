@@ -1,0 +1,144 @@
+//! CLI: `ssfa-lint check [--json]` / `ssfa-lint fix [--dry-run]`.
+//!
+//! Exit codes: 0 clean, 1 findings (or fix had work), 2 usage/config
+//! error. Run from the workspace root (what `cargo run -p ssfa-lint`
+//! does); `--root` overrides.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ssfa_lint::{check_workspace, fix, Config};
+
+const USAGE: &str = "\
+usage: ssfa-lint <command> [options]
+
+commands:
+  check           scan the workspace, print findings, exit 1 if any
+  fix             insert `// lint: allow(...)` suppression comments
+                  above every current finding (use check first!)
+
+options:
+  --json          (check) emit the machine-readable report on stdout
+  --dry-run       (fix) print planned edits without writing anything
+  --root <path>   workspace root (default: current directory)
+  --config <path> lint.toml path (default: <root>/lint.toml)
+";
+
+struct Args {
+    command: String,
+    json: bool,
+    dry_run: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command")?;
+    let mut parsed = Args {
+        command,
+        json: false,
+        dry_run: false,
+        root: PathBuf::from("."),
+        config: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => parsed.json = true,
+            "--dry-run" => parsed.dry_run = true,
+            "--root" => parsed.root = PathBuf::from(args.next().ok_or("--root needs a path")?),
+            "--config" => {
+                parsed.config = Some(PathBuf::from(args.next().ok_or("--config needs a path")?));
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn load_config(args: &Args) -> Result<Config, String> {
+    match &args.config {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            Config::parse(&text)
+        }
+        None => Config::load(&args.root),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("ssfa-lint: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = match load_config(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("ssfa-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    match args.command.as_str() {
+        "check" => {
+            let result = match check_workspace(&args.root, &config) {
+                Ok(result) => result,
+                Err(e) => {
+                    eprintln!("ssfa-lint: scan failed: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if args.json {
+                print!("{}", result.to_json());
+            } else {
+                print!("{}", result.render_human());
+            }
+            if result.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        "fix" => {
+            let result = match check_workspace(&args.root, &config) {
+                Ok(result) => result,
+                Err(e) => {
+                    eprintln!("ssfa-lint: scan failed: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let edits = match fix::plan(&args.root, &result.findings) {
+                Ok(edits) => edits,
+                Err(e) => {
+                    eprintln!("ssfa-lint: fix planning failed: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            print!("{}", fix::render_plan(&args.root, &edits));
+            if args.dry_run {
+                return if edits.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                };
+            }
+            match fix::apply(&args.root, &edits) {
+                Ok(files) => {
+                    println!("fix: rewrote {files} file(s)");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("ssfa-lint: fix failed: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        other => {
+            eprintln!("ssfa-lint: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

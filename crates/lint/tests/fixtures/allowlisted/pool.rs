@@ -1,0 +1,10 @@
+// Fixture: violations blessed by this directory's lint.toml rather than
+// by comments — exercises [[allow]] matching and the unused-allow check.
+pub fn workers() {
+    std::thread::spawn(|| {});
+    std::thread::spawn(|| {});
+}
+
+pub fn bench() -> std::time::Instant {
+    Instant::now()
+}

@@ -1,0 +1,41 @@
+// Fixture: the same patterns as violations/bad.rs, every one carrying a
+// justification comment — the scanner must report zero findings here and
+// route each site through `allowed` / the unsafe inventory instead.
+use std::collections::HashMap;
+
+pub struct Tally {
+    pub by_disk: HashMap<u32, f64>,
+}
+
+pub fn total(t: &Tally) -> f64 {
+    let mut sum = 0.0;
+    // lint: sorted summation is compensated downstream; order provably irrelevant
+    for (_, v) in t.by_disk.iter() {
+        sum += v;
+    }
+    sum
+}
+
+pub fn stamp() -> std::time::Instant {
+    Instant::now() // lint: allow(no-wall-clock) progress display only, never in results
+}
+
+pub fn roll() -> u64 {
+    // lint: allow(no-unseeded-rng) interactive demo path, reproducibility not needed
+    let mut rng = SmallRng::from_entropy();
+    rng.next_u64()
+}
+
+pub fn offload() {
+    std::thread::spawn(|| {}); // lint: allow(no-raw-spawn) detached logger thread
+}
+
+pub fn rank(xs: &mut [f64]) {
+    // lint: allow(no-float-keys) input is validated NaN-free at parse time
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn peek(ptr: *const u8) -> u8 {
+    // SAFETY: caller guarantees ptr is valid and aligned for u8.
+    unsafe { *ptr }
+}

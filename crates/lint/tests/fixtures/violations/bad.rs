@@ -1,0 +1,39 @@
+// Fixture: one unsuppressed violation of every rule. Never compiled —
+// fed to the scanner by crates/lint/tests/scanner.rs.
+use std::collections::HashMap;
+
+pub struct Tally {
+    pub by_disk: HashMap<u32, f64>,
+}
+
+pub fn total(t: &Tally) -> f64 {
+    let mut sum = 0.0;
+    for (_, v) in t.by_disk.iter() {
+        sum += v;
+    }
+    for k in &t.by_disk {
+        sum += *k.1;
+    }
+    sum
+}
+
+pub fn stamp() -> std::time::Instant {
+    Instant::now()
+}
+
+pub fn roll() -> u64 {
+    let mut rng = SmallRng::from_entropy();
+    rng.next_u64()
+}
+
+pub fn offload() {
+    std::thread::spawn(|| {});
+}
+
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn peek(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}

@@ -1,0 +1,160 @@
+//! Model-checked counterparts of the `std::sync` subset the ssfa chunk
+//! work queue uses. Every operation is a scheduler yield point, so the
+//! explorer can interleave virtual threads before each atomic or lock
+//! effect. Memory-ordering arguments are accepted for API parity but the
+//! exploration is sequentially consistent — a sound over-approximation for
+//! catching lost updates and lock races at this queue's strength.
+
+use crate::scheduler::Explorer;
+use std::fmt;
+
+/// Model-checked atomics.
+pub mod atomic {
+    use super::Explorer;
+
+    pub use std::sync::atomic::Ordering;
+
+    /// Model-checked `AtomicUsize`: a yield point before every operation.
+    #[derive(Debug, Default)]
+    pub struct AtomicUsize {
+        v: std::sync::atomic::AtomicUsize,
+    }
+
+    impl AtomicUsize {
+        /// Creates the atomic. Usable outside the model (no yield).
+        pub fn new(v: usize) -> AtomicUsize {
+            AtomicUsize {
+                v: std::sync::atomic::AtomicUsize::new(v),
+            }
+        }
+
+        /// Reads the value (yield point).
+        pub fn load(&self, _order: Ordering) -> usize {
+            Explorer::yield_point();
+            self.v.load(Ordering::SeqCst)
+        }
+
+        /// Writes the value (yield point).
+        pub fn store(&self, val: usize, _order: Ordering) {
+            Explorer::yield_point();
+            self.v.store(val, Ordering::SeqCst)
+        }
+
+        /// Atomically adds, returning the previous value (yield point; the
+        /// read-modify-write itself is indivisible, as on hardware).
+        pub fn fetch_add(&self, val: usize, _order: Ordering) -> usize {
+            Explorer::yield_point();
+            self.v.fetch_add(val, Ordering::SeqCst)
+        }
+    }
+
+    /// Model-checked `AtomicBool`: a yield point before every operation.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        v: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates the atomic. Usable outside the model (no yield).
+        pub fn new(v: bool) -> AtomicBool {
+            AtomicBool {
+                v: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        /// Reads the value (yield point).
+        pub fn load(&self, _order: Ordering) -> bool {
+            Explorer::yield_point();
+            self.v.load(Ordering::SeqCst)
+        }
+
+        /// Writes the value (yield point).
+        pub fn store(&self, val: bool, _order: Ordering) {
+            Explorer::yield_point();
+            self.v.store(val, Ordering::SeqCst)
+        }
+    }
+}
+
+/// Error type for [`Mutex::lock`] parity with `std`. The model never
+/// actually poisons: a panicking execution aborts the whole schedule, so
+/// `lock()` always returns `Ok` and `.unwrap()` is idiomatic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoisonError;
+
+impl fmt::Display for PoisonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("loom model mutex poisoned")
+    }
+}
+
+impl std::error::Error for PoisonError {}
+
+/// Model-checked mutex. MUST be created inside the model closure (it
+/// registers itself with the running explorer).
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a model mutex registered with the current exploration.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            id: Explorer::register_mutex(),
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking in *model* time: the virtual thread is
+    /// descheduled while another virtual thread owns the mutex.
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError> {
+        Explorer::acquire_mutex(self.id);
+        // The inner std lock is uncontended by construction: only the
+        // model-level owner ever touches it, and the token serializes
+        // virtual threads. `unwrap_or_else(into_inner)` keeps teardown of a
+        // panicked execution from cascading poison panics.
+        let inner = self.data.lock().unwrap_or_else(|p| p.into_inner());
+        Ok(MutexGuard {
+            id: self.id,
+            inner: Some(inner),
+        })
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing is itself a yield point.
+pub struct MutexGuard<'a, T> {
+    id: usize,
+    // Option so Drop can release the real guard BEFORE parking in the
+    // scheduler — otherwise a rescheduled virtual thread could block on
+    // the inner std mutex for real and wedge the explorer.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("MutexGuard").field(&**self).finish()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard data present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard data present until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then the model-level ownership.
+        self.inner.take();
+        Explorer::release_mutex(self.id);
+    }
+}

@@ -1,0 +1,65 @@
+//! Virtual-thread spawn/join for the model. Each `spawn` registers a new
+//! virtual thread with the running explorer; the backing OS thread only
+//! executes while it holds the scheduler token.
+
+use crate::scheduler::Explorer;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Error returned by [`JoinHandle::join`] when the joined virtual thread
+/// panicked. The panic message is recorded in the exploration's failure
+/// report, not here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinError;
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("joined loom vthread panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Handle to a spawned virtual thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("tid", &self.tid)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks in model time until the virtual thread finishes, returning
+    /// its result (`Err` if it panicked).
+    pub fn join(self) -> Result<T, JoinError> {
+        Explorer::join_vthread(self.tid);
+        // Uncontended by construction: the target wrote its result while
+        // holding the scheduler token and has since finished.
+        self.result
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            .ok_or(JoinError)
+    }
+}
+
+/// Spawns a new virtual thread inside the model.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = Explorer::spawn_vthread(Box::new(move || {
+        let value = f();
+        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(value);
+    }));
+    JoinHandle { tid, result }
+}

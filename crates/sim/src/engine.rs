@@ -686,6 +686,7 @@ mod tests {
         for d in out.disks() {
             by_slot.entry(d.slot).or_default().push(d);
         }
+        // lint: sorted test-only per-slot assertions; order cannot affect the checks
         for (slot, mut recs) in by_slot {
             recs.sort_by_key(|d| d.installed_at);
             for pair in recs.windows(2) {

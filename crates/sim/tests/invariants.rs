@@ -64,6 +64,7 @@ proptest! {
             *per_slot.entry(d.slot).or_default() += d.service_years();
         }
         let window_years = study_end.as_years();
+        // lint: sorted independent per-entry property assertions; no accumulation across entries
         for (slot, years) in per_slot {
             prop_assert!(years <= window_years + 1e-9, "{slot}: {years} yr");
         }

@@ -30,7 +30,7 @@ impl Ecdf {
             });
         }
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+        sorted.sort_by(f64::total_cmp);
         Ok(Ecdf { sorted })
     }
 

@@ -256,7 +256,7 @@ pub fn fit_all(data: &[f64]) -> Result<Vec<FittedModel>> {
 /// Propagates sample-validity errors from [`fit_all`].
 pub fn best_fit(data: &[f64]) -> Result<FittedModel> {
     let mut fits = fit_all(data)?;
-    fits.sort_by(|a, b| a.aic().partial_cmp(&b.aic()).expect("finite AIC"));
+    fits.sort_by(|a, b| f64::total_cmp(&a.aic(), &b.aic()));
     Ok(fits.remove(0))
 }
 

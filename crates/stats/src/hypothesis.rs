@@ -180,7 +180,7 @@ pub fn ks_test(data: &[f64], model: &dyn ContinuousDist) -> Result<KsResult> {
         });
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
     let mut d: f64 = 0.0;
     for (i, &x) in sorted.iter().enumerate() {

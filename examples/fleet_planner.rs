@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         results.push((disk, shelf, dual_fraction, per_10k));
     }
 
-    results.sort_by(|a, b| a.3.partial_cmp(&b.3).expect("finite"));
+    results.sort_by(|a, b| f64::total_cmp(&a.3, &b.3));
     let best = &results[0];
     let worst = results.last().expect("non-empty");
     println!(

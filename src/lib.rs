@@ -118,7 +118,6 @@ pub use ssfa_sim as sim;
 pub use ssfa_stats as stats;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use ssfa_logs::{
     classify, classify_parallel, render_support_log, render_system_log, CascadeStyle, ChunkPlan,
@@ -127,6 +126,10 @@ use ssfa_logs::{
 };
 use ssfa_model::{Fleet, FleetConfig, LayoutPolicy, SystemId};
 use ssfa_sim::{Calibration, SimOutput, Simulator};
+
+pub mod workqueue;
+
+use workqueue::{worker_loop, ChunkStatus, StdChunkQueue};
 
 /// Convenience re-exports for examples and downstream binaries.
 pub mod prelude {
@@ -527,11 +530,12 @@ impl Pipeline {
         let injector =
             (!self.faults.is_none()).then(|| FaultInjector::new(self.faults.clone(), self.seed));
 
-        // Workers pull chunk indices from a shared counter (static splits
+        // Workers pull chunk indices from a shared queue (static splits
         // strand workers behind uneven chunks); outcomes are reassembled
         // in chunk order below, so scheduling cannot affect the merge.
-        let next = AtomicUsize::new(0);
-        let failed = AtomicBool::new(false);
+        // The queue + worker loop live in `workqueue` so the model-check
+        // harness can exhaustively interleave the exact same code.
+        let queue = StdChunkQueue::new(n_chunks);
         let workers = self.threads.min(n_chunks);
         let mut collected: Vec<(usize, Result<ChunkOutcome, PipelineError>)> =
             Vec::with_capacity(n_chunks);
@@ -543,15 +547,10 @@ impl Pipeline {
                     let plan = &plan;
                     let chunks = &chunks;
                     let injector = injector.as_ref();
-                    let next = &next;
-                    let failed = &failed;
+                    let queue = &queue;
                     scope.spawn(move || {
                         let mut mine = Vec::new();
-                        while !failed.load(Ordering::Relaxed) {
-                            let chunk = next.fetch_add(1, Ordering::Relaxed);
-                            if chunk >= n_chunks {
-                                break;
-                            }
+                        worker_loop(queue, |chunk| {
                             let result = self.process_chunk(
                                 fleet,
                                 output,
@@ -560,15 +559,14 @@ impl Pipeline {
                                 chunk,
                                 chunks.shard_range(chunk),
                             );
-                            let abort = result.is_err();
-                            if abort {
-                                failed.store(true, Ordering::Relaxed);
-                            }
+                            let status = if result.is_err() {
+                                ChunkStatus::Fatal
+                            } else {
+                                ChunkStatus::Done
+                            };
                             mine.push((chunk, result));
-                            if abort {
-                                break;
-                            }
-                        }
+                            status
+                        });
                         mine
                     })
                 })

@@ -1,0 +1,250 @@
+//! The chunk work queue extracted from [`crate::Pipeline`]`::run_streaming`, generic
+//! over the atomic primitives it runs on.
+//!
+//! Workers pull chunk indices from a shared monotonic counter until the queue
+//! is exhausted or a worker signals a fatal error, at which point every worker
+//! drains out at its next pop. The queue is deliberately tiny — one
+//! `fetch_add` counter plus one abort flag — which is exactly what makes it
+//! tractable to *exhaustively* model-check: with the `model-check` feature the
+//! same `ChunkQueue` + [`worker_loop`] code runs on the vendored
+//! [`ssfa-loom`](../../crates/loom) schedule explorer, which interleaves every
+//! atomic operation of 2–3 virtual workers and asserts that no chunk is ever
+//! lost or claimed twice (see `tests/model_check.rs`).
+//!
+//! The abstraction boundary is two small traits ([`AtomicUsizeLike`],
+//! [`AtomicBoolLike`]) rather than `cfg`-swapped imports so the production
+//! pipeline and the model-checked test compile the *same* generic queue body,
+//! not two copies that could drift apart.
+
+/// Minimal atomic-usize surface the queue needs. Implemented for
+/// `std::sync::atomic::AtomicUsize` (production) and, under the
+/// `model-check` feature, for `ssfa_loom::sync::atomic::AtomicUsize`.
+///
+/// Memory-ordering choice lives inside the impl: the queue tolerates the
+/// weakest ordering because chunk indices are claimed by an atomic RMW and
+/// the abort flag is advisory (a late read only costs one extra pop).
+pub trait AtomicUsizeLike: Sync {
+    /// Creates the atomic holding `v`.
+    fn new(v: usize) -> Self;
+    /// Atomically adds `n`, returning the previous value.
+    fn fetch_add(&self, n: usize) -> usize;
+    /// Reads the current value.
+    fn load(&self) -> usize;
+}
+
+/// Minimal atomic-bool surface the queue needs. See [`AtomicUsizeLike`].
+pub trait AtomicBoolLike: Sync {
+    /// Creates the atomic holding `v`.
+    fn new(v: bool) -> Self;
+    /// Reads the current value.
+    fn load(&self) -> bool;
+    /// Writes `v`.
+    fn store(&self, v: bool);
+}
+
+impl AtomicUsizeLike for std::sync::atomic::AtomicUsize {
+    fn new(v: usize) -> Self {
+        std::sync::atomic::AtomicUsize::new(v)
+    }
+    fn fetch_add(&self, n: usize) -> usize {
+        self.fetch_add(n, std::sync::atomic::Ordering::Relaxed)
+    }
+    fn load(&self) -> usize {
+        self.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl AtomicBoolLike for std::sync::atomic::AtomicBool {
+    fn new(v: bool) -> Self {
+        std::sync::atomic::AtomicBool::new(v)
+    }
+    fn load(&self) -> bool {
+        self.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    fn store(&self, v: bool) {
+        self.store(v, std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(feature = "model-check")]
+impl AtomicUsizeLike for ssfa_loom::sync::atomic::AtomicUsize {
+    fn new(v: usize) -> Self {
+        ssfa_loom::sync::atomic::AtomicUsize::new(v)
+    }
+    fn fetch_add(&self, n: usize) -> usize {
+        self.fetch_add(n, ssfa_loom::sync::atomic::Ordering::Relaxed)
+    }
+    fn load(&self) -> usize {
+        self.load(ssfa_loom::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(feature = "model-check")]
+impl AtomicBoolLike for ssfa_loom::sync::atomic::AtomicBool {
+    fn new(v: bool) -> Self {
+        ssfa_loom::sync::atomic::AtomicBool::new(v)
+    }
+    fn load(&self) -> bool {
+        self.load(ssfa_loom::sync::atomic::Ordering::Relaxed)
+    }
+    fn store(&self, v: bool) {
+        self.store(v, ssfa_loom::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// What a worker reports back for one processed chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkStatus {
+    /// Chunk handled (possibly retried or quarantined internally); keep
+    /// pulling work.
+    Done,
+    /// Unrecoverable chunk failure: abort the whole queue so every worker
+    /// drains out at its next pop.
+    Fatal,
+}
+
+/// Shared chunk work queue: a claim counter plus an abort flag.
+///
+/// `pop` is the only claim path; a chunk index is handed to exactly one
+/// worker because the claim is a single atomic `fetch_add`.
+#[derive(Debug)]
+pub struct ChunkQueue<U, B> {
+    next: U,
+    aborted: B,
+    chunks: usize,
+}
+
+/// The production queue over `std` atomics, as used by `run_streaming`.
+pub type StdChunkQueue = ChunkQueue<std::sync::atomic::AtomicUsize, std::sync::atomic::AtomicBool>;
+
+impl<U: AtomicUsizeLike, B: AtomicBoolLike> ChunkQueue<U, B> {
+    /// A queue of chunk indices `0..chunks`.
+    pub fn new(chunks: usize) -> Self {
+        ChunkQueue {
+            next: U::new(0),
+            aborted: B::new(false),
+            chunks,
+        }
+    }
+
+    /// Claims the next chunk index, or `None` when the queue is exhausted
+    /// or aborted. Indices past the end are burned harmlessly: the counter
+    /// keeps incrementing but every such claim maps to `None`.
+    pub fn pop(&self) -> Option<usize> {
+        if self.aborted.load() {
+            return None;
+        }
+        let chunk = self.next.fetch_add(1);
+        (chunk < self.chunks).then_some(chunk)
+    }
+
+    /// Signals every worker to stop at its next pop.
+    pub fn abort(&self) {
+        self.aborted.store(true);
+    }
+
+    /// Whether a worker has signalled a fatal failure.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load()
+    }
+
+    /// Total number of chunks this queue was created with.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks
+    }
+
+    /// Deliberately broken claim path used ONLY to prove the model checker
+    /// can catch real races: replaces the atomic `fetch_add` claim with a
+    /// non-atomic load-then-store, so two workers interleaved between the
+    /// load and the store claim the same chunk (duplicate) and skip another
+    /// (lost). Never called by the production pipeline.
+    #[cfg(any(test, feature = "model-check"))]
+    pub fn pop_lost_update(&self) -> Option<usize> {
+        if self.aborted.load() {
+            return None;
+        }
+        let chunk = self.next.load();
+        self.next.fetch_add(1);
+        (chunk < self.chunks).then_some(chunk)
+    }
+}
+
+/// Drains the queue with `process`, aborting the whole queue when a chunk
+/// comes back [`ChunkStatus::Fatal`]. This is the exact loop each streaming
+/// worker runs; the model checker drives the same function on loom atomics.
+pub fn worker_loop<U, B, F>(queue: &ChunkQueue<U, B>, mut process: F)
+where
+    U: AtomicUsizeLike,
+    B: AtomicBoolLike,
+    F: FnMut(usize) -> ChunkStatus,
+{
+    while let Some(chunk) = queue.pop() {
+        match process(chunk) {
+            ChunkStatus::Done => {}
+            ChunkStatus::Fatal => {
+                queue.abort();
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_hands_out_each_chunk_once() {
+        let q = StdChunkQueue::new(4);
+        let mut seen = Vec::new();
+        while let Some(c) = q.pop() {
+            seen.push(c);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn abort_stops_popping() {
+        let q = StdChunkQueue::new(10);
+        assert_eq!(q.pop(), Some(0));
+        q.abort();
+        assert!(q.is_aborted());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn worker_loop_aborts_on_fatal() {
+        let q = StdChunkQueue::new(10);
+        let mut processed = Vec::new();
+        worker_loop(&q, |c| {
+            processed.push(c);
+            if c == 2 {
+                ChunkStatus::Fatal
+            } else {
+                ChunkStatus::Done
+            }
+        });
+        assert_eq!(processed, vec![0, 1, 2]);
+        assert!(q.is_aborted());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn zero_chunks_is_immediately_exhausted() {
+        let q = StdChunkQueue::new(0);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn racy_variant_still_works_single_threaded() {
+        // Single-threaded the lost-update bug cannot bite; the model checker
+        // (tests/model_check.rs) is what proves it bites under interleaving.
+        let q = StdChunkQueue::new(3);
+        let mut seen = Vec::new();
+        while let Some(c) = q.pop_lost_update() {
+            seen.push(c);
+        }
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

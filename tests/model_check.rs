@@ -1,0 +1,209 @@
+//! Exhaustive schedule exploration of the chunk work queue
+//! (`ssfa::workqueue`) on the vendored loom stand-in.
+//!
+//! Run with: `cargo test --features model-check --test model_check`
+//!
+//! These tests compile the *same* generic `ChunkQueue` + `worker_loop` the
+//! streaming pipeline uses, but over `ssfa_loom` atomics, and then explore
+//! every interleaving of the workers' synchronization operations. The
+//! invariants mirror what `run_streaming` relies on:
+//!
+//! - every chunk is claimed by exactly one worker (no lost / duplicated
+//!   chunks — the differential streaming-vs-monolithic tests assume this);
+//! - after a fatal chunk the queue aborts and no chunk is double-processed
+//!   (so a chunk can never be quarantined twice);
+//! - worker-side tallies are quiescent after join: every chunk is either
+//!   processed exactly once or surrendered to the abort, never in flight
+//!   (the RunHealth `chunks_processed`/`chunks_total` bookkeeping).
+//!
+//! Per-worker claims travel back through `JoinHandle` return values (exactly
+//! like `run_streaming`'s per-worker `mine` vectors) rather than a shared
+//! ledger, so the explored tree is precisely the queue's own atomic
+//! operations — small enough to exhaust, large enough to mean something.
+
+#![cfg(feature = "model-check")]
+
+use ssfa::workqueue::{worker_loop, ChunkQueue, ChunkStatus};
+use ssfa_loom as loom;
+use std::sync::Arc;
+
+type LoomQueue = ChunkQueue<loom::sync::atomic::AtomicUsize, loom::sync::atomic::AtomicBool>;
+
+/// High enough to exhaust every tree below; the assertions on
+/// `report.complete` prove the bound was never the reason a test passed.
+const SCHEDULE_BOUND: usize = 200_000;
+
+fn builder() -> loom::Builder {
+    loom::Builder {
+        max_schedules: SCHEDULE_BOUND,
+        ..loom::Builder::default()
+    }
+}
+
+/// Spawns `workers` virtual threads all draining `queue` with `process`,
+/// joins them, and returns per-chunk claim counts.
+fn drain_and_tally<F>(workers: usize, chunks: usize, queue: &Arc<LoomQueue>, process: F) -> Vec<u32>
+where
+    F: Fn(usize) -> ChunkStatus + Send + Sync + Copy + 'static,
+{
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let queue = Arc::clone(queue);
+            loom::thread::spawn(move || {
+                let mut mine = Vec::new();
+                worker_loop(&queue, |chunk| {
+                    mine.push(chunk);
+                    process(chunk)
+                });
+                mine
+            })
+        })
+        .collect();
+    let mut claims = vec![0u32; chunks];
+    for h in handles {
+        for chunk in h.join().unwrap() {
+            claims[chunk] += 1;
+        }
+    }
+    claims
+}
+
+#[test]
+fn every_chunk_claimed_exactly_once_across_all_schedules() {
+    const WORKERS: usize = 2;
+    const CHUNKS: usize = 3;
+    let report = builder().check(|| {
+        let queue = Arc::new(LoomQueue::new(CHUNKS));
+        let claims = drain_and_tally(WORKERS, CHUNKS, &queue, |_| ChunkStatus::Done);
+        assert!(
+            claims.iter().all(|&n| n == 1),
+            "lost or duplicated chunk: claims={claims:?}"
+        );
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.complete,
+        "schedule bound hit before exhausting the tree ({} schedules)",
+        report.schedules
+    );
+    assert!(
+        report.schedules >= 2,
+        "2 workers x 3 chunks must branch, got {} schedule(s)",
+        report.schedules
+    );
+}
+
+#[test]
+fn injected_lost_update_bug_is_caught() {
+    // The deliberately broken claim path (non-atomic load-then-store in
+    // `pop_lost_update`) must be caught: some interleaving hands the same
+    // chunk to both workers.
+    const WORKERS: usize = 2;
+    const CHUNKS: usize = 3;
+    let report = builder().check(|| {
+        let queue = Arc::new(LoomQueue::new(CHUNKS));
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                loom::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Some(chunk) = queue.pop_lost_update() {
+                        mine.push(chunk);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut claims = vec![0u32; CHUNKS];
+        for h in handles {
+            for chunk in h.join().unwrap() {
+                claims[chunk] += 1;
+            }
+        }
+        assert!(
+            claims.iter().all(|&n| n == 1),
+            "lost or duplicated chunk: claims={claims:?}"
+        );
+    });
+    let failure = report
+        .failure
+        .expect("the racy claim path must produce a duplicated or lost chunk");
+    assert!(
+        failure.message.contains("lost or duplicated chunk"),
+        "unexpected failure: {}",
+        failure.message
+    );
+    assert!(
+        !failure.schedule.is_empty(),
+        "failing schedule must be reported for replay"
+    );
+}
+
+#[test]
+fn abort_never_double_processes_and_tallies_stay_quiescent() {
+    // Chunk 1 is fatal (mirrors a strict-mode chunk error). Whatever the
+    // schedule: no chunk is processed twice (=> a chunk can never be
+    // quarantined twice, quarantine being derived from processing), and
+    // after both workers join the ledger is quiescent — every chunk either
+    // processed exactly once or never claimed (the abort ate it), with the
+    // fatal chunk always claimed exactly once.
+    const WORKERS: usize = 2;
+    const CHUNKS: usize = 3;
+    const FATAL_CHUNK: usize = 1;
+    let report = builder().check(|| {
+        let queue = Arc::new(LoomQueue::new(CHUNKS));
+        let claims = drain_and_tally(WORKERS, CHUNKS, &queue, |chunk| {
+            if chunk == FATAL_CHUNK {
+                ChunkStatus::Fatal
+            } else {
+                ChunkStatus::Done
+            }
+        });
+        assert!(queue.is_aborted(), "a fatal chunk must abort the queue");
+        assert!(
+            claims.iter().all(|&n| n <= 1),
+            "chunk processed twice (double-quarantine hazard): {claims:?}"
+        );
+        assert_eq!(
+            claims[FATAL_CHUNK], 1,
+            "the fatal chunk is always claimed before it can abort: {claims:?}"
+        );
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.complete,
+        "schedule bound hit before exhausting the tree ({} schedules)",
+        report.schedules
+    );
+}
+
+#[test]
+fn three_workers_bounded_preemption_no_loss() {
+    // Widen to 3 virtual threads over 3 chunks. The fully exhaustive tree
+    // here runs past 500k schedules, so this test is *bounded*, not
+    // exhaustive: at most 2 preemptive switches per execution (loom's own
+    // escape hatch for wider thread counts — any bug reachable with <= 2
+    // preemptions is still caught, and the queue's single fetch_add claim
+    // point can only race within one preemption). The 2-worker tests above
+    // remain fully exhaustive.
+    const WORKERS: usize = 3;
+    const CHUNKS: usize = 3;
+    let report = loom::Builder {
+        max_schedules: SCHEDULE_BOUND,
+        preemption_bound: Some(2),
+    }
+    .check(|| {
+        let queue = Arc::new(LoomQueue::new(CHUNKS));
+        let claims = drain_and_tally(WORKERS, CHUNKS, &queue, |_| ChunkStatus::Done);
+        assert!(
+            claims.iter().all(|&n| n == 1),
+            "lost or duplicated chunk: claims={claims:?}"
+        );
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.complete,
+        "schedule bound hit before exhausting the bounded tree ({} schedules)",
+        report.schedules
+    );
+}

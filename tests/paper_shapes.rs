@@ -181,7 +181,7 @@ fn figure9_gamma_is_best_disk_failure_model() {
     assert_eq!(fits.len(), 3, "all three candidates fit");
     let best = fits
         .iter()
-        .min_by(|a, b| a.0.aic().partial_cmp(&b.0.aic()).unwrap())
+        .min_by(|a, b| f64::total_cmp(&a.0.aic(), &b.0.aic()))
         .expect("non-empty");
     assert_eq!(
         best.0.dist.name(),

@@ -82,10 +82,10 @@ proptest! {
         mut data in proptest::collection::vec(0.0f64..1e9, 1..200),
         probes in proptest::collection::vec(0.0f64..1e9, 0..50),
     ) {
-        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        data.sort_by(f64::total_cmp);
         let ecdf = ssfa::stats::ecdf::Ecdf::new(&data).unwrap();
         let mut sorted_probes = probes;
-        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted_probes.sort_by(f64::total_cmp);
         let mut prev = 0.0;
         for p in sorted_probes {
             let v = ecdf.eval(p);
