@@ -57,7 +57,7 @@ pub use findings::{Finding, FindingsReport};
 pub use mttdl::MttdlParams;
 pub use predict::{evaluate_predictor, Alarm, PrecursorPredictor, PredictionEval};
 pub use raid_risk::{raid_data_loss_risk, RaidRiskResult, RiskFailureSet};
-pub use study::Study;
+pub use study::{Study, StudyFold};
 pub use tbf::{GapAnalysis, TbfAnalysis};
 
 pub use ssfa_logs::AnalysisInput;

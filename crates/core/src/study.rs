@@ -77,6 +77,52 @@ pub struct Study {
     input: AnalysisInput,
 }
 
+/// Incremental form of [`Study::from_partials`]: push per-shard (or
+/// per-chunk) [`AnalysisInput`] partials one at a time — in shard order —
+/// and finish into a [`Study`].
+///
+/// The fold absorbs each partial as it arrives (topology maps union,
+/// lifetimes/failures append) and re-establishes canonical order exactly
+/// once at [`StudyFold::finish`], so the result is bit-identical to
+/// buffering every partial and calling [`Study::from_partials`] — without
+/// ever holding more than the running accumulator. This is the `Reduce`
+/// stage seam the streaming pipeline folds into.
+#[derive(Debug, Clone, Default)]
+pub struct StudyFold {
+    acc: AnalysisInput,
+    partials: usize,
+}
+
+impl StudyFold {
+    /// An empty fold. Finishing it immediately yields the empty study
+    /// that [`Study::from_partials`]`([])` produces.
+    pub fn new() -> StudyFold {
+        StudyFold::default()
+    }
+
+    /// Folds one partial into the accumulator.
+    pub fn push(&mut self, partial: AnalysisInput) {
+        self.acc.absorb(partial);
+        self.partials += 1;
+    }
+
+    /// Number of partials folded so far.
+    pub fn len(&self) -> usize {
+        self.partials
+    }
+
+    /// Whether no partial has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.partials == 0
+    }
+
+    /// Canonicalizes the accumulator and wraps it as a [`Study`].
+    pub fn finish(mut self) -> Study {
+        self.acc.canonicalize();
+        Study::new(self.acc)
+    }
+}
+
 impl Study {
     /// Wraps an analysis input (typically produced by
     /// [`ssfa_logs::classify()`]).
@@ -88,6 +134,10 @@ impl Study {
     /// classifying each system's log shard independently (in shard
     /// order). Exact, not approximate: for shards of one fleet history
     /// this yields the same study as classifying the monolithic corpus.
+    ///
+    /// For incremental assembly — folding partials in as they arrive
+    /// instead of buffering them — use [`StudyFold`], which is
+    /// bit-identical to this batched form.
     pub fn from_partials(partials: impl IntoIterator<Item = AnalysisInput>) -> Study {
         Study::new(AnalysisInput::merge(partials))
     }

@@ -174,6 +174,18 @@ impl ChunkPlan {
         ChunkPlan { ranges }
     }
 
+    /// One chunk spanning all of `shards` shards (`0..shards`), or no
+    /// chunks at all when `shards` is zero. This is the plan a
+    /// single-shard source (e.g. a monolithic whole-corpus shard) uses
+    /// regardless of policy.
+    pub fn whole(shards: usize) -> ChunkPlan {
+        let mut ranges = Vec::new();
+        if shards > 0 {
+            ranges.push(0..shards);
+        }
+        ChunkPlan { ranges }
+    }
+
     /// Greedy auto-chunking: accumulate shards until the chunk's estimated
     /// rendered text reaches `target_bytes`, then start the next chunk. A
     /// shard bigger than the target gets a chunk of its own; every chunk
@@ -447,6 +459,80 @@ mod tests {
         let fleet = Fleet::build(&FleetConfig::paper().scaled(0.002), 33);
         let out = Simulator::default().run(&fleet, 33);
         (fleet, out)
+    }
+
+    fn one_system_run() -> (Fleet, SimOutput) {
+        // `scaled` floors at one system per class, so a single retained
+        // class at a vanishing factor is exactly one system.
+        let config = FleetConfig::paper()
+            .only_classes(&[ssfa_model::SystemClass::HighEnd])
+            .scaled(1e-9);
+        let fleet = Fleet::build(&config, 33);
+        assert_eq!(fleet.systems().len(), 1);
+        let out = Simulator::default().run(&fleet, 33);
+        (fleet, out)
+    }
+
+    /// `ChunkPlan::whole` at both boundaries: zero shards plans zero
+    /// chunks (an empty corpus has no work units, not one empty one), and
+    /// any positive count plans exactly one covering chunk.
+    #[test]
+    fn whole_plan_handles_the_empty_corpus() {
+        let empty = ChunkPlan::whole(0);
+        assert_eq!(empty.chunk_count(), 0);
+        assert_eq!(empty.shard_count(), 0);
+        assert_eq!(empty.iter().count(), 0);
+
+        let five = ChunkPlan::whole(5);
+        assert_eq!(five.chunk_count(), 1);
+        assert_eq!(five.shard_range(0), 0..5);
+        assert_eq!(five.shard_count(), 5);
+    }
+
+    /// A shard whose estimate alone exceeds the byte budget must get a
+    /// chunk of its own — never merge with a neighbor, never be skipped.
+    /// A 1-byte target makes *every* shard oversized, so auto degenerates
+    /// to the per-shard plan.
+    #[test]
+    fn oversize_shards_each_get_their_own_chunk() {
+        let (fleet, out) = small_run();
+        let plan = ShardPlan::new(&fleet, &out);
+        for shard in 0..plan.shard_count() {
+            assert!(
+                plan.estimated_shard_bytes(&fleet, shard, CascadeStyle::RaidOnly) > 1,
+                "fixture shard {shard} too small to be oversized"
+            );
+        }
+        let chunks = ChunkPlan::auto(&plan, &fleet, CascadeStyle::RaidOnly, 1);
+        assert_eq!(chunks, ChunkPlan::per_shard(&plan));
+        for range in chunks.iter() {
+            assert_eq!(range.len(), 1);
+        }
+    }
+
+    /// On a one-system fleet every policy — per-shard, fixed(1), auto at
+    /// the default target, whole — is the same single-chunk plan.
+    #[test]
+    fn one_system_fleet_collapses_every_policy_to_one_chunk() {
+        let (fleet, out) = one_system_run();
+        let plan = ShardPlan::new(&fleet, &out);
+        assert_eq!(plan.shard_count(), 1);
+        let per_shard = ChunkPlan::per_shard(&plan);
+        for chunks in [
+            ChunkPlan::fixed(&plan, 1),
+            ChunkPlan::auto(
+                &plan,
+                &fleet,
+                CascadeStyle::RaidOnly,
+                DEFAULT_CHUNK_TARGET_BYTES,
+            ),
+            ChunkPlan::auto(&plan, &fleet, CascadeStyle::RaidOnly, 1),
+            ChunkPlan::whole(plan.shard_count()),
+        ] {
+            assert_eq!(chunks, per_shard);
+            assert_eq!(chunks.chunk_count(), 1);
+            assert_eq!(chunks.shard_range(0), 0..1);
+        }
     }
 
     #[test]

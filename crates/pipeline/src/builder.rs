@@ -1,0 +1,411 @@
+//! The [`Pipeline`] builder: fleet → simulation → support log →
+//! classified analysis input → [`ssfa_core::Study`], with every `run_*`
+//! entry point expressed as a configuration of the one staged engine.
+
+use ssfa_core::Study;
+use ssfa_logs::{CascadeStyle, FaultSpec, Strictness};
+use ssfa_model::{Fleet, FleetConfig, LayoutPolicy};
+use ssfa_sim::{Calibration, SimOutput, Simulator};
+
+use crate::classify::RaidClassify;
+use crate::error::PipelineError;
+use crate::exec::Engine;
+use crate::health::{RunHealth, StreamStats};
+use crate::plan::ChunkPolicy;
+use crate::reduce::StudyReduce;
+use crate::sink::Sink;
+use crate::source::{MonolithicSource, SimSource, Source};
+use crate::transport::{InjectedText, ParsedLines, TextRoundTrip, Transport};
+
+/// The end-to-end pipeline: fleet → simulation → support log → classified
+/// analysis input → [`ssfa_core::Study`].
+///
+/// Every stage is deterministic for a given `(scale, seed, calibration)`.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: FleetConfig,
+    calibration: Calibration,
+    seed: u64,
+    style: CascadeStyle,
+    threads: usize,
+    strictness: Strictness,
+    faults: FaultSpec,
+    chunking: ChunkPolicy,
+    transport: TransportKind,
+}
+
+/// Which shard representation the configured transport stage uses (fault
+/// injection overrides to text — the injector corrupts bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransportKind {
+    Lines,
+    Text,
+}
+
+impl Pipeline {
+    /// A pipeline over the paper's full-scale fleet with the paper
+    /// calibration. Use [`Pipeline::scale`] to shrink it.
+    pub fn new() -> Pipeline {
+        Pipeline {
+            config: FleetConfig::paper(),
+            calibration: Calibration::paper(),
+            seed: 0,
+            style: CascadeStyle::RaidOnly,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            strictness: Strictness::Strict,
+            faults: FaultSpec::none(),
+            chunking: ChunkPolicy::Auto,
+            transport: TransportKind::Lines,
+        }
+    }
+
+    /// Batches exactly `n` systems per streaming work unit. `1` reproduces
+    /// the original one-shard-per-work-unit scheduling; `n >=` fleet size
+    /// degenerates to a single chunk. The default is an automatic policy
+    /// targeting [`ssfa_logs::DEFAULT_CHUNK_TARGET_BYTES`] (~256 KiB) of
+    /// rendered text per chunk, which amortizes per-shard classifier setup
+    /// without raising peak memory: chunk workers still render, feed, and
+    /// drop one shard at a time. Results are bit-identical for every chunk
+    /// size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn chunk_systems(mut self, n: usize) -> Pipeline {
+        assert!(n > 0, "chunks must hold at least one system");
+        self.chunking = ChunkPolicy::Fixed(n);
+        self
+    }
+
+    /// Restores the default automatic chunking policy (see
+    /// [`Pipeline::chunk_systems`]).
+    #[must_use]
+    pub fn chunk_auto(mut self) -> Pipeline {
+        self.chunking = ChunkPolicy::Auto;
+        self
+    }
+
+    /// Makes the streaming path serialize every shard to corpus text and
+    /// re-parse it ([`TextRoundTrip`]), instead of handing parsed lines
+    /// straight to the classifier. This is the full on-disk round trip —
+    /// slower, and kept differentially tested precisely because
+    /// production corpora arrive as text. Runs with fault injection use
+    /// it implicitly (the injector corrupts bytes).
+    #[must_use]
+    pub fn text_transport(mut self) -> Pipeline {
+        self.transport = TransportKind::Text;
+        self
+    }
+
+    /// Sets the number of simulation worker threads. Output is
+    /// bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Pipeline {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Scales the fleet population (1.0 = the paper's ~39,000 systems).
+    #[must_use]
+    pub fn scale(mut self, factor: f64) -> Pipeline {
+        self.config = self.config.scaled(factor);
+        self
+    }
+
+    /// Sets the run seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Pipeline {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the fleet configuration entirely.
+    #[must_use]
+    pub fn config(mut self, config: FleetConfig) -> Pipeline {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the hazard calibration (e.g. for ablations).
+    #[must_use]
+    pub fn calibration(mut self, calibration: Calibration) -> Pipeline {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Applies a layout policy fleet-wide (RAID-layout ablation).
+    #[must_use]
+    pub fn layout(mut self, layout: LayoutPolicy) -> Pipeline {
+        self.config = self.config.with_layout(layout);
+        self
+    }
+
+    /// Chooses how verbose rendered cascades are. [`CascadeStyle::Full`]
+    /// renders Figure-3-style multi-line cascades; the default
+    /// [`CascadeStyle::RaidOnly`] keeps large corpora compact.
+    #[must_use]
+    pub fn cascade_style(mut self, style: CascadeStyle) -> Pipeline {
+        self.style = style;
+        self
+    }
+
+    /// Sets the error policy for the classify stage. The default,
+    /// [`Strictness::Strict`], is the original fail-fast behavior; with
+    /// [`Strictness::Lenient`] bad lines are skipped and counted,
+    /// panicking chunk workers get one retry and are then quarantined,
+    /// and the [`RunHealth`] from [`Pipeline::run_with_health`] accounts
+    /// for every skip. At fault rate zero the two policies are
+    /// bit-identical.
+    #[must_use]
+    pub fn strictness(mut self, strictness: Strictness) -> Pipeline {
+        self.strictness = strictness;
+        self
+    }
+
+    /// Shorthand for [`Pipeline::strictness`]`(Strictness::Lenient)`.
+    #[must_use]
+    pub fn lenient(self) -> Pipeline {
+        self.strictness(Strictness::Lenient)
+    }
+
+    /// Installs a fault-injection spec: every rendered shard is corrupted
+    /// through a deterministic, seedable [`ssfa_logs::FaultInjector`]
+    /// before it reaches the classifier (the [`InjectedText`] transport).
+    /// [`FaultSpec::none`] (the default) bypasses injection entirely.
+    /// Injection is a test/chaos-engineering facility; pair a non-trivial
+    /// spec with [`Pipeline::lenient`] unless the point is to watch
+    /// strict mode abort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's rates are invalid (see
+    /// [`FaultSpec::validate`]).
+    #[must_use]
+    pub fn faults(mut self, spec: FaultSpec) -> Pipeline {
+        spec.validate();
+        self.faults = spec;
+        self
+    }
+
+    /// The fleet configuration currently in effect.
+    pub fn fleet_config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Builds the fleet only.
+    pub fn build_fleet(&self) -> Fleet {
+        Fleet::build(&self.config, self.seed)
+    }
+
+    /// Runs the simulation only.
+    pub fn simulate(&self, fleet: &Fleet) -> SimOutput {
+        Simulator::new(self.calibration.clone()).run_parallel(fleet, self.seed, self.threads)
+    }
+
+    /// Renders the monolithic support-log corpus for a run.
+    pub fn render(&self, fleet: &Fleet, output: &SimOutput) -> ssfa_logs::LogBook {
+        ssfa_logs::render_support_log(fleet, output, self.style)
+    }
+
+    /// Runs the full pipeline to a [`ssfa_core::Study`] via the chunked
+    /// streaming configuration: each system's log renders into its own
+    /// shard ([`SimSource`]), shards batch into chunks (see
+    /// [`Pipeline::chunk_systems`]), worker threads classify chunks
+    /// concurrently, and the per-chunk partials fold — in system order —
+    /// through the reduce stage.
+    ///
+    /// Memory stays bounded by the largest shard (plus the classified
+    /// partials), never the whole rendered corpus; the result is
+    /// bit-identical to [`Pipeline::run_monolithic`] for every
+    /// `(fleet, seed, threads, chunking)` tuple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Log`] if a shard fails to classify (which
+    /// would indicate a bug — rendered corpora are always classifiable)
+    /// and [`PipelineError::Worker`] if a worker thread panics.
+    pub fn run(&self) -> Result<Study, PipelineError> {
+        self.run_streaming().map(|(study, _, _)| study)
+    }
+
+    /// [`Pipeline::run`], also returning the [`RunHealth`] audit report:
+    /// how many shards and lines made it through, what was skipped and
+    /// why, which shards were retried or quarantined. This is the entry
+    /// point for degraded-mode analysis — with [`Pipeline::lenient`] a
+    /// corrupt corpus yields a best-effort [`ssfa_core::Study`] plus an
+    /// exact accounting of the loss, instead of an abort.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Pipeline::run`] (in lenient mode, only worker-pool
+    /// failures outside the per-shard isolation boundary surface as
+    /// errors).
+    pub fn run_with_health(&self) -> Result<(Study, RunHealth), PipelineError> {
+        self.run_streaming()
+            .map(|(study, _, health)| (study, health))
+    }
+
+    /// [`Pipeline::run`], also reporting how the corpus was sharded and
+    /// how much corpus text was resident at peak.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Pipeline::run`].
+    pub fn run_streaming_with_stats(&self) -> Result<(Study, StreamStats), PipelineError> {
+        self.run_streaming().map(|(study, stats, _)| (study, stats))
+    }
+
+    /// [`Pipeline::run_with_health`], then hands the study and audit to
+    /// `sink` — the Sink stage seam for report/JSON writers.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Pipeline::run_with_health`], plus
+    /// [`PipelineError::Sink`] if the sink's writer fails.
+    pub fn run_to_sink(&self, sink: &mut dyn Sink) -> Result<(Study, RunHealth), PipelineError> {
+        let (study, health) = self.run_with_health()?;
+        sink.consume(&study, &health).map_err(PipelineError::Sink)?;
+        Ok((study, health))
+    }
+
+    /// The single-buffer reference configuration: the whole corpus as one
+    /// [`MonolithicSource`] shard, classified strictly in one chunk on
+    /// one worker. Peak memory is proportional to the full corpus — use
+    /// [`Pipeline::run`] for large fleets; this configuration exists as
+    /// the correctness oracle the streaming configuration is
+    /// differentially tested against (same engine, different source, so a
+    /// divergence isolates the sharded render/merge path). Fault
+    /// injection and [`Pipeline::strictness`] do not apply here: the
+    /// reference is always the clean, strict corpus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Log`] if the rendered corpus fails to
+    /// classify.
+    pub fn run_monolithic(&self) -> Result<Study, PipelineError> {
+        let fleet = self.build_fleet();
+        let output = self.simulate(&fleet);
+        let source = MonolithicSource::new(&fleet, &output, self.style);
+        let engine = Engine {
+            threads: 1,
+            strictness: Strictness::Strict,
+            policy: ChunkPolicy::Fixed(usize::MAX),
+        };
+        engine
+            .run(
+                &source,
+                &ParsedLines,
+                &RaidClassify::new(Strictness::Strict),
+                StudyReduce::new(),
+            )
+            .map(|(study, _, _)| study)
+    }
+
+    /// [`Pipeline::run_monolithic`] with the classify stage fanned out
+    /// over [`Pipeline::threads`] workers via
+    /// [`ssfa_logs::classify_parallel`]: the corpus is bucketed by host,
+    /// host groups classify concurrently, and the partials merge.
+    ///
+    /// This is the one entry point that deliberately does **not** run on
+    /// the staged engine: its entire value is being a second,
+    /// independent oracle — host-bucketed scheduling that shares no code
+    /// with the chunk work queue — yet it must agree with both the
+    /// engine's streaming and monolithic configurations bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Pipeline::run_monolithic`].
+    pub fn run_monolithic_parallel(&self) -> Result<Study, PipelineError> {
+        let fleet = self.build_fleet();
+        let output = self.simulate(&fleet);
+        let book = self.render(&fleet, &output);
+        let input = ssfa_logs::classify_parallel(&book, self.threads)?;
+        Ok(Study::new(input))
+    }
+
+    /// Runs the staged engine over a caller-provided [`Source`] with this
+    /// pipeline's transport, strictness, chunking, and thread
+    /// configuration — the extension point for non-simulator corpora
+    /// (file- or mmap-backed shard readers) and for test harnesses that
+    /// permute or filter shard order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Pipeline::run_with_health`].
+    pub fn run_source(
+        &self,
+        source: &dyn Source,
+    ) -> Result<(Study, StreamStats, RunHealth), PipelineError> {
+        let transport = self.transport_stage();
+        let engine = Engine {
+            threads: self.threads,
+            strictness: self.strictness,
+            policy: self.chunking,
+        };
+        engine.run(
+            source,
+            transport.as_ref(),
+            &RaidClassify::new(self.strictness),
+            StudyReduce::new(),
+        )
+    }
+
+    /// The streaming engine configuration behind [`Pipeline::run`],
+    /// [`Pipeline::run_with_health`], and
+    /// [`Pipeline::run_streaming_with_stats`].
+    fn run_streaming(&self) -> Result<(Study, StreamStats, RunHealth), PipelineError> {
+        let fleet = self.build_fleet();
+        let output = self.simulate(&fleet);
+        let source = SimSource::new(&fleet, &output, self.style, self.seed);
+        self.run_source(&source)
+    }
+
+    /// Builds the configured transport stage: fault injection forces the
+    /// corrupting text transport; otherwise the builder's choice stands.
+    fn transport_stage(&self) -> Box<dyn Transport> {
+        if !self.faults.is_none() {
+            return Box::new(InjectedText::new(self.faults.clone(), self.seed));
+        }
+        match self.transport {
+            TransportKind::Lines => Box::new(ParsedLines),
+            TransportKind::Text => Box::new(TextRoundTrip),
+        }
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let a = Pipeline::new().scale(0.001).seed(5).run().unwrap();
+        let b = Pipeline::new().scale(0.001).seed(5).run().unwrap();
+        assert_eq!(a.input().failures, b.input().failures);
+        assert_eq!(a.input().lifetimes.len(), b.input().lifetimes.len());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let p = Pipeline::new()
+            .scale(0.001)
+            .seed(9)
+            .layout(LayoutPolicy::SameShelf)
+            .calibration(Calibration::paper().without_episodes())
+            .cascade_style(CascadeStyle::Full);
+        let study = p.run().unwrap();
+        assert!(!study.input().failures.is_empty());
+    }
+}

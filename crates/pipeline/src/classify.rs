@@ -1,0 +1,61 @@
+//! The `Classify` stage: the per-chunk classifier lifecycle.
+//!
+//! One classifier serves a whole chunk — that is the amortization the
+//! chunked engine exists for — so the seam is begin/finish rather than a
+//! per-shard call: the engine begins a classifier, the
+//! [`crate::Transport`] feeds each shard into it, and finish turns the
+//! accumulated state into an [`AnalysisInput`] partial plus its
+//! data-quality tally.
+
+use ssfa_logs::{AnalysisInput, Classifier, LogError, ShardHealth, Strictness};
+
+/// Creates and completes the classifier each chunk runs.
+pub trait Classify: Sync {
+    /// A fresh classifier for one chunk (also called for the retry
+    /// attempt after a panic, so state never survives a failure).
+    fn begin_chunk(&self) -> Classifier;
+
+    /// Completes a chunk's classifier into an analysis partial and its
+    /// per-chunk health tally.
+    ///
+    /// # Errors
+    ///
+    /// Returns the classifier's completion [`LogError`], e.g. topology
+    /// references that never resolved.
+    fn finish_chunk(
+        &self,
+        classifier: Classifier,
+    ) -> Result<(AnalysisInput, ShardHealth), LogError>;
+}
+
+/// The study's RAID-layer classifier under a [`Strictness`] policy — the
+/// only classify stage the paper's methodology needs.
+#[derive(Debug, Clone, Copy)]
+pub struct RaidClassify {
+    strictness: Strictness,
+}
+
+impl RaidClassify {
+    /// A classify stage with the given error policy.
+    pub fn new(strictness: Strictness) -> RaidClassify {
+        RaidClassify { strictness }
+    }
+
+    /// The error policy chunks run under.
+    pub fn strictness(&self) -> Strictness {
+        self.strictness
+    }
+}
+
+impl Classify for RaidClassify {
+    fn begin_chunk(&self) -> Classifier {
+        Classifier::with_strictness(self.strictness)
+    }
+
+    fn finish_chunk(
+        &self,
+        classifier: Classifier,
+    ) -> Result<(AnalysisInput, ShardHealth), LogError> {
+        classifier.finish_with_health()
+    }
+}

@@ -1,0 +1,56 @@
+//! Pipeline-level errors and panic-payload handling.
+
+use ssfa_logs::LogError;
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The log corpus failed to classify.
+    Log(LogError),
+    /// A pipeline worker thread died (a panic in render/parse/classify).
+    Worker {
+        /// What the worker was doing, including the downcast panic message
+        /// when the payload was a string (the overwhelmingly common case).
+        what: String,
+    },
+    /// A [`crate::Sink`] failed to write a run artifact.
+    Sink(std::io::Error),
+}
+
+/// Best-effort extraction of a panic payload's message: `panic!("...")`
+/// payloads are `&str` or `String`; anything else gets a placeholder.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Log(e) => write!(f, "log pipeline failed: {e}"),
+            PipelineError::Worker { what } => write!(f, "pipeline worker died: {what}"),
+            PipelineError::Sink(e) => write!(f, "run sink failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Log(e) => Some(e),
+            PipelineError::Worker { .. } => None,
+            PipelineError::Sink(e) => Some(e),
+        }
+    }
+}
+
+impl From<LogError> for PipelineError {
+    fn from(e: LogError) -> Self {
+        PipelineError::Log(e)
+    }
+}

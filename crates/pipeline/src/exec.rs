@@ -1,0 +1,136 @@
+//! The staged engine: one chunked worker-pool executor that every
+//! `Pipeline::run_*` entry point is a configuration of.
+//!
+//! Workers pull chunk indices from the shared, model-checked
+//! [`crate::workqueue`] (static splits strand workers behind uneven
+//! chunks); outcomes are reassembled in chunk order before the reduce
+//! stage, so scheduling cannot affect the result.
+
+use ssfa_logs::Strictness;
+
+use crate::chunk::process_chunk;
+use crate::classify::Classify;
+use crate::error::{panic_message, PipelineError};
+use crate::health::{RunHealth, StreamStats};
+use crate::plan::ChunkPolicy;
+use crate::reduce::Reduce;
+use crate::source::Source;
+use crate::transport::Transport;
+use crate::workqueue::{worker_loop, ChunkStatus, StdChunkQueue};
+
+/// One engine run's configuration: everything that is not a stage.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Engine {
+    pub(crate) threads: usize,
+    pub(crate) strictness: Strictness,
+    pub(crate) policy: ChunkPolicy,
+}
+
+impl Engine {
+    /// Drives `source` through `transport` and `classify`, folds the
+    /// per-chunk partials — in chunk order — through `reduce`, and
+    /// returns the fold's output with the run's stream statistics and
+    /// health audit.
+    pub(crate) fn run<R: Reduce>(
+        &self,
+        source: &dyn Source,
+        transport: &dyn Transport,
+        classify: &dyn Classify,
+        mut reduce: R,
+    ) -> Result<(R::Output, StreamStats, RunHealth), PipelineError> {
+        let shards = source.shard_count();
+        if shards == 0 {
+            return Ok((
+                reduce.finish(),
+                StreamStats::empty(),
+                RunHealth {
+                    strictness: self.strictness,
+                    ..RunHealth::default()
+                },
+            ));
+        }
+        let chunks = source.plan_chunks(self.policy);
+        let n_chunks = chunks.chunk_count();
+
+        let queue = StdChunkQueue::new(n_chunks);
+        let workers = self.threads.min(n_chunks);
+        let mut collected: Vec<(usize, Result<_, PipelineError>)> = Vec::with_capacity(n_chunks);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let chunks = &chunks;
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        worker_loop(queue, |chunk| {
+                            let result = process_chunk(
+                                source,
+                                transport,
+                                classify,
+                                self.strictness,
+                                chunk,
+                                chunks.shard_range(chunk),
+                            );
+                            let status = if result.is_err() {
+                                ChunkStatus::Fatal
+                            } else {
+                                ChunkStatus::Done
+                            };
+                            mine.push((chunk, result));
+                            status
+                        });
+                        mine
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(mine) => collected.extend(mine),
+                    // A panic that escaped the per-chunk isolation
+                    // boundary — pool-level, not data-level.
+                    Err(payload) => collected.push((
+                        usize::MAX,
+                        Err(PipelineError::Worker {
+                            what: panic_message(payload.as_ref()),
+                        }),
+                    )),
+                }
+            }
+        });
+        collected.sort_by_key(|(chunk, _)| *chunk);
+
+        let mut stats = StreamStats {
+            shards,
+            chunks: n_chunks,
+            max_shard_bytes: 0,
+            total_bytes: 0,
+        };
+        let mut health = RunHealth {
+            strictness: self.strictness,
+            shards_total: shards,
+            chunks_total: n_chunks,
+            ..RunHealth::default()
+        };
+        for (_, result) in collected {
+            // `?` here surfaces the lowest-index chunk's error first.
+            let outcome = result?;
+            stats.max_shard_bytes = stats.max_shard_bytes.max(outcome.max_shard_bytes);
+            stats.total_bytes += outcome.total_bytes;
+            health.shards_processed += outcome.systems_processed;
+            health.shards_dropped += outcome.systems_dropped;
+            health.shards_retried += outcome.systems_retried;
+            if outcome.quarantine.is_none() {
+                health.chunks_processed += 1;
+            }
+            health.quarantined.extend(outcome.quarantine);
+            health.lines_seen += outcome.health.lines_seen;
+            health.lines_skipped_malformed += outcome.health.malformed_skipped;
+            health.lines_skipped_missing_topology += outcome.health.missing_topology_skipped;
+            health.ledger.merge(&outcome.ledger);
+            if let Some(partial) = outcome.partial {
+                reduce.fold(*partial);
+            }
+        }
+        Ok((reduce.finish(), stats, health))
+    }
+}

@@ -1,0 +1,20 @@
+//! Chunk-planning policy: how a [`crate::Source`]'s shards batch into the
+//! work units the engine's queue hands to workers.
+
+/// How the engine batches shards into work units.
+///
+/// The policy is *advice* to the [`crate::Source`], which owns the actual
+/// [`ssfa_logs::ChunkPlan`] (only the source knows shard sizes); results
+/// are bit-identical for every policy because per-chunk partials always
+/// merge in chunk (= shard) order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ChunkPolicy {
+    /// Greedy byte-budget batching targeting
+    /// [`ssfa_logs::DEFAULT_CHUNK_TARGET_BYTES`] of rendered text per
+    /// chunk.
+    #[default]
+    Auto,
+    /// Exactly `n` systems per chunk (the last chunk may be smaller);
+    /// `usize::MAX` degenerates to one chunk spanning the whole corpus.
+    Fixed(usize),
+}

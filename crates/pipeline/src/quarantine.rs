@@ -1,0 +1,35 @@
+//! Quarantine records: the exact accounting of what a failed chunk lost.
+
+use ssfa_model::SystemId;
+
+/// One chunk quarantined by the degraded-mode pipeline: its worker kept
+/// failing, so the whole chunk's partial was excluded from the merge
+/// instead of killing the run. Carries an exact accounting of the loss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkQuarantine {
+    /// Chunk index in the run's [`ssfa_logs::ChunkPlan`].
+    pub chunk: usize,
+    /// The contiguous shard range the chunk held (= positions in fleet
+    /// system order).
+    pub shards: std::ops::Range<usize>,
+    /// Every system whose log was lost with the chunk.
+    pub systems: Vec<SystemId>,
+    /// Processing attempts consumed (2 = failed, retried, failed again).
+    pub attempts: u32,
+    /// Why the last attempt failed — for panics, the downcast panic
+    /// message.
+    pub reason: String,
+    /// Exactly how many rendered log lines the quarantined shards held,
+    /// or `None` if rendering itself panics (then no count exists).
+    pub lines_lost: Option<u64>,
+}
+
+impl ChunkQuarantine {
+    /// Number of systems lost with this chunk (zero only for a degenerate
+    /// record over an empty shard range — the engine never quarantines a
+    /// chunk it did not schedule, and every scheduled chunk holds at
+    /// least one shard).
+    pub fn systems_lost(&self) -> usize {
+        self.systems.len()
+    }
+}

@@ -1,0 +1,47 @@
+//! The `Reduce` stage: folding per-chunk [`AnalysisInput`] partials into
+//! the run's final result.
+//!
+//! The engine feeds partials in chunk (= fleet system) order, so any
+//! deterministic fold sees a deterministic sequence regardless of worker
+//! scheduling.
+
+use ssfa_core::{Study, StudyFold};
+use ssfa_logs::AnalysisInput;
+
+/// Folds classified partials, in chunk order, into a final output.
+pub trait Reduce {
+    /// What the fold produces.
+    type Output;
+
+    /// Folds in the next chunk's partial.
+    fn fold(&mut self, partial: AnalysisInput);
+
+    /// Completes the fold.
+    fn finish(self) -> Self::Output;
+}
+
+/// The production reduce stage: an incremental [`StudyFold`], bit-identical
+/// to buffering every partial and calling [`Study::from_partials`].
+#[derive(Debug, Default)]
+pub struct StudyReduce {
+    fold: StudyFold,
+}
+
+impl StudyReduce {
+    /// An empty fold.
+    pub fn new() -> StudyReduce {
+        StudyReduce::default()
+    }
+}
+
+impl Reduce for StudyReduce {
+    type Output = Study;
+
+    fn fold(&mut self, partial: AnalysisInput) {
+        self.fold.push(partial);
+    }
+
+    fn finish(self) -> Study {
+        self.fold.finish()
+    }
+}

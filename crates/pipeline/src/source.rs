@@ -1,0 +1,165 @@
+//! The `Source` stage: where shard corpora come from.
+//!
+//! Today both shipped sources are simulator-backed — the study has no
+//! real AutoSupport archive — but the seam is exactly where a
+//! file-backed or mmap-backed corpus reader plugs in tomorrow: implement
+//! [`Source`] over your shard layout and drive it with
+//! [`crate::Pipeline::run_source`].
+
+use ssfa_logs::{
+    render_support_log, render_system_log, CascadeStyle, ChunkPlan, LogBook, NoiseParams,
+    ShardPlan, DEFAULT_CHUNK_TARGET_BYTES,
+};
+use ssfa_model::{Fleet, SystemId};
+use ssfa_sim::SimOutput;
+
+use crate::plan::ChunkPolicy;
+
+/// A corpus of shard-grained support logs the engine can pull from.
+///
+/// A shard is the unit of memory residency (workers load, feed, and drop
+/// one at a time) and of loss accounting (quarantine reports the systems
+/// and lines behind each shard). Implementations must be [`Sync`]: worker
+/// threads call [`Source::load`] concurrently for different shards.
+pub trait Source: Sync {
+    /// Number of shards this source yields. Zero is a valid empty run.
+    fn shard_count(&self) -> usize;
+
+    /// Batches shards `0..shard_count()` into the contiguous, in-order
+    /// chunks the engine will schedule. The source owns the plan because
+    /// only it knows shard sizes (the byte-budget policy needs estimates).
+    fn plan_chunks(&self, policy: ChunkPolicy) -> ChunkPlan;
+
+    /// Loads (for the simulator-backed sources: renders) one shard's
+    /// corpus. Called once per shard per attempt, from worker threads.
+    fn load(&self, shard: usize) -> LogBook;
+
+    /// The systems whose logs live in `shard`, for quarantine accounting.
+    fn system_ids(&self, shard: usize) -> Vec<SystemId>;
+
+    /// Number of rendered log lines in `shard`, for exact loss accounting
+    /// when a chunk is quarantined. The default re-loads the shard and
+    /// counts; sources with cheaper metadata may override.
+    fn count_lines(&self, shard: usize) -> u64 {
+        self.load(shard).len() as u64
+    }
+}
+
+/// The production source: one self-contained shard per simulated system,
+/// rendered on demand in fleet order from a [`ShardPlan`].
+#[derive(Debug)]
+pub struct SimSource<'a> {
+    fleet: &'a Fleet,
+    output: &'a SimOutput,
+    plan: ShardPlan,
+    style: CascadeStyle,
+    seed: u64,
+}
+
+impl<'a> SimSource<'a> {
+    /// Plans one shard per system of `fleet` for the run `output`.
+    pub fn new(
+        fleet: &'a Fleet,
+        output: &'a SimOutput,
+        style: CascadeStyle,
+        seed: u64,
+    ) -> SimSource<'a> {
+        SimSource {
+            fleet,
+            output,
+            plan: ShardPlan::new(fleet, output),
+            style,
+            seed,
+        }
+    }
+
+    /// The underlying shard plan.
+    pub fn shard_plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+}
+
+impl Source for SimSource<'_> {
+    fn shard_count(&self) -> usize {
+        self.plan.shard_count()
+    }
+
+    fn plan_chunks(&self, policy: ChunkPolicy) -> ChunkPlan {
+        match policy {
+            ChunkPolicy::Fixed(n) => ChunkPlan::fixed(&self.plan, n),
+            ChunkPolicy::Auto => ChunkPlan::auto(
+                &self.plan,
+                self.fleet,
+                self.style,
+                DEFAULT_CHUNK_TARGET_BYTES,
+            ),
+        }
+    }
+
+    fn load(&self, shard: usize) -> LogBook {
+        render_system_log(
+            self.fleet,
+            self.output,
+            &self.plan,
+            shard,
+            self.style,
+            NoiseParams::none(),
+            self.seed,
+        )
+    }
+
+    fn system_ids(&self, shard: usize) -> Vec<SystemId> {
+        vec![self.fleet.systems()[shard].id]
+    }
+}
+
+/// The reference source: the *entire* monolithic corpus as one shard, in
+/// the chronological cross-system order of
+/// [`ssfa_logs::render_support_log`] — exactly what the pre-refactor
+/// `run_monolithic` classified in one pass.
+///
+/// Configured as one chunk on one worker, this turns the staged engine
+/// into the single-buffer correctness oracle the streaming configuration
+/// is differentially tested against: same engine, different source, so a
+/// divergence isolates the sharded render/merge path.
+#[derive(Debug)]
+pub struct MonolithicSource<'a> {
+    fleet: &'a Fleet,
+    output: &'a SimOutput,
+    style: CascadeStyle,
+}
+
+impl<'a> MonolithicSource<'a> {
+    /// A whole-corpus source for `fleet` and the run `output`.
+    pub fn new(
+        fleet: &'a Fleet,
+        output: &'a SimOutput,
+        style: CascadeStyle,
+    ) -> MonolithicSource<'a> {
+        MonolithicSource {
+            fleet,
+            output,
+            style,
+        }
+    }
+}
+
+impl Source for MonolithicSource<'_> {
+    fn shard_count(&self) -> usize {
+        usize::from(!self.fleet.systems().is_empty())
+    }
+
+    fn plan_chunks(&self, _policy: ChunkPolicy) -> ChunkPlan {
+        // One shard; every policy degenerates to a single chunk.
+        ChunkPlan::whole(self.shard_count())
+    }
+
+    fn load(&self, shard: usize) -> LogBook {
+        assert_eq!(shard, 0, "monolithic source has exactly one shard");
+        render_support_log(self.fleet, self.output, self.style)
+    }
+
+    fn system_ids(&self, _shard: usize) -> Vec<SystemId> {
+        self.fleet.systems().iter().map(|s| s.id).collect()
+    }
+}

@@ -1,0 +1,148 @@
+//! The `Transport` stage: what representation a shard travels in between
+//! the [`crate::Source`] and the classifier.
+//!
+//! This unifies what used to be a `text_transport()` special case and an
+//! inline fault-injection branch into one seam with three shipped
+//! implementations. Transports see one shard at a time and drop it after
+//! feeding, which is what keeps peak corpus residency at one shard.
+
+use ssfa_logs::{Classifier, FaultInjector, FaultLedger, FaultSpec, LogBook, LogError, ShardFate};
+
+/// What conveying one shard produced, for the run's stream statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Corpus bytes the shard occupied in this transport's representation
+    /// (rendered text bytes for the text transports, in-memory parsed
+    /// line bytes for [`ParsedLines`]).
+    pub bytes: usize,
+    /// The shard never reached the classifier (fault injection dropped
+    /// the whole upload). `bytes` is zero.
+    pub dropped: bool,
+}
+
+/// Moves one shard from the source into a chunk's classifier.
+///
+/// Implementations must be [`Sync`]: worker threads convey shards of
+/// different chunks concurrently. `shard` and `attempt` identify the
+/// delivery for deterministic fault keying; `ledger` records any faults
+/// landed on the way.
+pub trait Transport: Sync {
+    /// Feeds `book` into `classifier`, consuming the shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the classifier's [`LogError`] — under
+    /// [`ssfa_logs::Strictness::Strict`] the first bad line, under
+    /// [`ssfa_logs::Strictness::Lenient`] only I/O-grade failures.
+    fn convey(
+        &self,
+        shard: usize,
+        attempt: u32,
+        book: LogBook,
+        classifier: &mut Classifier,
+        ledger: &mut FaultLedger,
+    ) -> Result<Delivery, LogError>;
+}
+
+/// The default transport: hands parsed [`ssfa_logs::LogLine`]s straight
+/// to the classifier — the same representation the monolithic oracle
+/// consumes, with no serialize/re-parse round trip.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParsedLines;
+
+impl Transport for ParsedLines {
+    fn convey(
+        &self,
+        _shard: usize,
+        _attempt: u32,
+        book: LogBook,
+        classifier: &mut Classifier,
+        _ledger: &mut FaultLedger,
+    ) -> Result<Delivery, LogError> {
+        let bytes = book.resident_bytes();
+        classifier.feed_book(&book)?;
+        Ok(Delivery {
+            bytes,
+            dropped: false,
+        })
+    }
+}
+
+/// Serializes every shard to corpus text and re-parses it — the full
+/// on-disk round trip production corpora arrive as. Slower than
+/// [`ParsedLines`], and kept differentially tested for exactly that
+/// reason.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TextRoundTrip;
+
+impl Transport for TextRoundTrip {
+    fn convey(
+        &self,
+        _shard: usize,
+        _attempt: u32,
+        book: LogBook,
+        classifier: &mut Classifier,
+        _ledger: &mut FaultLedger,
+    ) -> Result<Delivery, LogError> {
+        let text = book.to_text();
+        drop(book);
+        classifier.feed_bytes(text.as_bytes())?;
+        // Restore per-shard-file EOF semantics: a truncated tail must not
+        // glue onto the next shard's first line.
+        classifier.flush_tail()?;
+        Ok(Delivery {
+            bytes: text.len(),
+            dropped: false,
+        })
+    }
+}
+
+/// [`TextRoundTrip`] with a deterministic, seedable [`FaultInjector`]
+/// corrupting each shard's bytes on the way — the chaos-engineering
+/// transport every fault-injected run uses (the injector corrupts bytes,
+/// so injection implies the text representation).
+///
+/// Faults stay keyed by `(shard, attempt)`, not by chunk, so the landed
+/// ledger is invariant under chunking and the retry path re-rolls its
+/// corruption.
+#[derive(Debug)]
+pub struct InjectedText {
+    injector: FaultInjector,
+}
+
+impl InjectedText {
+    /// A fault-injecting transport for `spec`, keyed off the run `seed`.
+    pub fn new(spec: FaultSpec, seed: u64) -> InjectedText {
+        InjectedText {
+            injector: FaultInjector::new(spec, seed),
+        }
+    }
+}
+
+impl Transport for InjectedText {
+    fn convey(
+        &self,
+        shard: usize,
+        attempt: u32,
+        book: LogBook,
+        classifier: &mut Classifier,
+        ledger: &mut FaultLedger,
+    ) -> Result<Delivery, LogError> {
+        let text = book.to_text();
+        drop(book);
+        match self.injector.corrupt_shard(shard, attempt, &text, ledger) {
+            ShardFate::Processed(bytes) => {
+                classifier.feed_bytes(&bytes)?;
+                classifier.flush_tail()?;
+                Ok(Delivery {
+                    bytes: bytes.len(),
+                    dropped: false,
+                })
+            }
+            ShardFate::Dropped => Ok(Delivery {
+                bytes: 0,
+                dropped: true,
+            }),
+        }
+    }
+}

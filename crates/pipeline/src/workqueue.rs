@@ -1,4 +1,4 @@
-//! The chunk work queue extracted from [`crate::Pipeline`]`::run_streaming`, generic
+//! The chunk work queue extracted from [`crate::Pipeline`], generic
 //! over the atomic primitives it runs on.
 //!
 //! Workers pull chunk indices from a shared monotonic counter until the queue

@@ -19,6 +19,14 @@
 //!   failure classifier.
 //! - [`core`] — the study analysis: AFR breakdowns, burstiness, P(N)
 //!   correlation, Findings 1–11.
+//! - [`pipeline`] — the staged execution engine behind [`Pipeline`]:
+//!   [`Source`](pipeline::Source) → [`Transport`](pipeline::Transport) →
+//!   [`Classify`](pipeline::Classify) → [`Reduce`](pipeline::Reduce) →
+//!   [`Sink`](pipeline::Sink) seams over one chunked worker pool.
+//!
+//! This root crate is a thin facade: everything here is a re-export of
+//! [`ssfa-pipeline`](pipeline) (the engine) or the domain crates, kept so
+//! existing `ssfa::...` paths compile unchanged.
 //!
 //! # Quickstart
 //!
@@ -114,22 +122,14 @@
 pub use ssfa_core as core;
 pub use ssfa_logs as logs;
 pub use ssfa_model as model;
+pub use ssfa_pipeline as pipeline;
 pub use ssfa_sim as sim;
 pub use ssfa_stats as stats;
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-
-use ssfa_logs::{
-    classify, classify_parallel, render_support_log, render_system_log, CascadeStyle, ChunkPlan,
-    Classifier, FaultInjector, FaultLedger, FaultSpec, LogError, NoiseParams, ShardFate,
-    ShardHealth, ShardPlan, Strictness, DEFAULT_CHUNK_TARGET_BYTES,
-};
-use ssfa_model::{Fleet, FleetConfig, LayoutPolicy, SystemId};
-use ssfa_sim::{Calibration, SimOutput, Simulator};
-
-pub mod workqueue;
-
-use workqueue::{worker_loop, ChunkStatus, StdChunkQueue};
+// The historical `ssfa::...` pipeline surface, now defined in
+// `ssfa-pipeline`. Every pre-refactor public path stays valid.
+pub use ssfa_pipeline::workqueue;
+pub use ssfa_pipeline::{ChunkQuarantine, Pipeline, PipelineError, RunHealth, StreamStats};
 
 /// Convenience re-exports for examples and downstream binaries.
 pub mod prelude {
@@ -144,899 +144,4 @@ pub mod prelude {
         SimDuration, SimTime, SystemClass,
     };
     pub use ssfa_sim::{Calibration, SimOutput, Simulator};
-}
-
-/// Errors from the end-to-end pipeline.
-#[derive(Debug)]
-pub enum PipelineError {
-    /// The log corpus failed to classify.
-    Log(LogError),
-    /// A pipeline worker thread died (a panic in render/parse/classify).
-    Worker {
-        /// What the worker was doing, including the downcast panic message
-        /// when the payload was a string (the overwhelmingly common case).
-        what: String,
-    },
-}
-
-/// Best-effort extraction of a panic payload's message: `panic!("...")`
-/// payloads are `&str` or `String`; anything else gets a placeholder.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
-    }
-}
-
-impl std::fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PipelineError::Log(e) => write!(f, "log pipeline failed: {e}"),
-            PipelineError::Worker { what } => write!(f, "pipeline worker died: {what}"),
-        }
-    }
-}
-
-impl std::error::Error for PipelineError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            PipelineError::Log(e) => Some(e),
-            PipelineError::Worker { .. } => None,
-        }
-    }
-}
-
-impl From<LogError> for PipelineError {
-    fn from(e: LogError) -> Self {
-        PipelineError::Log(e)
-    }
-}
-
-/// The end-to-end pipeline: fleet → simulation → support log → classified
-/// analysis input → [`ssfa_core::Study`].
-///
-/// Every stage is deterministic for a given `(scale, seed, calibration)`.
-#[derive(Debug, Clone)]
-pub struct Pipeline {
-    config: FleetConfig,
-    calibration: Calibration,
-    seed: u64,
-    style: CascadeStyle,
-    threads: usize,
-    strictness: Strictness,
-    faults: FaultSpec,
-    chunking: ChunkPolicy,
-    transport: Transport,
-}
-
-/// How the streaming path batches shards into work units.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ChunkPolicy {
-    /// Greedy byte-budget batching targeting
-    /// [`DEFAULT_CHUNK_TARGET_BYTES`] of rendered text per chunk.
-    Auto,
-    /// Exactly `n` systems per chunk (the last chunk may be smaller).
-    Fixed(usize),
-}
-
-/// What representation of a shard travels from render to classify.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Transport {
-    /// Parsed [`ssfa_logs::LogLine`]s are handed to the classifier
-    /// directly — the same representation the monolithic oracle consumes.
-    Lines,
-    /// Each shard is serialized to corpus text and re-parsed, exercising
-    /// the full on-disk round trip. Fault injection always uses this.
-    Text,
-}
-
-impl Pipeline {
-    /// A pipeline over the paper's full-scale fleet with the paper
-    /// calibration. Use [`Pipeline::scale`] to shrink it.
-    pub fn new() -> Pipeline {
-        Pipeline {
-            config: FleetConfig::paper(),
-            calibration: Calibration::paper(),
-            seed: 0,
-            style: CascadeStyle::RaidOnly,
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-            strictness: Strictness::Strict,
-            faults: FaultSpec::none(),
-            chunking: ChunkPolicy::Auto,
-            transport: Transport::Lines,
-        }
-    }
-
-    /// Batches exactly `n` systems per streaming work unit. `1` reproduces
-    /// the original one-shard-per-work-unit scheduling; `n >=` fleet size
-    /// degenerates to a single chunk. The default is an automatic policy
-    /// targeting [`DEFAULT_CHUNK_TARGET_BYTES`] (~256 KiB) of rendered
-    /// text per chunk, which amortizes per-shard classifier setup without
-    /// raising peak memory: chunk workers still render, feed, and drop one
-    /// shard at a time. Results are bit-identical for every chunk size.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
-    #[must_use]
-    pub fn chunk_systems(mut self, n: usize) -> Pipeline {
-        assert!(n > 0, "chunks must hold at least one system");
-        self.chunking = ChunkPolicy::Fixed(n);
-        self
-    }
-
-    /// Restores the default automatic chunking policy (see
-    /// [`Pipeline::chunk_systems`]).
-    #[must_use]
-    pub fn chunk_auto(mut self) -> Pipeline {
-        self.chunking = ChunkPolicy::Auto;
-        self
-    }
-
-    /// Makes the streaming path serialize every shard to corpus text and
-    /// re-parse it, instead of handing parsed lines straight to the
-    /// classifier. This is the full on-disk round trip — slower, and kept
-    /// differentially tested precisely because production corpora arrive
-    /// as text. Runs with fault injection use it implicitly (the injector
-    /// corrupts bytes).
-    #[must_use]
-    pub fn text_transport(mut self) -> Pipeline {
-        self.transport = Transport::Text;
-        self
-    }
-
-    /// Sets the number of simulation worker threads. Output is
-    /// bit-identical for any thread count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is zero.
-    #[must_use]
-    pub fn threads(mut self, threads: usize) -> Pipeline {
-        assert!(threads > 0, "need at least one worker thread");
-        self.threads = threads;
-        self
-    }
-
-    /// Scales the fleet population (1.0 = the paper's ~39,000 systems).
-    #[must_use]
-    pub fn scale(mut self, factor: f64) -> Pipeline {
-        self.config = self.config.scaled(factor);
-        self
-    }
-
-    /// Sets the run seed.
-    #[must_use]
-    pub fn seed(mut self, seed: u64) -> Pipeline {
-        self.seed = seed;
-        self
-    }
-
-    /// Replaces the fleet configuration entirely.
-    #[must_use]
-    pub fn config(mut self, config: FleetConfig) -> Pipeline {
-        self.config = config;
-        self
-    }
-
-    /// Replaces the hazard calibration (e.g. for ablations).
-    #[must_use]
-    pub fn calibration(mut self, calibration: Calibration) -> Pipeline {
-        self.calibration = calibration;
-        self
-    }
-
-    /// Applies a layout policy fleet-wide (RAID-layout ablation).
-    #[must_use]
-    pub fn layout(mut self, layout: LayoutPolicy) -> Pipeline {
-        self.config = self.config.with_layout(layout);
-        self
-    }
-
-    /// Chooses how verbose rendered cascades are. [`CascadeStyle::Full`]
-    /// renders Figure-3-style multi-line cascades; the default
-    /// [`CascadeStyle::RaidOnly`] keeps large corpora compact.
-    #[must_use]
-    pub fn cascade_style(mut self, style: CascadeStyle) -> Pipeline {
-        self.style = style;
-        self
-    }
-
-    /// Sets the error policy for the classify stage. The default,
-    /// [`Strictness::Strict`], is the original fail-fast behavior; with
-    /// [`Strictness::Lenient`] bad lines are skipped and counted, panicking
-    /// chunk workers get one retry and are then quarantined, and the
-    /// [`RunHealth`] from [`Pipeline::run_with_health`] accounts for every
-    /// skip. At fault rate zero the two policies are bit-identical.
-    #[must_use]
-    pub fn strictness(mut self, strictness: Strictness) -> Pipeline {
-        self.strictness = strictness;
-        self
-    }
-
-    /// Shorthand for [`Pipeline::strictness`]`(Strictness::Lenient)`.
-    #[must_use]
-    pub fn lenient(self) -> Pipeline {
-        self.strictness(Strictness::Lenient)
-    }
-
-    /// Installs a fault-injection spec: every rendered shard is corrupted
-    /// through a deterministic, seedable [`FaultInjector`] before it
-    /// reaches the classifier. [`FaultSpec::none`] (the default) bypasses
-    /// injection entirely. Injection is a test/chaos-engineering facility;
-    /// pair a non-trivial spec with [`Pipeline::lenient`] unless the point
-    /// is to watch strict mode abort.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the spec's rates are invalid (see [`FaultSpec::validate`]).
-    #[must_use]
-    pub fn faults(mut self, spec: FaultSpec) -> Pipeline {
-        spec.validate();
-        self.faults = spec;
-        self
-    }
-
-    /// The fleet configuration currently in effect.
-    pub fn fleet_config(&self) -> &FleetConfig {
-        &self.config
-    }
-
-    /// Builds the fleet only.
-    pub fn build_fleet(&self) -> Fleet {
-        Fleet::build(&self.config, self.seed)
-    }
-
-    /// Runs the simulation only.
-    pub fn simulate(&self, fleet: &Fleet) -> SimOutput {
-        Simulator::new(self.calibration.clone()).run_parallel(fleet, self.seed, self.threads)
-    }
-
-    /// Renders the support-log corpus for a run.
-    pub fn render(&self, fleet: &Fleet, output: &SimOutput) -> ssfa_logs::LogBook {
-        render_support_log(fleet, output, self.style)
-    }
-
-    /// Runs the full pipeline to a [`ssfa_core::Study`] via the chunked
-    /// streaming path: each system's log renders into its own shard,
-    /// shards batch into chunks (see [`Pipeline::chunk_systems`]), worker
-    /// threads classify chunks concurrently, and the per-chunk partials
-    /// merge — in system order — into one analysis input.
-    ///
-    /// Memory stays bounded by the largest shard (plus the classified
-    /// partials), never the whole rendered corpus; the result is
-    /// bit-identical to [`Pipeline::run_monolithic`] for every
-    /// `(fleet, seed, threads, chunking)` tuple.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PipelineError::Log`] if a shard fails to classify (which
-    /// would indicate a bug — rendered corpora are always classifiable)
-    /// and [`PipelineError::Worker`] if a worker thread panics.
-    pub fn run(&self) -> Result<ssfa_core::Study, PipelineError> {
-        self.run_streaming().map(|(study, _, _)| study)
-    }
-
-    /// [`Pipeline::run`], also returning the [`RunHealth`] audit report:
-    /// how many shards and lines made it through, what was skipped and
-    /// why, which shards were retried or quarantined. This is the entry
-    /// point for degraded-mode analysis — with [`Pipeline::lenient`] a
-    /// corrupt corpus yields a best-effort [`ssfa_core::Study`] plus an
-    /// exact accounting of the loss, instead of an abort.
-    ///
-    /// # Errors
-    ///
-    /// As for [`Pipeline::run`] (in lenient mode, only worker-pool
-    /// failures outside the per-shard isolation boundary surface as
-    /// errors).
-    pub fn run_with_health(&self) -> Result<(ssfa_core::Study, RunHealth), PipelineError> {
-        self.run_streaming()
-            .map(|(study, _, health)| (study, health))
-    }
-
-    /// The single-buffer reference pipeline: render the whole corpus into
-    /// one [`ssfa_logs::LogBook`], classify it in one pass. Peak memory is
-    /// proportional to the full corpus — use [`Pipeline::run`] for large
-    /// fleets; this path exists as the correctness oracle the streaming
-    /// path is differentially tested against.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PipelineError::Log`] if the rendered corpus fails to
-    /// classify.
-    pub fn run_monolithic(&self) -> Result<ssfa_core::Study, PipelineError> {
-        let fleet = self.build_fleet();
-        let output = self.simulate(&fleet);
-        let book = self.render(&fleet, &output);
-        let input = classify(&book)?;
-        Ok(ssfa_core::Study::new(input))
-    }
-
-    /// [`Pipeline::run_monolithic`] with the classify stage fanned out
-    /// over [`Pipeline::threads`] workers via
-    /// [`ssfa_logs::classify_parallel`]: the corpus is bucketed by host,
-    /// host groups classify concurrently, and the partials merge. A second
-    /// independent oracle — it shares no scheduling code with the
-    /// streaming path, yet must agree with both it and the sequential
-    /// monolith bit for bit.
-    ///
-    /// # Errors
-    ///
-    /// As for [`Pipeline::run_monolithic`].
-    pub fn run_monolithic_parallel(&self) -> Result<ssfa_core::Study, PipelineError> {
-        let fleet = self.build_fleet();
-        let output = self.simulate(&fleet);
-        let book = self.render(&fleet, &output);
-        let input = classify_parallel(&book, self.threads)?;
-        Ok(ssfa_core::Study::new(input))
-    }
-
-    /// [`Pipeline::run`], also reporting how the corpus was sharded and
-    /// how much corpus text was resident at peak.
-    ///
-    /// # Errors
-    ///
-    /// As for [`Pipeline::run`].
-    pub fn run_streaming_with_stats(
-        &self,
-    ) -> Result<(ssfa_core::Study, StreamStats), PipelineError> {
-        self.run_streaming().map(|(study, stats, _)| (study, stats))
-    }
-
-    /// The streaming engine behind every `run_*` entry point: plans one
-    /// shard per system, batches shards into chunks per the chunking
-    /// policy, and has worker threads pull chunks off a shared queue. Each
-    /// chunk runs one [`Classifier`] fed shard by shard (render → optional
-    /// fault injection → feed → drop), so peak corpus residency stays one
-    /// shard regardless of chunk size. Per-chunk partials merge in chunk
-    /// (= system) order, so scheduling cannot affect the result.
-    ///
-    /// Each chunk is processed inside a panic-isolation boundary. In
-    /// strict mode any error or panic aborts the run (original behavior);
-    /// in lenient mode a panicking chunk gets one retry and is then
-    /// quarantined whole — with an exact accounting of the systems and
-    /// lines lost — and classification errors are skip-counted by the
-    /// lenient classifier.
-    fn run_streaming(&self) -> Result<(ssfa_core::Study, StreamStats, RunHealth), PipelineError> {
-        let fleet = self.build_fleet();
-        let output = self.simulate(&fleet);
-        let plan = ShardPlan::new(&fleet, &output);
-        let shards = plan.shard_count();
-        if shards == 0 {
-            return Ok((
-                ssfa_core::Study::from_partials([]),
-                StreamStats {
-                    shards: 0,
-                    chunks: 0,
-                    max_shard_bytes: 0,
-                    total_bytes: 0,
-                },
-                RunHealth {
-                    strictness: self.strictness,
-                    ..RunHealth::default()
-                },
-            ));
-        }
-        let chunks = match self.chunking {
-            ChunkPolicy::Fixed(n) => ChunkPlan::fixed(&plan, n),
-            ChunkPolicy::Auto => {
-                ChunkPlan::auto(&plan, &fleet, self.style, DEFAULT_CHUNK_TARGET_BYTES)
-            }
-        };
-        let n_chunks = chunks.chunk_count();
-        let injector =
-            (!self.faults.is_none()).then(|| FaultInjector::new(self.faults.clone(), self.seed));
-
-        // Workers pull chunk indices from a shared queue (static splits
-        // strand workers behind uneven chunks); outcomes are reassembled
-        // in chunk order below, so scheduling cannot affect the merge.
-        // The queue + worker loop live in `workqueue` so the model-check
-        // harness can exhaustively interleave the exact same code.
-        let queue = StdChunkQueue::new(n_chunks);
-        let workers = self.threads.min(n_chunks);
-        let mut collected: Vec<(usize, Result<ChunkOutcome, PipelineError>)> =
-            Vec::with_capacity(n_chunks);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let fleet = &fleet;
-                    let output = &output;
-                    let plan = &plan;
-                    let chunks = &chunks;
-                    let injector = injector.as_ref();
-                    let queue = &queue;
-                    scope.spawn(move || {
-                        let mut mine = Vec::new();
-                        worker_loop(queue, |chunk| {
-                            let result = self.process_chunk(
-                                fleet,
-                                output,
-                                plan,
-                                injector,
-                                chunk,
-                                chunks.shard_range(chunk),
-                            );
-                            let status = if result.is_err() {
-                                ChunkStatus::Fatal
-                            } else {
-                                ChunkStatus::Done
-                            };
-                            mine.push((chunk, result));
-                            status
-                        });
-                        mine
-                    })
-                })
-                .collect();
-            for handle in handles {
-                match handle.join() {
-                    Ok(mine) => collected.extend(mine),
-                    // A panic that escaped the per-chunk isolation
-                    // boundary — pool-level, not data-level.
-                    Err(payload) => collected.push((
-                        usize::MAX,
-                        Err(PipelineError::Worker {
-                            what: panic_message(payload.as_ref()),
-                        }),
-                    )),
-                }
-            }
-        });
-        collected.sort_by_key(|(chunk, _)| *chunk);
-
-        let mut stats = StreamStats {
-            shards,
-            chunks: n_chunks,
-            max_shard_bytes: 0,
-            total_bytes: 0,
-        };
-        let mut health = RunHealth {
-            strictness: self.strictness,
-            shards_total: shards,
-            chunks_total: n_chunks,
-            ..RunHealth::default()
-        };
-        let mut partials = Vec::with_capacity(n_chunks);
-        for (_, result) in collected {
-            // `?` here surfaces the lowest-index chunk's error first.
-            let outcome = result?;
-            stats.max_shard_bytes = stats.max_shard_bytes.max(outcome.max_shard_bytes);
-            stats.total_bytes += outcome.total_bytes;
-            health.shards_processed += outcome.systems_processed;
-            health.shards_dropped += outcome.systems_dropped;
-            health.shards_retried += outcome.systems_retried;
-            if outcome.quarantine.is_none() {
-                health.chunks_processed += 1;
-            }
-            health.quarantined.extend(outcome.quarantine);
-            health.lines_seen += outcome.health.lines_seen;
-            health.lines_skipped_malformed += outcome.health.malformed_skipped;
-            health.lines_skipped_missing_topology += outcome.health.missing_topology_skipped;
-            health.ledger.merge(&outcome.ledger);
-            partials.extend(outcome.partial.map(|boxed| *boxed));
-        }
-        Ok((ssfa_core::Study::from_partials(partials), stats, health))
-    }
-
-    /// Processes one chunk end to end inside a panic-isolation boundary,
-    /// applying the retry/quarantine policy. One [`Classifier`] serves the
-    /// whole chunk — that is the amortization — but shards are still
-    /// rendered, fed, and dropped one at a time, so the worker never holds
-    /// more than one shard of corpus.
-    fn process_chunk(
-        &self,
-        fleet: &Fleet,
-        output: &SimOutput,
-        plan: &ShardPlan,
-        injector: Option<&FaultInjector>,
-        chunk: usize,
-        range: std::ops::Range<usize>,
-    ) -> Result<ChunkOutcome, PipelineError> {
-        let mut attempt: u32 = 0;
-        loop {
-            // A fresh ledger per attempt: a quarantined chunk's lines never
-            // reach the merge, so its injection record must not reach the
-            // run ledger either.
-            let mut ledger = FaultLedger::default();
-            let mut dropped = 0usize;
-            let mut max_shard_bytes = 0usize;
-            let mut total_bytes = 0usize;
-            let outcome = catch_unwind(AssertUnwindSafe(
-                || -> Result<(ssfa_logs::AnalysisInput, ShardHealth), LogError> {
-                    let mut classifier = Classifier::with_strictness(self.strictness);
-                    for shard in range.clone() {
-                        let book = render_system_log(
-                            fleet,
-                            output,
-                            plan,
-                            shard,
-                            self.style,
-                            NoiseParams::none(),
-                            self.seed,
-                        );
-                        match injector {
-                            // Injection corrupts bytes, so injected runs
-                            // always take the text transport. Faults stay
-                            // keyed by shard index, not chunk, so the
-                            // ledger is invariant under chunking.
-                            Some(injector) => {
-                                let text = book.to_text();
-                                drop(book);
-                                match injector.corrupt_shard(shard, attempt, &text, &mut ledger) {
-                                    ShardFate::Processed(bytes) => {
-                                        max_shard_bytes = max_shard_bytes.max(bytes.len());
-                                        total_bytes += bytes.len();
-                                        classifier.feed_bytes(&bytes)?;
-                                        // Restore per-shard-file EOF
-                                        // semantics: a truncated tail must
-                                        // not glue onto the next shard's
-                                        // first line.
-                                        classifier.flush_tail()?;
-                                    }
-                                    ShardFate::Dropped => dropped += 1,
-                                }
-                            }
-                            None => match self.transport {
-                                Transport::Lines => {
-                                    let bytes = book.resident_bytes();
-                                    max_shard_bytes = max_shard_bytes.max(bytes);
-                                    total_bytes += bytes;
-                                    classifier.feed_book(&book)?;
-                                }
-                                Transport::Text => {
-                                    let text = book.to_text();
-                                    drop(book);
-                                    max_shard_bytes = max_shard_bytes.max(text.len());
-                                    total_bytes += text.len();
-                                    classifier.feed_bytes(text.as_bytes())?;
-                                    classifier.flush_tail()?;
-                                }
-                            },
-                        }
-                    }
-                    classifier.finish_with_health()
-                },
-            ));
-            match outcome {
-                Ok(Ok((partial, health))) => {
-                    return Ok(ChunkOutcome {
-                        partial: Some(Box::new(partial)),
-                        health,
-                        ledger,
-                        systems_processed: range.len() - dropped,
-                        systems_dropped: dropped,
-                        systems_retried: if attempt > 0 { range.len() } else { 0 },
-                        quarantine: None,
-                        max_shard_bytes,
-                        total_bytes,
-                    });
-                }
-                Ok(Err(err)) => {
-                    // In lenient mode the classifier absorbs everything
-                    // skippable, so only I/O-grade failures reach here:
-                    // quarantine rather than abort.
-                    if self.strictness == Strictness::Strict {
-                        return Err(err.into());
-                    }
-                    return Ok(self.quarantine_outcome(
-                        fleet,
-                        output,
-                        plan,
-                        chunk,
-                        range,
-                        attempt,
-                        err.to_string(),
-                    ));
-                }
-                Err(payload) => {
-                    let msg = panic_message(payload.as_ref());
-                    if self.strictness == Strictness::Strict {
-                        let first = fleet.systems()[range.start].id;
-                        return Err(PipelineError::Worker {
-                            what: format!(
-                                "chunk {chunk} (shards {}..{}, first sys-{}) panicked: {msg}",
-                                range.start, range.end, first.0,
-                            ),
-                        });
-                    }
-                    if attempt == 0 {
-                        attempt = 1;
-                        continue;
-                    }
-                    return Ok(self.quarantine_outcome(
-                        fleet,
-                        output,
-                        plan,
-                        chunk,
-                        range,
-                        attempt,
-                        format!("worker panicked twice: {msg}"),
-                    ));
-                }
-            }
-        }
-    }
-
-    /// Builds the outcome for a quarantined chunk: no partial, no ledger
-    /// contribution, and an exact accounting of what was lost — every
-    /// system in the chunk by id, plus the rendered line count of each
-    /// shard (re-rendered under its own panic guard, since something in
-    /// this chunk just panicked).
-    #[allow(clippy::too_many_arguments)]
-    fn quarantine_outcome(
-        &self,
-        fleet: &Fleet,
-        output: &SimOutput,
-        plan: &ShardPlan,
-        chunk: usize,
-        range: std::ops::Range<usize>,
-        attempt: u32,
-        reason: String,
-    ) -> ChunkOutcome {
-        let systems: Vec<SystemId> = range
-            .clone()
-            .map(|shard| fleet.systems()[shard].id)
-            .collect();
-        let mut lines_lost = Some(0u64);
-        for shard in range.clone() {
-            let count = catch_unwind(AssertUnwindSafe(|| {
-                render_system_log(
-                    fleet,
-                    output,
-                    plan,
-                    shard,
-                    self.style,
-                    NoiseParams::none(),
-                    self.seed,
-                )
-                .len() as u64
-            }))
-            .ok();
-            lines_lost = match (lines_lost, count) {
-                (Some(total), Some(n)) => Some(total + n),
-                _ => None,
-            };
-        }
-        ChunkOutcome {
-            systems_retried: if attempt > 0 { range.len() } else { 0 },
-            quarantine: Some(ChunkQuarantine {
-                chunk,
-                shards: range,
-                systems,
-                attempts: attempt + 1,
-                reason,
-                lines_lost,
-            }),
-            ..ChunkOutcome::default()
-        }
-    }
-}
-
-/// How a streaming run sharded its corpus — the evidence behind the
-/// bounded-memory claim: `max_shard_bytes` (the largest corpus buffer any
-/// worker held) versus `total_bytes` (what the monolithic path would have
-/// held at once).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct StreamStats {
-    /// Number of shards planned (= systems in the fleet).
-    pub shards: usize,
-    /// Number of chunks the shards were batched into.
-    pub chunks: usize,
-    /// Largest single shard the run held at once — corpus-text bytes on
-    /// the text transport (and under fault injection), in-memory parsed
-    /// line bytes on the default transport.
-    pub max_shard_bytes: usize,
-    /// Total corpus bytes across all shards, in the same unit as
-    /// `max_shard_bytes`.
-    pub total_bytes: usize,
-}
-
-/// One chunk quarantined by the degraded-mode pipeline: its worker kept
-/// failing, so the whole chunk's partial was excluded from the merge
-/// instead of killing the run. Carries an exact accounting of the loss.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ChunkQuarantine {
-    /// Chunk index in the run's [`ssfa_logs::ChunkPlan`].
-    pub chunk: usize,
-    /// The contiguous shard range the chunk held (= positions in fleet
-    /// system order).
-    pub shards: std::ops::Range<usize>,
-    /// Every system whose log was lost with the chunk.
-    pub systems: Vec<SystemId>,
-    /// Processing attempts consumed (2 = failed, retried, failed again).
-    pub attempts: u32,
-    /// Why the last attempt failed — for panics, the downcast panic
-    /// message.
-    pub reason: String,
-    /// Exactly how many rendered log lines the quarantined shards held,
-    /// or `None` if rendering itself panics (then no count exists).
-    pub lines_lost: Option<u64>,
-}
-
-impl ChunkQuarantine {
-    /// Number of systems lost with this chunk.
-    pub fn systems_lost(&self) -> usize {
-        self.systems.len()
-    }
-}
-
-/// The degraded-mode audit report: exactly what a streaming run ingested,
-/// skipped, dropped, retried, and quarantined.
-///
-/// In strict mode with no fault injection every counter besides
-/// `shards_total`/`shards_processed`/`lines_seen` is zero — a clean bill
-/// of health. In lenient mode the report is the contract that nothing was
-/// silently lost: every line the pipeline saw is either ingested or
-/// counted in a skip bucket, and every shard is processed, dropped,
-/// or quarantined.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct RunHealth {
-    /// Error policy the run used.
-    pub strictness: Strictness,
-    /// Shards the plan contained (= systems in the fleet).
-    pub shards_total: usize,
-    /// Chunks the shards were batched into.
-    pub chunks_total: usize,
-    /// Chunks that completed (their shards are processed or individually
-    /// dropped, never quarantined).
-    pub chunks_processed: usize,
-    /// Shards fully classified and merged.
-    pub shards_processed: usize,
-    /// Shards dropped whole by fault injection (upload never arrived).
-    pub shards_dropped: usize,
-    /// Shards re-processed because their chunk's worker panicked once and
-    /// was retried (every shard in a retried chunk counts).
-    pub shards_retried: usize,
-    /// Chunks excluded from the merge after repeated failure.
-    pub quarantined: Vec<ChunkQuarantine>,
-    /// Complete non-blank lines fed to per-shard classifiers.
-    pub lines_seen: u64,
-    /// Lines skipped as unparseable or non-UTF-8.
-    pub lines_skipped_malformed: u64,
-    /// Lines skipped for referencing undeclared topology.
-    pub lines_skipped_missing_topology: u64,
-    /// The fault injector's own ledger for the run (all-zero when no
-    /// faults were injected).
-    pub ledger: FaultLedger,
-}
-
-impl RunHealth {
-    /// Number of quarantined chunks.
-    pub fn chunks_quarantined(&self) -> usize {
-        self.quarantined.len()
-    }
-
-    /// Number of shards lost to quarantined chunks (each quarantined
-    /// chunk loses every system it held).
-    pub fn shards_quarantined(&self) -> usize {
-        self.quarantined
-            .iter()
-            .map(ChunkQuarantine::systems_lost)
-            .sum()
-    }
-
-    /// Exactly how many rendered log lines the quarantined chunks held,
-    /// or `None` if any chunk's loss could not be counted (its shards no
-    /// longer render).
-    pub fn lines_lost(&self) -> Option<u64> {
-        self.quarantined
-            .iter()
-            .try_fold(0u64, |total, q| Some(total + q.lines_lost?))
-    }
-
-    /// Fraction of shards fully classified and merged, in `[0, 1]`
-    /// (1.0 for an empty fleet).
-    pub fn coverage(&self) -> f64 {
-        if self.shards_total == 0 {
-            return 1.0;
-        }
-        self.shards_processed as f64 / self.shards_total as f64
-    }
-
-    /// Total lines skipped for any reason.
-    pub fn lines_skipped_total(&self) -> u64 {
-        self.lines_skipped_malformed + self.lines_skipped_missing_topology
-    }
-
-    /// Whether nothing was lost: every shard processed, every line
-    /// ingested, no retries.
-    pub fn is_clean(&self) -> bool {
-        self.shards_processed == self.shards_total
-            && self.shards_retried == 0
-            && self.quarantined.is_empty()
-            && self.lines_skipped_total() == 0
-    }
-}
-
-impl std::fmt::Display for RunHealth {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "run health ({:?}): {}/{} shards processed ({:.2}% coverage) \
-             in {}/{} chunks, {} dropped, {} retried, {} quarantined",
-            self.strictness,
-            self.shards_processed,
-            self.shards_total,
-            self.coverage() * 100.0,
-            self.chunks_processed,
-            self.chunks_total,
-            self.shards_dropped,
-            self.shards_retried,
-            self.shards_quarantined(),
-        )?;
-        write!(
-            f,
-            "lines: {} seen, {} skipped ({} malformed, {} missing-topology)",
-            self.lines_seen,
-            self.lines_skipped_total(),
-            self.lines_skipped_malformed,
-            self.lines_skipped_missing_topology,
-        )?;
-        for q in &self.quarantined {
-            write!(
-                f,
-                "\nquarantined chunk {} (shards {}..{}, {} system(s), ",
-                q.chunk,
-                q.shards.start,
-                q.shards.end,
-                q.systems_lost(),
-            )?;
-            match q.lines_lost {
-                Some(lines) => write!(f, "{lines} line(s) lost)")?,
-                None => write!(f, "lines lost uncountable)")?,
-            }
-            write!(f, " after {} attempt(s): {}", q.attempts, q.reason)?;
-        }
-        Ok(())
-    }
-}
-
-/// What one chunk's isolated processing produced: either a merged partial
-/// with its counters, or a quarantine record. The partial is boxed so the
-/// struct stays small for the quarantined case.
-#[derive(Default)]
-struct ChunkOutcome {
-    partial: Option<Box<ssfa_logs::AnalysisInput>>,
-    health: ShardHealth,
-    ledger: FaultLedger,
-    systems_processed: usize,
-    systems_dropped: usize,
-    systems_retried: usize,
-    quarantine: Option<ChunkQuarantine>,
-    max_shard_bytes: usize,
-    total_bytes: usize,
-}
-
-impl Default for Pipeline {
-    fn default() -> Self {
-        Pipeline::new()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pipeline_is_deterministic() {
-        let a = Pipeline::new().scale(0.001).seed(5).run().unwrap();
-        let b = Pipeline::new().scale(0.001).seed(5).run().unwrap();
-        assert_eq!(a.input().failures, b.input().failures);
-        assert_eq!(a.input().lifetimes.len(), b.input().lifetimes.len());
-    }
-
-    #[test]
-    fn builder_methods_compose() {
-        let p = Pipeline::new()
-            .scale(0.001)
-            .seed(9)
-            .layout(LayoutPolicy::SameShelf)
-            .calibration(Calibration::paper().without_episodes())
-            .cascade_style(CascadeStyle::Full);
-        let study = p.run().unwrap();
-        assert!(!study.input().failures.is_empty());
-    }
 }

@@ -98,6 +98,42 @@ fn chunk_counts_hit_the_degenerate_bounds() {
 }
 
 #[test]
+fn one_system_fleet_chunk1_and_auto_are_identical() {
+    // The smallest legal fleet: one retained class at a vanishing scale
+    // floors to exactly one system, so every chunking policy must plan
+    // one chunk over one shard and produce the same study.
+    let one_system = || {
+        Pipeline::new()
+            .seed(SEED)
+            .config(
+                FleetConfig::paper()
+                    .only_classes(&[SystemClass::HighEnd])
+                    .scaled(1e-9),
+            )
+            .threads(2)
+    };
+    let (fixed, fixed_stats) = one_system()
+        .chunk_systems(1)
+        .run_streaming_with_stats()
+        .unwrap();
+    let (auto, auto_stats) = one_system()
+        .chunk_auto()
+        .run_streaming_with_stats()
+        .unwrap();
+    assert_eq!(fixed_stats.shards, 1);
+    assert_eq!(fixed_stats.chunks, 1);
+    assert_eq!(auto_stats, fixed_stats);
+    assert_eq!(auto.input(), fixed.input());
+
+    let mono = one_system().run_monolithic().unwrap();
+    assert_eq!(
+        mono.input(),
+        fixed.input(),
+        "one-system streaming diverged from the monolithic oracle"
+    );
+}
+
+#[test]
 fn panicking_system_quarantines_its_whole_chunk_with_exact_accounting() {
     const CHUNK: usize = 8;
     const PANIC_SHARD: usize = 10;

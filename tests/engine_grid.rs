@@ -1,0 +1,83 @@
+//! Acceptance grid for the staged engine refactor: every execution-path
+//! configuration — {monolithic, streaming} × {chunk-1, chunk-auto} ×
+//! {1, 4} threads × {parsed, text} — must reproduce the *pre-refactor*
+//! golden Table 1 byte for byte.
+//!
+//! The golden file (`tests/golden/table1.txt`) was committed before the
+//! engine existed and is deliberately NOT regenerated here: this test is
+//! the proof that dismantling the root crate into `ssfa-pipeline`'s stage
+//! seams changed no observable output.
+
+use ssfa::Pipeline;
+
+const SCALE: f64 = 0.002;
+const SEED: u64 = 7;
+
+fn golden_table1() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/table1.txt");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e})", path.display()))
+}
+
+fn table1(study: &ssfa::core::Study) -> String {
+    let mut out = String::new();
+    for row in study.table1() {
+        out.push_str(&format!("{row:?}\n"));
+    }
+    out
+}
+
+#[test]
+fn streaming_grid_matches_the_pre_refactor_golden() {
+    let golden = golden_table1();
+    for threads in [1, 4] {
+        for text in [false, true] {
+            for fixed_chunks in [false, true] {
+                let mut pipeline = Pipeline::new().scale(SCALE).seed(SEED).threads(threads);
+                if text {
+                    pipeline = pipeline.text_transport();
+                }
+                pipeline = if fixed_chunks {
+                    pipeline.chunk_systems(1)
+                } else {
+                    pipeline.chunk_auto()
+                };
+                let study = pipeline.run().unwrap();
+                assert_eq!(
+                    table1(&study),
+                    golden,
+                    "streaming diverged from golden (threads={threads}, text={text}, \
+                     chunk-1={fixed_chunks})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn monolithic_oracles_match_the_pre_refactor_golden() {
+    let golden = golden_table1();
+    let mono = Pipeline::new()
+        .scale(SCALE)
+        .seed(SEED)
+        .run_monolithic()
+        .unwrap();
+    assert_eq!(
+        table1(&mono),
+        golden,
+        "engine-hosted monolithic configuration diverged from golden"
+    );
+    for threads in [1, 4] {
+        let parallel = Pipeline::new()
+            .scale(SCALE)
+            .seed(SEED)
+            .threads(threads)
+            .run_monolithic_parallel()
+            .unwrap();
+        assert_eq!(
+            table1(&parallel),
+            golden,
+            "off-engine parallel oracle diverged from golden (threads={threads})"
+        );
+    }
+}
