@@ -2,9 +2,13 @@
 //!
 //! Benchmarks the end-to-end pipeline under every execution strategy —
 //! sequential monolithic, parallel monolithic, streaming at chunk size 1,
-//! streaming with auto chunking, and streaming over the text transport —
-//! and emits one `BENCH_pipeline.json` with wall time, peak resident
-//! corpus bytes, and shard throughput per configuration.
+//! streaming with auto chunking, streaming over the text transport, and
+//! streaming over an on-disk corpus through both disk-backed sources
+//! (`corpus_file`, `corpus_mmap`; the corpus is built once outside the
+//! timed region, so these measure pure analysis with simulation and
+//! rendering amortized away) — and emits one `BENCH_pipeline.json` with
+//! wall time, peak resident corpus bytes, and shard throughput per
+//! configuration.
 //!
 //! Modes:
 //!
@@ -87,6 +91,29 @@ impl BenchEnv {
     }
 }
 
+/// A scratch corpus directory, built once per bench process and removed
+/// on drop.
+struct CorpusDirGuard(std::path::PathBuf);
+
+impl CorpusDirGuard {
+    fn build(base: &Pipeline, seed: u64) -> CorpusDirGuard {
+        let dir = std::env::temp_dir().join(format!("ssfa-bench-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fleet = base.build_fleet();
+        let output = base.simulate(&fleet);
+        ssfa::logs::CorpusWriter::new(&dir)
+            .write(&fleet, &output, ssfa::logs::CascadeStyle::RaidOnly, seed)
+            .expect("bench corpus builds");
+        CorpusDirGuard(dir)
+    }
+}
+
+impl Drop for CorpusDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
 /// The deterministic (non-wall) side of one configuration's result.
 #[derive(Debug, Clone, Copy)]
 struct Counters {
@@ -130,10 +157,20 @@ fn run_benches(env: &BenchEnv) -> Vec<BenchResult> {
         }
     };
 
+    // The corpus-backed configurations analyze a pre-built on-disk corpus
+    // of the same (scale, seed) run: built once, outside every timed rep,
+    // which is the subsystem's whole point — the timed region is pure
+    // disk-to-study analysis.
+    let corpus_dir = CorpusDirGuard::build(&base, env.seed);
+    let corpus_file = ssfa::FileSource::open(&corpus_dir.0).expect("bench corpus opens");
+    let corpus_mmap = ssfa::MmapSource::open(&corpus_dir.0).expect("bench corpus maps");
+
     let p_mono = base.clone();
     let p_par = base.clone();
     let p_chunk1 = base.clone().chunk_systems(1);
     let p_auto = base.clone().chunk_auto();
+    let p_corpus_file = base.clone().chunk_auto();
+    let p_corpus_mmap = base.clone().chunk_auto();
     let p_text = base.chunk_auto().text_transport();
 
     type Runner<'a> = Box<dyn FnMut() -> Counters + 'a>;
@@ -177,6 +214,24 @@ fn run_benches(env: &BenchEnv) -> Vec<BenchResult> {
             true,
             Box::new(move || {
                 let (study, stats) = p_text.run_streaming_with_stats().unwrap();
+                std::hint::black_box(study);
+                stream_counters(stats)
+            }),
+        ),
+        (
+            "corpus_file",
+            true,
+            Box::new(move || {
+                let (study, stats, _) = p_corpus_file.run_source(&corpus_file).unwrap();
+                std::hint::black_box(study);
+                stream_counters(stats)
+            }),
+        ),
+        (
+            "corpus_mmap",
+            true,
+            Box::new(move || {
+                let (study, stats, _) = p_corpus_mmap.run_source(&corpus_mmap).unwrap();
                 std::hint::black_box(study);
                 stream_counters(stats)
             }),

@@ -1,0 +1,466 @@
+//! The on-disk shard frame codec: one fixed-width binary header plus one
+//! UTF-8 corpus-text payload per shard.
+//!
+//! This module is the **single** definition of what a well-formed frame
+//! is. The corpus writer ([`crate::store::CorpusWriter`]), the verifier
+//! ([`crate::store::CorpusReader::verify`]), and both disk-backed pipeline
+//! sources decode through [`FrameHeader::parse`] and
+//! [`FrameHeader::verify_payload`], so "corrupt" cannot mean different
+//! things on different paths — the drift the duplicated-checksum bug
+//! class produces (satellite of ISSUE 6).
+//!
+//! # Layout (version 1)
+//!
+//! All integers are **little-endian**. The header is exactly
+//! [`HEADER_LEN`] = 36 bytes:
+//!
+//! | offset | size | field        | contents                                  |
+//! |--------|------|--------------|-------------------------------------------|
+//! | 0      | 4    | magic        | `b"SSFC"` ([`FRAME_MAGIC`])               |
+//! | 4      | 4    | version      | `u32` = 1 ([`FRAME_VERSION`])             |
+//! | 8      | 4    | system id    | `u32` owning-system id                    |
+//! | 12     | 8    | line count   | `u64` rendered log lines in the payload   |
+//! | 20     | 8    | payload len  | `u64` payload bytes following the header  |
+//! | 28     | 8    | checksum     | `u64` FNV-1a over bytes 0..28 ++ payload  |
+//!
+//! The payload is the shard's rendered corpus text
+//! ([`crate::LogBook::to_text`]), newline-terminated UTF-8.
+//!
+//! # Corruption detection
+//!
+//! The checksum covers every header field *and* the payload, so a flip in
+//! the length or identity fields is caught even when the payload is
+//! intact. FNV-1a's update step (xor a byte, multiply by an odd prime) is
+//! a bijection of the accumulator, so **any single flipped byte at a
+//! fixed length is guaranteed — not just overwhelmingly likely — to
+//! change the digest**: a flipped byte yields a different accumulator at
+//! that step, and every later step is injective in the accumulator. That
+//! is exactly the bit-rot fault model of [`crate::faults`]
+//! (`FaultSpec::bitflip_rate`), and the property suite
+//! (`crates/logs/tests/frame_props.rs`) proves the rejection end to end.
+
+use std::fmt;
+
+/// The four magic bytes opening every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"SSFC";
+
+/// The frame format version this build writes and accepts.
+pub const FRAME_VERSION: u32 = 1;
+
+/// Fixed header width in bytes.
+pub const HEADER_LEN: usize = 36;
+
+/// Bytes of the header covered by the checksum (everything before the
+/// checksum field itself).
+const CHECKSUMMED_PREFIX: usize = 28;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Streaming FNV-1a 64 digest — the corpus checksum.
+///
+/// Chosen over a CRC because the single-byte-flip guarantee is provable
+/// from the update step alone (see the module docs) and the whole
+/// implementation is four lines of dependency-free code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checksum(u64);
+
+impl Checksum {
+    /// A fresh digest at the FNV-1a offset basis.
+    pub fn new() -> Checksum {
+        Checksum(FNV_OFFSET)
+    }
+
+    /// Absorbs `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The digest value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Checksum {
+        Checksum::new()
+    }
+}
+
+/// One-shot digest of a byte string.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut c = Checksum::new();
+    c.update(bytes);
+    c.value()
+}
+
+/// A decoded (and structurally validated) frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Owning-system id of the shard in this frame.
+    pub system_id: u32,
+    /// Rendered log lines in the payload.
+    pub line_count: u64,
+    /// Payload bytes following the header.
+    pub payload_len: u64,
+    /// FNV-1a digest over the header's checksummed prefix and the payload.
+    pub checksum: u64,
+}
+
+/// Everything that can be wrong with a frame, as a typed error with a
+/// pinned `Display` rendering (the negative-path suite asserts the exact
+/// messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes are not [`FRAME_MAGIC`].
+    BadMagic {
+        /// The bytes actually found.
+        found: [u8; 4],
+    },
+    /// The version field names a format this build does not read.
+    UnsupportedVersion {
+        /// The version actually found.
+        found: u32,
+    },
+    /// The byte stream ends before the frame does.
+    Truncated {
+        /// Which part of the frame was cut short.
+        what: &'static str,
+        /// Bytes the frame needed.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// The stored checksum does not match the recomputed digest.
+    ChecksumMismatch {
+        /// Digest stored in the header.
+        stored: u64,
+        /// Digest recomputed over header prefix + payload.
+        computed: u64,
+    },
+    /// The payload passed its checksum but is not valid UTF-8 (cannot
+    /// happen for frames this codec wrote; defends against hand-built
+    /// frames).
+    PayloadNotUtf8 {
+        /// Byte offset of the first invalid sequence within the payload.
+        at: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic { found } => {
+                write!(
+                    f,
+                    "bad frame magic: expected {:02x?}, found {:02x?}",
+                    FRAME_MAGIC, found
+                )
+            }
+            FrameError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported frame version {found} (this build reads version {FRAME_VERSION})"
+                )
+            }
+            FrameError::Truncated {
+                what,
+                needed,
+                available,
+            } => {
+                write!(
+                    f,
+                    "truncated frame {what}: need {needed} bytes, have {available}"
+                )
+            }
+            FrameError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+                )
+            }
+            FrameError::PayloadNotUtf8 { at } => {
+                write!(f, "frame payload is not UTF-8 (first invalid byte at {at})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameHeader {
+    /// Parses and structurally validates one header from the first
+    /// [`HEADER_LEN`] bytes of `bytes`: magic, version, and width checks
+    /// happen here; payload integrity needs
+    /// [`FrameHeader::verify_payload`].
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Truncated`] if fewer than [`HEADER_LEN`] bytes are
+    /// available, [`FrameError::BadMagic`] /
+    /// [`FrameError::UnsupportedVersion`] on field mismatches.
+    pub fn parse(bytes: &[u8]) -> Result<FrameHeader, FrameError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(FrameError::Truncated {
+                what: "header",
+                needed: HEADER_LEN as u64,
+                available: bytes.len() as u64,
+            });
+        }
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("fixed slice");
+        if magic != FRAME_MAGIC {
+            return Err(FrameError::BadMagic { found: magic });
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("fixed slice"));
+        if version != FRAME_VERSION {
+            return Err(FrameError::UnsupportedVersion { found: version });
+        }
+        Ok(FrameHeader {
+            system_id: u32::from_le_bytes(bytes[8..12].try_into().expect("fixed slice")),
+            line_count: u64::from_le_bytes(bytes[12..20].try_into().expect("fixed slice")),
+            payload_len: u64::from_le_bytes(bytes[20..28].try_into().expect("fixed slice")),
+            checksum: u64::from_le_bytes(bytes[28..36].try_into().expect("fixed slice")),
+        })
+    }
+
+    /// Serializes this header (recomputing nothing — the caller provides a
+    /// consistent `checksum` via [`encode_frame`]).
+    fn to_bytes(self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0..4].copy_from_slice(&FRAME_MAGIC);
+        out[4..8].copy_from_slice(&FRAME_VERSION.to_le_bytes());
+        out[8..12].copy_from_slice(&self.system_id.to_le_bytes());
+        out[12..20].copy_from_slice(&self.line_count.to_le_bytes());
+        out[20..28].copy_from_slice(&self.payload_len.to_le_bytes());
+        out[28..36].copy_from_slice(&self.checksum.to_le_bytes());
+        out
+    }
+
+    /// Recomputes the digest over this header's checksummed prefix and
+    /// `payload`, and compares it to the stored checksum. This is *the*
+    /// corruption check — every reader goes through it.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::ChecksumMismatch`] with both digests on disagreement.
+    pub fn verify_payload(&self, payload: &[u8]) -> Result<(), FrameError> {
+        let computed = self.compute_checksum(payload);
+        if computed != self.checksum {
+            return Err(FrameError::ChecksumMismatch {
+                stored: self.checksum,
+                computed,
+            });
+        }
+        Ok(())
+    }
+
+    /// The digest a frame with this header's fields and `payload` should
+    /// carry.
+    fn compute_checksum(&self, payload: &[u8]) -> u64 {
+        let mut c = Checksum::new();
+        c.update(&self.to_bytes()[..CHECKSUMMED_PREFIX]);
+        c.update(payload);
+        c.value()
+    }
+
+    /// Total encoded frame width: header plus payload.
+    pub fn frame_len(&self) -> u64 {
+        HEADER_LEN as u64 + self.payload_len
+    }
+}
+
+/// Encodes one shard frame — header and payload — appending to `out`.
+/// Returns the written header (whose `checksum` is what a manifest
+/// records as the shard's digest).
+pub fn encode_frame(
+    out: &mut Vec<u8>,
+    system_id: u32,
+    line_count: u64,
+    payload: &[u8],
+) -> FrameHeader {
+    let mut header = FrameHeader {
+        system_id,
+        line_count,
+        payload_len: payload.len() as u64,
+        checksum: 0,
+    };
+    header.checksum = header.compute_checksum(payload);
+    out.extend_from_slice(&header.to_bytes());
+    out.extend_from_slice(payload);
+    header
+}
+
+/// Decodes one frame from the front of `bytes`, borrowing the payload —
+/// the zero-copy entry point the mmap-backed source reads through.
+/// Trailing bytes after the frame are allowed (frames are concatenated
+/// inside segment files); the consumed width is `header.frame_len()`.
+///
+/// # Errors
+///
+/// Any [`FrameError`]: structural header errors from
+/// [`FrameHeader::parse`], [`FrameError::Truncated`] when the payload
+/// runs past `bytes`, and [`FrameError::ChecksumMismatch`] from
+/// [`FrameHeader::verify_payload`].
+pub fn decode_frame(bytes: &[u8]) -> Result<(FrameHeader, &[u8]), FrameError> {
+    let header = FrameHeader::parse(bytes)?;
+    let end = header.frame_len();
+    if (bytes.len() as u64) < end {
+        return Err(FrameError::Truncated {
+            what: "payload",
+            needed: header.payload_len,
+            available: bytes.len() as u64 - HEADER_LEN as u64,
+        });
+    }
+    let payload = &bytes[HEADER_LEN..end as usize];
+    header.verify_payload(payload)?;
+    Ok((header, payload))
+}
+
+/// [`decode_frame`], then checks the payload is UTF-8 and returns it as
+/// `&str` — what corpus readers feed the line parser, with no
+/// intermediate `String`.
+///
+/// # Errors
+///
+/// As [`decode_frame`], plus [`FrameError::PayloadNotUtf8`].
+pub fn decode_frame_text(bytes: &[u8]) -> Result<(FrameHeader, &str), FrameError> {
+    let (header, payload) = decode_frame(bytes)?;
+    let text = std::str::from_utf8(payload).map_err(|e| FrameError::PayloadNotUtf8 {
+        at: e.valid_up_to(),
+    })?;
+    Ok((header, text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_frame(&mut out, 42, 3, b"line a\nline b\nline c\n");
+        out
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let frame = sample_frame();
+        let (header, payload) = decode_frame(&frame).unwrap();
+        assert_eq!(header.system_id, 42);
+        assert_eq!(header.line_count, 3);
+        assert_eq!(payload, b"line a\nline b\nline c\n");
+        assert_eq!(header.frame_len() as usize, frame.len());
+    }
+
+    #[test]
+    fn empty_payload_is_a_valid_frame() {
+        let mut out = Vec::new();
+        encode_frame(&mut out, 7, 0, b"");
+        let (header, payload) = decode_frame(&out).unwrap();
+        assert_eq!(header.payload_len, 0);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn trailing_bytes_are_tolerated_by_decode() {
+        let mut frame = sample_frame();
+        let clean_len = frame.len();
+        frame.extend_from_slice(b"next frame starts here");
+        let (header, _) = decode_frame(&frame).unwrap();
+        assert_eq!(header.frame_len() as usize, clean_len);
+    }
+
+    #[test]
+    fn short_header_is_truncated() {
+        let frame = sample_frame();
+        let err = decode_frame(&frame[..HEADER_LEN - 1]).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "truncated frame header: need 36 bytes, have 35"
+        );
+    }
+
+    #[test]
+    fn short_payload_is_truncated() {
+        let frame = sample_frame();
+        let err = decode_frame(&frame[..frame.len() - 1]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FrameError::Truncated {
+                    what: "payload",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected_before_anything_else() {
+        let mut frame = sample_frame();
+        frame[0] = b'X';
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(FrameError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected_without_checksum_recompute() {
+        let mut frame = sample_frame();
+        frame[4] = 2;
+        assert_eq!(
+            decode_frame(&frame).unwrap_err(),
+            FrameError::UnsupportedVersion { found: 2 }
+        );
+    }
+
+    #[test]
+    fn payload_flip_fails_the_checksum() {
+        let mut frame = sample_frame();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn header_field_flip_fails_the_checksum() {
+        // Flip a system-id byte: payload untouched, but the digest covers
+        // the header prefix, so the mismatch is still caught.
+        let mut frame = sample_frame();
+        frame[8] ^= 0x80;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_utf8_payload_is_typed_not_panicked() {
+        let mut out = Vec::new();
+        encode_frame(&mut out, 1, 1, &[0x66, 0xFF, 0x67]);
+        assert_eq!(
+            decode_frame_text(&out).unwrap_err(),
+            FrameError::PayloadNotUtf8 { at: 1 }
+        );
+    }
+
+    #[test]
+    fn checksum_is_streaming_equal_to_oneshot() {
+        let mut c = Checksum::new();
+        c.update(b"hello ");
+        c.update(b"world");
+        assert_eq!(c.value(), checksum64(b"hello world"));
+    }
+}

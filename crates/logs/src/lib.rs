@@ -47,8 +47,10 @@ pub mod classify;
 pub mod corpus;
 pub mod event;
 pub mod faults;
+pub mod frame;
 pub mod render;
 pub mod shard;
+pub mod store;
 
 pub use cascade::{CascadeInput, CascadeStyle};
 pub use classify::{
@@ -58,8 +60,16 @@ pub use classify::{
 pub use corpus::{LogBook, LogError};
 pub use event::{LogEvent, LogLine, Severity};
 pub use faults::{FaultInjector, FaultLedger, FaultSpec, ShardFate};
+pub use frame::{
+    checksum64, decode_frame, decode_frame_text, encode_frame, Checksum, FrameError, FrameHeader,
+    FRAME_MAGIC, FRAME_VERSION, HEADER_LEN,
+};
 pub use render::{render_support_log, render_support_log_noisy, NoiseParams};
 pub use shard::{
     render_chunk_log, render_system_log, write_chunk, write_shard, ChunkPlan, ShardPlan,
     DEFAULT_CHUNK_TARGET_BYTES,
+};
+pub use store::{
+    CorpusError, CorpusReader, CorpusSummary, CorpusWriter, Manifest, ShardEntry,
+    DEFAULT_SEGMENT_SHARDS, MANIFEST_NAME,
 };

@@ -174,6 +174,51 @@ impl ChunkPlan {
         ChunkPlan { ranges }
     }
 
+    /// Fixed-size chunks over a bare shard count, for sources that have no
+    /// [`ShardPlan`] (e.g. manifest-backed corpus readers): the same
+    /// partition as [`ChunkPlan::fixed`], which is implemented on top of
+    /// this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `systems_per_chunk` is zero.
+    pub fn fixed_count(shards: usize, systems_per_chunk: usize) -> ChunkPlan {
+        assert!(
+            systems_per_chunk > 0,
+            "chunks must hold at least one system"
+        );
+        let ranges = (0..shards)
+            .step_by(systems_per_chunk.min(shards.max(1)))
+            .map(|start| start..(start + systems_per_chunk).min(shards))
+            .collect();
+        ChunkPlan { ranges }
+    }
+
+    /// Greedy byte-budget chunking over known per-shard sizes, for sources
+    /// that store exact shard byte counts (e.g. a corpus manifest) instead
+    /// of estimating them from a [`ShardPlan`]: the same greedy close as
+    /// [`ChunkPlan::auto`] — accumulate shards until `target_bytes`, an
+    /// oversized shard gets its own chunk, every chunk holds at least one
+    /// shard.
+    pub fn by_bytes(sizes: &[u64], target_bytes: u64) -> ChunkPlan {
+        let n = sizes.len();
+        let mut ranges = Vec::new();
+        let mut start = 0;
+        let mut bytes = 0u64;
+        for (shard, &size) in sizes.iter().enumerate() {
+            if shard > start && bytes.saturating_add(size) > target_bytes {
+                ranges.push(start..shard);
+                start = shard;
+                bytes = 0;
+            }
+            bytes = bytes.saturating_add(size);
+        }
+        if start < n {
+            ranges.push(start..n);
+        }
+        ChunkPlan { ranges }
+    }
+
     /// One chunk spanning all of `shards` shards (`0..shards`), or no
     /// chunks at all when `shards` is zero. This is the plan a
     /// single-shard source (e.g. a monolithic whole-corpus shard) uses

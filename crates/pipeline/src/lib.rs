@@ -47,6 +47,7 @@ mod chunk;
 pub mod classify;
 pub mod error;
 mod exec;
+pub mod fs_source;
 pub mod health;
 pub mod plan;
 pub mod quarantine;
@@ -59,6 +60,7 @@ pub mod workqueue;
 pub use builder::Pipeline;
 pub use classify::{Classify, RaidClassify};
 pub use error::PipelineError;
+pub use fs_source::{FileSource, MmapSource};
 pub use health::{RunHealth, StreamStats};
 pub use plan::ChunkPolicy;
 pub use quarantine::ChunkQuarantine;

@@ -1,0 +1,253 @@
+//! The `ssfa` command-line tool.
+//!
+//! The on-disk corpus workflow — *build once, analyze many times*:
+//!
+//! ```text
+//! ssfa corpus build --out corpus/ --scale 0.01 --seed 2008
+//! ssfa corpus verify corpus/ --deep
+//! ssfa corpus analyze corpus/ --source mmap --threads 8
+//! ```
+//!
+//! `build` renders a seeded fleet's support logs into a sharded corpus
+//! directory (`ssfa::logs::CorpusWriter`), `verify` re-walks every frame
+//! against its checksum and the manifest, and `analyze` runs the staged
+//! pipeline over the corpus through a disk-backed source
+//! ([`ssfa::FileSource`] or [`ssfa::MmapSource`]) — producing a Table 1
+//! report bit-identical to the in-memory simulation path at the same
+//! `(scale, seed, style)` (proven by `tests/corpus_differential.rs`).
+//!
+//! Argument parsing is deliberately hand-rolled: the workspace vendors no
+//! CLI crate, and three subcommands do not justify one.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ssfa::logs::{CascadeStyle, CorpusWriter, Strictness};
+use ssfa::pipeline::Source;
+use ssfa::{FileSource, MmapSource, Pipeline};
+
+const USAGE: &str = "\
+usage: ssfa corpus <build|verify|analyze> [options]
+
+  ssfa corpus build --out <dir> [--scale <f>] [--seed <n>] [--style full|raid-only]
+                    [--threads <n>] [--segment-shards <n>] [--force]
+      Render a seeded fleet once into an on-disk sharded corpus.
+
+  ssfa corpus verify <dir> [--deep]
+      Re-walk every shard frame against its checksum and the manifest.
+      --deep additionally re-parses every payload as corpus text.
+
+  ssfa corpus analyze <dir> [--source file|mmap] [--threads <n>] [--lenient]
+      Run the analysis pipeline over a corpus and print the Table 1 report.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Run(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// CLI failures: usage errors print the help text and exit 2; runtime
+/// errors print one line and exit 1.
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn run(args: &[&str]) -> Result<(), CliError> {
+    match args {
+        ["corpus", rest @ ..] => match rest {
+            ["build", opts @ ..] => corpus_build(opts),
+            ["verify", opts @ ..] => corpus_verify(opts),
+            ["analyze", opts @ ..] => corpus_analyze(opts),
+            [other, ..] => Err(usage(format!("unknown corpus subcommand `{other}`"))),
+            [] => Err(usage("corpus needs a subcommand")),
+        },
+        [other, ..] => Err(usage(format!("unknown command `{other}`"))),
+        [] => Err(usage("no command given")),
+    }
+}
+
+/// A minimal `--flag value` walker over one subcommand's arguments.
+struct Opts<'a> {
+    args: std::slice::Iter<'a, &'a str>,
+}
+
+impl<'a> Opts<'a> {
+    fn new(args: &'a [&'a str]) -> Opts<'a> {
+        Opts { args: args.iter() }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        self.args.next().copied()
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        self.next()
+            .ok_or_else(|| usage(format!("{flag} needs a value")))
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, CliError> {
+        let raw = self.value(flag)?;
+        raw.parse()
+            .map_err(|_| usage(format!("invalid value for {flag}: `{raw}`")))
+    }
+}
+
+fn parse_style(raw: &str) -> Result<CascadeStyle, CliError> {
+    match raw {
+        "full" => Ok(CascadeStyle::Full),
+        "raid-only" => Ok(CascadeStyle::RaidOnly),
+        other => Err(usage(format!(
+            "invalid value for --style: `{other}` (expected full or raid-only)"
+        ))),
+    }
+}
+
+fn corpus_build(args: &[&str]) -> Result<(), CliError> {
+    let mut out: Option<PathBuf> = None;
+    let mut scale = 0.01f64;
+    let mut seed = 0u64;
+    let mut style = CascadeStyle::RaidOnly;
+    let mut threads: Option<usize> = None;
+    let mut segment_shards: Option<usize> = None;
+    let mut force = false;
+    let mut opts = Opts::new(args);
+    while let Some(flag) = opts.next() {
+        match flag {
+            "--out" => out = Some(PathBuf::from(opts.value(flag)?)),
+            "--scale" => scale = opts.parse(flag)?,
+            "--seed" => seed = opts.parse(flag)?,
+            "--style" => style = parse_style(opts.value(flag)?)?,
+            "--threads" => threads = Some(opts.parse(flag)?),
+            "--segment-shards" => segment_shards = Some(opts.parse(flag)?),
+            "--force" => force = true,
+            other => return Err(usage(format!("unknown build option `{other}`"))),
+        }
+    }
+    let out = out.ok_or_else(|| usage("build needs --out <dir>"))?;
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(usage("--scale must be positive"));
+    }
+
+    if force && out.join(ssfa::logs::MANIFEST_NAME).exists() {
+        // Only ever removes a directory that demonstrably holds a corpus.
+        std::fs::remove_dir_all(&out)
+            .map_err(|e| CliError::Run(format!("cannot remove {}: {e}", out.display())))?;
+    }
+
+    let mut pipeline = Pipeline::new().scale(scale).seed(seed).cascade_style(style);
+    if let Some(threads) = threads {
+        pipeline = pipeline.threads(threads);
+    }
+    let fleet = pipeline.build_fleet();
+    let output = pipeline.simulate(&fleet);
+
+    let mut writer = CorpusWriter::new(&out)
+        .param("scale", format!("{scale}"))
+        .param("source", "ssfa-sim");
+    if let Some(n) = segment_shards {
+        writer = writer.segment_shards(n);
+    }
+    let summary = writer
+        .write(&fleet, &output, style, seed)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    println!("built {}: {summary}", out.display());
+    Ok(())
+}
+
+fn corpus_verify(args: &[&str]) -> Result<(), CliError> {
+    let mut dir: Option<PathBuf> = None;
+    let mut deep = false;
+    let mut opts = Opts::new(args);
+    while let Some(flag) = opts.next() {
+        match flag {
+            "--deep" => deep = true,
+            other if !other.starts_with('-') && dir.is_none() => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => return Err(usage(format!("unknown verify option `{other}`"))),
+        }
+    }
+    let dir = dir.ok_or_else(|| usage("verify needs a corpus directory"))?;
+    let reader = ssfa::logs::CorpusReader::open(&dir).map_err(|e| CliError::Run(e.to_string()))?;
+    let summary = reader
+        .verify(deep)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    println!("verified {}: {summary}", dir.display());
+    Ok(())
+}
+
+fn corpus_analyze(args: &[&str]) -> Result<(), CliError> {
+    let mut dir: Option<PathBuf> = None;
+    let mut source_kind = "file";
+    let mut threads: Option<usize> = None;
+    let mut lenient = false;
+    let mut opts = Opts::new(args);
+    while let Some(flag) = opts.next() {
+        match flag {
+            "--source" => {
+                source_kind = match opts.value(flag)? {
+                    kind @ ("file" | "mmap") => kind,
+                    other => {
+                        return Err(usage(format!(
+                            "invalid value for --source: `{other}` (expected file or mmap)"
+                        )))
+                    }
+                }
+            }
+            "--threads" => threads = Some(opts.parse(flag)?),
+            "--lenient" => lenient = true,
+            other if !other.starts_with('-') && dir.is_none() => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => return Err(usage(format!("unknown analyze option `{other}`"))),
+        }
+    }
+    let dir = dir.ok_or_else(|| usage("analyze needs a corpus directory"))?;
+
+    let mut pipeline = Pipeline::new();
+    if let Some(threads) = threads {
+        pipeline = pipeline.threads(threads);
+    }
+    if lenient {
+        pipeline = pipeline.strictness(Strictness::Lenient);
+    }
+
+    let run = |source: &dyn Source| pipeline.run_source(source);
+    let (study, stats, health) = match source_kind {
+        "file" => {
+            let source = FileSource::open(&dir).map_err(|e| CliError::Run(e.to_string()))?;
+            run(&source)
+        }
+        _ => {
+            let source = MmapSource::open(&dir).map_err(|e| CliError::Run(e.to_string()))?;
+            run(&source)
+        }
+    }
+    .map_err(|e| CliError::Run(e.to_string()))?;
+
+    for row in study.table1() {
+        println!("{row:?}");
+    }
+    println!(
+        "{} shards in {} chunks, peak resident shard {} bytes of {} corpus bytes",
+        stats.shards, stats.chunks, stats.max_shard_bytes, stats.total_bytes
+    );
+    println!("{health}");
+    Ok(())
+}

@@ -129,7 +129,9 @@ pub use ssfa_stats as stats;
 // The historical `ssfa::...` pipeline surface, now defined in
 // `ssfa-pipeline`. Every pre-refactor public path stays valid.
 pub use ssfa_pipeline::workqueue;
-pub use ssfa_pipeline::{ChunkQuarantine, Pipeline, PipelineError, RunHealth, StreamStats};
+pub use ssfa_pipeline::{
+    ChunkQuarantine, FileSource, MmapSource, Pipeline, PipelineError, RunHealth, StreamStats,
+};
 
 /// Convenience re-exports for examples and downstream binaries.
 pub mod prelude {

@@ -1,0 +1,171 @@
+//! The corpus differential suite: disk-backed analysis must be
+//! bit-identical to in-memory analysis.
+//!
+//! For every grid point — scales {0.001, 0.01} × seeds {1988, 2008} ×
+//! threads {1, 4} — a corpus is built once to a temp directory
+//! (`CorpusWriter`), then the staged engine runs the same configuration
+//! over three sources: the in-memory [`ssfa::pipeline::SimSource`], the
+//! buffered [`ssfa::FileSource`], and the zero-copy [`ssfa::MmapSource`].
+//! All three Table 1 reports must be byte-identical.
+//!
+//! This extends `tests/engine_grid.rs`'s golden pinning to disk: the
+//! scale-0.002 / seed-7 corpus must reproduce the *pre-refactor* golden
+//! (`tests/golden/table1.txt`) through both disk-backed sources. The
+//! golden file is deliberately NOT regenerated — it predates the corpus
+//! subsystem entirely, so a match proves the disk round trip changed no
+//! observable output.
+
+use std::path::PathBuf;
+
+use ssfa::logs::{CorpusReader, CorpusWriter};
+use ssfa::pipeline::{SimSource, Source};
+use ssfa::{FileSource, MmapSource, Pipeline};
+
+/// A self-deleting scratch directory under the system temp dir.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("ssfa-corpus-diff-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn table1(study: &ssfa::core::Study) -> String {
+    let mut out = String::new();
+    for row in study.table1() {
+        out.push_str(&format!("{row:?}\n"));
+    }
+    out
+}
+
+/// Runs `pipeline` over `source` and renders the Table 1 report.
+fn report(pipeline: &Pipeline, source: &dyn Source) -> String {
+    let (study, _, health) = pipeline.run_source(source).expect("clean corpus analyzes");
+    assert!(health.is_clean(), "clean corpus lost data: {health}");
+    table1(&study)
+}
+
+#[test]
+fn disk_backed_sources_match_sim_source_across_the_grid() {
+    for scale in [0.001, 0.01] {
+        for seed in [1988u64, 2008] {
+            let tmp = TempDir::new(&format!("grid-{scale}-{seed}"));
+            let base = Pipeline::new().scale(scale).seed(seed);
+            let fleet = base.build_fleet();
+            let output = base.simulate(&fleet);
+            let style = ssfa::logs::CascadeStyle::RaidOnly; // the Pipeline default
+            CorpusWriter::new(&tmp.0)
+                .write(&fleet, &output, style, seed)
+                .expect("corpus builds");
+
+            // The corpus is read-verified once up front, exactly as the
+            // CLI's `corpus verify` would.
+            CorpusReader::open(&tmp.0)
+                .expect("manifest parses")
+                .verify(true)
+                .expect("fresh corpus verifies deeply");
+
+            let sim = SimSource::new(&fleet, &output, style, seed);
+            let file = FileSource::open(&tmp.0).expect("file source opens");
+            let mmap = MmapSource::open(&tmp.0).expect("mmap source opens");
+            assert_eq!(file.shard_count(), fleet.systems().len());
+            assert_eq!(mmap.shard_count(), fleet.systems().len());
+
+            for threads in [1, 4] {
+                let pipeline = base.clone().threads(threads);
+                let expected = report(&pipeline, &sim);
+                assert_eq!(
+                    report(&pipeline, &file),
+                    expected,
+                    "FileSource diverged (scale={scale}, seed={seed}, threads={threads})"
+                );
+                assert_eq!(
+                    report(&pipeline, &mmap),
+                    expected,
+                    "MmapSource diverged (scale={scale}, seed={seed}, threads={threads})"
+                );
+            }
+        }
+    }
+}
+
+/// The disk-backed extension of `tests/engine_grid.rs`: the corpus round
+/// trip must reproduce the pre-refactor golden byte for byte, through
+/// both disk-backed sources, under both chunking policies and the text
+/// transport.
+#[test]
+fn disk_backed_sources_match_the_pre_refactor_golden() {
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/table1.txt");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e})", golden_path.display()));
+
+    let tmp = TempDir::new("golden");
+    let base = Pipeline::new().scale(0.002).seed(7);
+    let fleet = base.build_fleet();
+    let output = base.simulate(&fleet);
+    CorpusWriter::new(&tmp.0)
+        .write(&fleet, &output, ssfa::logs::CascadeStyle::RaidOnly, 7)
+        .expect("corpus builds");
+
+    let file = FileSource::open(&tmp.0).expect("file source opens");
+    let mmap = MmapSource::open(&tmp.0).expect("mmap source opens");
+    for text in [false, true] {
+        for fixed_chunks in [false, true] {
+            let mut pipeline = base.clone().threads(4);
+            if text {
+                pipeline = pipeline.text_transport();
+            }
+            pipeline = if fixed_chunks {
+                pipeline.chunk_systems(1)
+            } else {
+                pipeline.chunk_auto()
+            };
+            for (name, source) in [("file", &file as &dyn Source), ("mmap", &mmap)] {
+                assert_eq!(
+                    report(&pipeline, source),
+                    golden,
+                    "{name} source diverged from golden (text={text}, chunk-1={fixed_chunks})"
+                );
+            }
+        }
+    }
+}
+
+/// Rebuilding the same `(fleet, seed)` corpus twice yields byte-identical
+/// directories — the determinism contract `ssfa-lint` enforces statically,
+/// checked dynamically at the corpus level.
+#[test]
+fn corpus_builds_are_reproducible_byte_for_byte() {
+    let a = TempDir::new("repro-a");
+    let b = TempDir::new("repro-b");
+    let base = Pipeline::new().scale(0.001).seed(1988);
+    let fleet = base.build_fleet();
+    let output = base.simulate(&fleet);
+    for dir in [&a.0, &b.0] {
+        CorpusWriter::new(dir)
+            .segment_shards(16)
+            .write(&fleet, &output, ssfa::logs::CascadeStyle::RaidOnly, 1988)
+            .expect("corpus builds");
+    }
+    let mut names: Vec<String> = std::fs::read_dir(&a.0)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert!(names.iter().any(|n| n == "MANIFEST"));
+    for name in names {
+        let left = std::fs::read(a.0.join(&name)).unwrap();
+        let right = std::fs::read(b.0.join(&name)).unwrap();
+        assert_eq!(left, right, "{name} differs between identical builds");
+    }
+}
