@@ -40,11 +40,23 @@ use ssfa::Pipeline;
 /// Wall-time regression tolerance on the streaming/monolithic ratio.
 const WALL_RATIO_TOLERANCE: f64 = 1.25;
 
-/// The gated streaming configuration (the default production path).
-const GATED_STREAMING: &str = "streaming_auto";
+/// Configurations whose wall time is gated as a ratio against
+/// [`GATED_REFERENCE`]: the default streaming path plus both disk-backed
+/// corpus sources, so an on-disk-path slowdown fails CI like any other.
+const GATED_WALL: [&str; 3] = ["streaming_auto", "corpus_file", "corpus_mmap"];
 
 /// The sequential monolithic oracle the ratio gate normalizes against.
 const GATED_REFERENCE: &str = "monolithic";
+
+/// Configurations whose peak resident corpus bytes are gated absolutely
+/// (peak residency is deterministic for a given `(scale, seed)`).
+const GATED_PEAK: [&str; 5] = [
+    "streaming_chunk1",
+    "streaming_auto",
+    "streaming_auto_text",
+    "corpus_file",
+    "corpus_mmap",
+];
 
 #[derive(Debug, Clone)]
 struct BenchResult {
@@ -340,23 +352,26 @@ fn result_for<'a>(results: &'a [BenchResult], name: &str) -> &'a BenchResult {
 fn check_against_baseline(results: &[BenchResult], baseline: &str) -> Result<Vec<String>, String> {
     let mut violations = Vec::new();
 
-    // Wall gate: the streaming/monolithic ratio, compared ratio-to-ratio
-    // so machine speed cancels out.
-    let current_ratio =
-        result_for(results, GATED_STREAMING).wall_ms / result_for(results, GATED_REFERENCE).wall_ms;
-    let baseline_ratio = baseline_number(baseline, GATED_STREAMING, "wall_ms")?
-        / baseline_number(baseline, GATED_REFERENCE, "wall_ms")?;
-    let limit = baseline_ratio * WALL_RATIO_TOLERANCE;
-    if current_ratio > limit {
-        violations.push(format!(
-            "wall-time regression: {GATED_STREAMING}/{GATED_REFERENCE} ratio {current_ratio:.3} \
-             exceeds baseline {baseline_ratio:.3} x {WALL_RATIO_TOLERANCE} = {limit:.3}"
-        ));
+    // Wall gates: each gated config's ratio to the monolithic reference,
+    // compared ratio-to-ratio so machine speed cancels out.
+    let reference_wall = result_for(results, GATED_REFERENCE).wall_ms;
+    let baseline_reference_wall = baseline_number(baseline, GATED_REFERENCE, "wall_ms")?;
+    for config in GATED_WALL {
+        let current_ratio = result_for(results, config).wall_ms / reference_wall;
+        let baseline_ratio =
+            baseline_number(baseline, config, "wall_ms")? / baseline_reference_wall;
+        let limit = baseline_ratio * WALL_RATIO_TOLERANCE;
+        if current_ratio > limit {
+            violations.push(format!(
+                "wall-time regression: {config}/{GATED_REFERENCE} ratio {current_ratio:.3} \
+                 exceeds baseline {baseline_ratio:.3} x {WALL_RATIO_TOLERANCE} = {limit:.3}"
+            ));
+        }
     }
 
     // Memory gate: peak resident corpus bytes on every streaming config
     // are deterministic for the bench (scale, seed) — any growth fails.
-    for config in ["streaming_chunk1", "streaming_auto", "streaming_auto_text"] {
+    for config in GATED_PEAK {
         let current = result_for(results, config).peak_bytes as f64;
         let allowed = baseline_number(baseline, config, "peak_bytes")?;
         if current > allowed {
@@ -463,6 +478,16 @@ mod tests {
       "name": "streaming_auto_text",
       "wall_ms": 40.000,
       "peak_bytes": 23000
+    },
+    {
+      "name": "corpus_file",
+      "wall_ms": 18.000,
+      "peak_bytes": 20000
+    },
+    {
+      "name": "corpus_mmap",
+      "wall_ms": 16.000,
+      "peak_bytes": 20000
     }
   ]
 }
@@ -487,7 +512,16 @@ mod tests {
             result("streaming_chunk1", 30.0, 20_000),
             result("streaming_auto", auto_wall, auto_peak),
             result("streaming_auto_text", 40.0, 23_000),
+            result("corpus_file", 18.0, 20_000),
+            result("corpus_mmap", 16.0, 20_000),
         ]
+    }
+
+    fn sample_results_with(name: &'static str, wall_ms: f64, peak_bytes: u64) -> Vec<BenchResult> {
+        let mut results = sample_results(21.0, 20_000);
+        let slot = results.iter_mut().find(|r| r.name == name).unwrap();
+        *slot = result(name, wall_ms, peak_bytes);
+        results
     }
 
     #[test]
@@ -561,5 +595,40 @@ mod tests {
             violations[0].contains("peak-memory regression"),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn gate_covers_the_disk_backed_corpus_paths() {
+        // A 2x wall slowdown on either corpus source trips the ratio gate.
+        for config in ["corpus_file", "corpus_mmap"] {
+            let violations =
+                check_against_baseline(&sample_results_with(config, 40.0, 20_000), SAMPLE).unwrap();
+            assert_eq!(violations.len(), 1, "{config}: {violations:?}");
+            assert!(
+                violations[0].contains("wall-time regression") && violations[0].contains(config),
+                "{config}: {violations:?}"
+            );
+            // Any peak-bytes growth trips the memory gate.
+            let violations =
+                check_against_baseline(&sample_results_with(config, 18.0, 20_001), SAMPLE).unwrap();
+            assert_eq!(violations.len(), 1, "{config}: {violations:?}");
+            assert!(
+                violations[0].contains("peak-memory regression"),
+                "{config}: {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_rejects_a_baseline_missing_the_corpus_configs() {
+        // The pre-corpus baseline (no corpus_file/corpus_mmap entries)
+        // must be a loud configuration error, not a silent pass.
+        let legacy: String = SAMPLE
+            .lines()
+            .take_while(|line| !line.contains("corpus_file"))
+            .map(|line| format!("{line}\n"))
+            .collect();
+        let err = check_against_baseline(&sample_results(21.0, 20_000), &legacy).unwrap_err();
+        assert!(err.contains("corpus_file"), "{err}");
     }
 }

@@ -409,6 +409,285 @@ impl FaultInjector {
     }
 }
 
+/// Domain separator for the wire-level fault stream, distinct from
+/// [`FAULT_STREAM`] so corpus corruption and transport corruption drawn
+/// from the same run seed never correlate.
+pub(crate) const WIRE_FAULT_STREAM: u64 = 0xFA01_7501;
+
+/// Per-frame rates for wire-level fault injection on a framed byte
+/// stream (the `ssfad` ingest bus). These model the *transport* failure
+/// domain the paper says dominates disks — interconnect and protocol
+/// faults between producer and analyzer — rather than data corruption
+/// inside a shard: every fault here is visible to (and survivable by)
+/// the wire protocol's checksums, cursors, and reconnect machinery.
+///
+/// A single uniform draw per frame picks at most one fault, so the rates
+/// must sum to at most 1 (validated like [`FaultSpec`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WireFaultSpec {
+    /// Probability a frame is cut mid-transmission and the connection
+    /// dropped (models a failing interconnect / abrupt peer death).
+    pub cut_per_frame: f64,
+    /// Probability the writer stalls before a frame for longer than the
+    /// server's idle limit (models a hung HBA or wedged producer; the
+    /// server must disconnect, not wait forever).
+    pub stall_per_frame: f64,
+    /// Probability a frame is transmitted twice (models retransmission
+    /// by a confused transport; the receiver must not absorb it twice).
+    pub duplicate_per_frame: f64,
+    /// Probability a frame is swapped with its successor (models
+    /// reordering across a multi-path transport).
+    pub swap_per_frame: f64,
+    /// Probability a burst of non-protocol garbage precedes the frame
+    /// (models a desynchronized or noisy stream; the receiver must
+    /// detect it by framing, not crash or mis-absorb).
+    pub garbage_per_frame: f64,
+}
+
+impl WireFaultSpec {
+    /// No wire faults — the identity spec.
+    pub fn none() -> WireFaultSpec {
+        WireFaultSpec::default()
+    }
+
+    /// Every wire fault kind at the same per-frame `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implied per-frame total exceeds 1.
+    pub fn uniform(rate: f64) -> WireFaultSpec {
+        let spec = WireFaultSpec {
+            cut_per_frame: rate,
+            stall_per_frame: rate,
+            duplicate_per_frame: rate,
+            swap_per_frame: rate,
+            garbage_per_frame: rate,
+        };
+        spec.validate();
+        spec
+    }
+
+    /// Whether this spec can never perturb the stream.
+    pub fn is_none(&self) -> bool {
+        self.total() == 0.0
+    }
+
+    fn total(&self) -> f64 {
+        self.cut_per_frame
+            + self.stall_per_frame
+            + self.duplicate_per_frame
+            + self.swap_per_frame
+            + self.garbage_per_frame
+    }
+
+    /// Asserts every rate is a probability and the single-draw totals
+    /// stay at most 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a rate is out of range.
+    pub fn validate(&self) {
+        for (name, rate) in [
+            ("cut_per_frame", self.cut_per_frame),
+            ("stall_per_frame", self.stall_per_frame),
+            ("duplicate_per_frame", self.duplicate_per_frame),
+            ("swap_per_frame", self.swap_per_frame),
+            ("garbage_per_frame", self.garbage_per_frame),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "{name} = {rate} is not a probability"
+            );
+        }
+        assert!(
+            self.total() <= 1.0,
+            "wire fault rates sum to {} > 1",
+            self.total()
+        );
+    }
+}
+
+/// Exact record of the wire faults one sender injected — what the soak
+/// test checks the daemon's recovery accounting against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireFaultLedger {
+    /// Frames the planner examined.
+    pub frames_planned: u64,
+    /// Frames cut mid-transmission (each forces a disconnect).
+    pub frames_cut: u64,
+    /// Stalls inserted before a frame.
+    pub stalls: u64,
+    /// Frames transmitted twice.
+    pub frames_duplicated: u64,
+    /// Adjacent frame pairs swapped on the wire.
+    pub frames_swapped: u64,
+    /// Garbage bursts inserted between frames.
+    pub garbage_bursts: u64,
+}
+
+impl WireFaultLedger {
+    /// Folds another sender's ledger into this one.
+    pub fn merge(&mut self, other: &WireFaultLedger) {
+        self.frames_planned += other.frames_planned;
+        self.frames_cut += other.frames_cut;
+        self.stalls += other.stalls;
+        self.frames_duplicated += other.frames_duplicated;
+        self.frames_swapped += other.frames_swapped;
+        self.garbage_bursts += other.garbage_bursts;
+    }
+
+    /// Total wire faults injected.
+    pub fn faults_injected(&self) -> u64 {
+        self.frames_cut
+            + self.stalls
+            + self.frames_duplicated
+            + self.frames_swapped
+            + self.garbage_bursts
+    }
+}
+
+/// How one frame should be perturbed on the wire. Produced by
+/// [`WireFaultInjector::plan_frame`]; interpreted by the sender (the
+/// daemon's replay agent) because only the sender owns the socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireAction {
+    /// Transmit the frame unmodified.
+    Send,
+    /// Transmit the frame twice, back to back.
+    SendTwice,
+    /// Transmit the frame, then transmit the *next* frame before this
+    /// one would normally complete — i.e. swap this frame with its
+    /// successor. The sender buffers one frame to honor this.
+    SwapWithNext,
+    /// Transmit only the first `cut_at` bytes of the frame, then drop
+    /// the connection. `cut_at` is strictly inside the frame, so the
+    /// receiver observes a mid-frame disconnect.
+    CutAt(usize),
+    /// Pause for at least the receiver's idle limit before transmitting
+    /// the frame (a stalled writer; the sender sleeps, the receiver is
+    /// expected to hang up).
+    StallThenSend,
+}
+
+/// One frame's wire plan: optional garbage burst first, then the action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePlan {
+    /// Non-protocol bytes to inject before the frame, if any. Never
+    /// starts with a valid frame magic, so the receiver's framing layer
+    /// is guaranteed to reject it.
+    pub pre_garbage: Option<Vec<u8>>,
+    /// How to transmit the frame itself.
+    pub action: WireAction,
+}
+
+impl WirePlan {
+    /// The no-fault plan.
+    pub fn clean() -> WirePlan {
+        WirePlan {
+            pre_garbage: None,
+            action: WireAction::Send,
+        }
+    }
+}
+
+/// Deterministic wire-fault planner: decisions are drawn from an RNG
+/// derived from `(seed, connection attempt)` alone, advanced one draw per
+/// frame, so a faulted run replays identically — and a frame that was cut
+/// or stalled on attempt `n` is *not* automatically faulted again on
+/// attempt `n + 1`, which is what lets a retrying sender converge instead
+/// of looping on a deterministic poison frame.
+#[derive(Debug, Clone)]
+pub struct WireFaultInjector {
+    spec: WireFaultSpec,
+    seed: u64,
+}
+
+impl WireFaultInjector {
+    /// An injector for one sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's rates are invalid (see
+    /// [`WireFaultSpec::validate`]).
+    pub fn new(spec: WireFaultSpec, seed: u64) -> WireFaultInjector {
+        spec.validate();
+        WireFaultInjector { spec, seed }
+    }
+
+    /// The spec in effect.
+    pub fn spec(&self) -> &WireFaultSpec {
+        &self.spec
+    }
+
+    /// The per-connection-attempt RNG: every frame sent on one attempt
+    /// draws from this stream in order.
+    pub fn attempt_rng(&self, attempt: u32) -> StdRng {
+        StdRng::seed_from_u64(derive(
+            derive(self.seed, WIRE_FAULT_STREAM),
+            u64::from(attempt),
+        ))
+    }
+
+    /// Plans one frame's transmission. `rng` must be the
+    /// [`WireFaultInjector::attempt_rng`] for the current connection
+    /// attempt, advanced only by this method; `frame_len` is the encoded
+    /// frame's width (a cut lands strictly inside it); `last` suppresses
+    /// `SwapWithNext` (there is no successor to swap with).
+    pub fn plan_frame(
+        &self,
+        rng: &mut StdRng,
+        frame_len: usize,
+        last: bool,
+        ledger: &mut WireFaultLedger,
+    ) -> WirePlan {
+        ledger.frames_planned += 1;
+        let s = &self.spec;
+        let t_cut = s.cut_per_frame;
+        let t_stall = t_cut + s.stall_per_frame;
+        let t_dup = t_stall + s.duplicate_per_frame;
+        let t_swap = t_dup + s.swap_per_frame;
+        let t_garbage = t_swap + s.garbage_per_frame;
+        let r: f64 = rng.gen();
+        if r < t_cut && frame_len >= 2 {
+            ledger.frames_cut += 1;
+            let cut_at = rng.gen_range(1..frame_len);
+            return WirePlan {
+                pre_garbage: None,
+                action: WireAction::CutAt(cut_at),
+            };
+        }
+        if r < t_stall {
+            ledger.stalls += 1;
+            return WirePlan {
+                pre_garbage: None,
+                action: WireAction::StallThenSend,
+            };
+        }
+        if r < t_dup {
+            ledger.frames_duplicated += 1;
+            return WirePlan {
+                pre_garbage: None,
+                action: WireAction::SendTwice,
+            };
+        }
+        if r < t_swap && !last {
+            ledger.frames_swapped += 1;
+            return WirePlan {
+                pre_garbage: None,
+                action: WireAction::SwapWithNext,
+            };
+        }
+        if r < t_garbage {
+            ledger.garbage_bursts += 1;
+            return WirePlan {
+                pre_garbage: Some(garbage_line(rng)),
+                action: WireAction::Send,
+            };
+        }
+        WirePlan::clean()
+    }
+}
+
 /// Parses a candidate line if it is valid UTF-8 and a valid log line.
 fn parse_line(raw: &[u8]) -> Option<LogLine> {
     LogLine::parse(std::str::from_utf8(raw).ok()?)
@@ -550,6 +829,97 @@ mod tests {
             seed,
         )
         .to_text()
+    }
+
+    #[test]
+    fn wire_zero_spec_plans_clean_frames() {
+        let injector = WireFaultInjector::new(WireFaultSpec::none(), 9);
+        let mut rng = injector.attempt_rng(0);
+        let mut ledger = WireFaultLedger::default();
+        for _ in 0..64 {
+            assert_eq!(
+                injector.plan_frame(&mut rng, 100, false, &mut ledger),
+                WirePlan::clean()
+            );
+        }
+        assert_eq!(ledger.frames_planned, 64);
+        assert_eq!(ledger.faults_injected(), 0);
+    }
+
+    #[test]
+    fn wire_plans_are_deterministic_per_attempt() {
+        let injector = WireFaultInjector::new(WireFaultSpec::uniform(0.1), 42);
+        let plan_all = |attempt: u32| {
+            let mut rng = injector.attempt_rng(attempt);
+            let mut ledger = WireFaultLedger::default();
+            let plans: Vec<WirePlan> = (0..200)
+                .map(|i| injector.plan_frame(&mut rng, 80 + i, i == 199, &mut ledger))
+                .collect();
+            (plans, ledger)
+        };
+        let (p0a, l0a) = plan_all(0);
+        let (p0b, l0b) = plan_all(0);
+        assert_eq!(p0a, p0b, "same attempt must replay identically");
+        assert_eq!(l0a, l0b);
+        let (p1, _) = plan_all(1);
+        assert_ne!(p0a, p1, "attempts must draw from distinct streams");
+    }
+
+    #[test]
+    fn wire_ledger_accounts_for_every_planned_fault() {
+        let injector = WireFaultInjector::new(WireFaultSpec::uniform(0.08), 7);
+        let mut rng = injector.attempt_rng(2);
+        let mut ledger = WireFaultLedger::default();
+        let mut counted = WireFaultLedger::default();
+        for i in 0..500usize {
+            let plan = injector.plan_frame(&mut rng, 120, i == 499, &mut ledger);
+            if plan.pre_garbage.is_some() {
+                counted.garbage_bursts += 1;
+            }
+            match plan.action {
+                WireAction::Send => {}
+                WireAction::SendTwice => counted.frames_duplicated += 1,
+                WireAction::SwapWithNext => {
+                    assert!(i < 499, "last frame must never swap");
+                    counted.frames_swapped += 1;
+                }
+                WireAction::CutAt(at) => {
+                    assert!(
+                        (1..120).contains(&at),
+                        "cut must land strictly inside the frame"
+                    );
+                    counted.frames_cut += 1;
+                }
+                WireAction::StallThenSend => counted.stalls += 1,
+            }
+        }
+        assert_eq!(ledger.frames_planned, 500);
+        assert_eq!(ledger.frames_cut, counted.frames_cut);
+        assert_eq!(ledger.stalls, counted.stalls);
+        assert_eq!(ledger.frames_duplicated, counted.frames_duplicated);
+        assert_eq!(ledger.frames_swapped, counted.frames_swapped);
+        assert_eq!(ledger.garbage_bursts, counted.garbage_bursts);
+        assert!(
+            ledger.faults_injected() > 0,
+            "an 0.08-uniform spec over 500 frames should land faults"
+        );
+    }
+
+    #[test]
+    fn wire_garbage_never_opens_with_frame_magic() {
+        let spec = WireFaultSpec {
+            garbage_per_frame: 1.0,
+            ..WireFaultSpec::default()
+        };
+        let injector = WireFaultInjector::new(spec, 3);
+        let mut rng = injector.attempt_rng(0);
+        let mut ledger = WireFaultLedger::default();
+        for _ in 0..100 {
+            let plan = injector.plan_frame(&mut rng, 64, false, &mut ledger);
+            let garbage = plan.pre_garbage.expect("rate 1.0 must always inject");
+            assert!(!garbage.starts_with(&crate::frame::FRAME_MAGIC));
+        }
+        assert_eq!(ledger.garbage_bursts, 100);
     }
 
     #[test]

@@ -59,7 +59,10 @@ pub use classify::{
 };
 pub use corpus::{LogBook, LogError};
 pub use event::{LogEvent, LogLine, Severity};
-pub use faults::{FaultInjector, FaultLedger, FaultSpec, ShardFate};
+pub use faults::{
+    FaultInjector, FaultLedger, FaultSpec, ShardFate, WireAction, WireFaultInjector,
+    WireFaultLedger, WireFaultSpec, WirePlan,
+};
 pub use frame::{
     checksum64, decode_frame, decode_frame_text, encode_frame, Checksum, FrameError, FrameHeader,
     FRAME_MAGIC, FRAME_VERSION, HEADER_LEN,

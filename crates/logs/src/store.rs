@@ -809,6 +809,31 @@ impl CorpusReader {
     ///
     /// Panics if `shard` is out of range.
     pub fn read_shard_text(&self, shard: usize) -> Result<String, CorpusError> {
+        let bytes = self.read_shard_frame(shard)?;
+        let framed = |source| CorpusError::Frame {
+            shard,
+            segment: self.manifest.shards[shard].segment,
+            source,
+        };
+        let (_, text) = frame::decode_frame_text(&bytes).map_err(framed)?;
+        Ok(text.to_owned())
+    }
+
+    /// Reads and integrity-checks one shard's *encoded frame* — header and
+    /// payload bytes exactly as they sit in the segment file. This is the
+    /// replay path: the `ssfad` ingest protocol carries whole corpus
+    /// frames, so an agent streams these bytes onto the wire verbatim
+    /// without re-encoding (and therefore cannot re-encode *differently*).
+    ///
+    /// # Errors
+    ///
+    /// As [`CorpusReader::read_shard_text`], minus the UTF-8 check (the
+    /// payload is not decoded here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn read_shard_frame(&self, shard: usize) -> Result<Vec<u8>, CorpusError> {
         let entry = self.manifest.shards[shard];
         let path = self.segment_path(entry.segment);
         let mut file = File::open(&path).map_err(io_err(format!("open {}", path.display())))?;
@@ -829,8 +854,8 @@ impl CorpusReader {
             .map_err(io_err(format!("read shard {shard}")))?;
         let header = FrameHeader::parse(&bytes).map_err(framed)?;
         self.cross_check(shard, &header)?;
-        let (_, text) = frame::decode_frame_text(&bytes).map_err(framed)?;
-        Ok(text.to_owned())
+        frame::decode_frame(&bytes).map_err(framed)?;
+        Ok(bytes)
     }
 
     /// Reads and parses one shard into a [`LogBook`].

@@ -76,6 +76,14 @@ pub struct RunHealth {
     /// The fault injector's own ledger for the run (all-zero when no
     /// faults were injected).
     pub ledger: FaultLedger,
+    /// Frames shed un-acknowledged by an ingest bus under backpressure
+    /// (always zero for offline engine runs — a shed frame is *not* lost:
+    /// because it was never acknowledged, the sender's cursor does not
+    /// advance past it and it is retransmitted).
+    pub frames_shed: u64,
+    /// Log lines carried by shed frames — the transient volume
+    /// backpressure deferred, not a loss bucket.
+    pub lines_shed: u64,
 }
 
 impl RunHealth {
@@ -152,6 +160,13 @@ impl std::fmt::Display for RunHealth {
             self.lines_skipped_malformed,
             self.lines_skipped_missing_topology,
         )?;
+        if self.frames_shed > 0 {
+            write!(
+                f,
+                "\nbackpressure: {} frame(s) shed un-acked ({} line(s) deferred for retransmit)",
+                self.frames_shed, self.lines_shed,
+            )?;
+        }
         for q in &self.quarantined {
             write!(
                 f,

@@ -22,12 +22,13 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use ssfa::daemon::{AgentConfig, ReplayAgent};
 use ssfa::logs::{CascadeStyle, CorpusWriter, Strictness};
 use ssfa::pipeline::Source;
 use ssfa::{FileSource, MmapSource, Pipeline};
 
 const USAGE: &str = "\
-usage: ssfa corpus <build|verify|analyze> [options]
+usage: ssfa <corpus|agent> <subcommand> [options]
 
   ssfa corpus build --out <dir> [--scale <f>] [--seed <n>] [--style full|raid-only]
                     [--threads <n>] [--segment-shards <n>] [--force]
@@ -39,6 +40,12 @@ usage: ssfa corpus <build|verify|analyze> [options]
 
   ssfa corpus analyze <dir> [--source file|mmap] [--threads <n>] [--lenient]
       Run the analysis pipeline over a corpus and print the Table 1 report.
+
+  ssfa agent replay <dir> --addr <ip:port> --tenant <t> [--session <s>]
+                    [--lenient] [--max-attempts <n>] [--backoff-base-ms <n>]
+                    [--backoff-cap-ms <n>] [--seed <n>]
+      Stream a corpus's shard frames to a running ssfad, reconnecting
+      with capped seeded backoff and resuming from the session cursor.
 ";
 
 fn main() -> ExitCode {
@@ -76,6 +83,11 @@ fn run(args: &[&str]) -> Result<(), CliError> {
             ["analyze", opts @ ..] => corpus_analyze(opts),
             [other, ..] => Err(usage(format!("unknown corpus subcommand `{other}`"))),
             [] => Err(usage("corpus needs a subcommand")),
+        },
+        ["agent", rest @ ..] => match rest {
+            ["replay", opts @ ..] => agent_replay(opts),
+            [other, ..] => Err(usage(format!("unknown agent subcommand `{other}`"))),
+            [] => Err(usage("agent needs a subcommand")),
         },
         [other, ..] => Err(usage(format!("unknown command `{other}`"))),
         [] => Err(usage("no command given")),
@@ -142,6 +154,12 @@ fn corpus_build(args: &[&str]) -> Result<(), CliError> {
     let out = out.ok_or_else(|| usage("build needs --out <dir>"))?;
     if !scale.is_finite() || scale <= 0.0 {
         return Err(usage("--scale must be positive"));
+    }
+    if threads == Some(0) {
+        return Err(usage("--threads must be at least 1"));
+    }
+    if segment_shards == Some(0) {
+        return Err(usage("--segment-shards must be at least 1"));
     }
 
     if force && out.join(ssfa::logs::MANIFEST_NAME).exists() {
@@ -219,6 +237,9 @@ fn corpus_analyze(args: &[&str]) -> Result<(), CliError> {
         }
     }
     let dir = dir.ok_or_else(|| usage("analyze needs a corpus directory"))?;
+    if threads == Some(0) {
+        return Err(usage("--threads must be at least 1"));
+    }
 
     let mut pipeline = Pipeline::new();
     if let Some(threads) = threads {
@@ -249,5 +270,58 @@ fn corpus_analyze(args: &[&str]) -> Result<(), CliError> {
         stats.shards, stats.chunks, stats.max_shard_bytes, stats.total_bytes
     );
     println!("{health}");
+    Ok(())
+}
+
+fn agent_replay(args: &[&str]) -> Result<(), CliError> {
+    let mut dir: Option<PathBuf> = None;
+    let mut addr: Option<String> = None;
+    let mut config = AgentConfig::clean("", "replay");
+    let mut opts = Opts::new(args);
+    while let Some(flag) = opts.next() {
+        match flag {
+            "--addr" => addr = Some(opts.value(flag)?.to_owned()),
+            "--tenant" => config.tenant = opts.value(flag)?.to_owned(),
+            "--session" => config.session = opts.value(flag)?.to_owned(),
+            "--lenient" => config.strictness = Strictness::Lenient,
+            "--max-attempts" => config.max_attempts = opts.parse(flag)?,
+            "--backoff-base-ms" => config.backoff.base_ms = opts.parse(flag)?,
+            "--backoff-cap-ms" => config.backoff.cap_ms = opts.parse(flag)?,
+            "--seed" => {
+                let seed: u64 = opts.parse(flag)?;
+                config.backoff.seed = seed;
+                config.fault_seed = seed;
+            }
+            other if !other.starts_with('-') && dir.is_none() => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => return Err(usage(format!("unknown replay option `{other}`"))),
+        }
+    }
+    let dir = dir.ok_or_else(|| usage("replay needs a corpus directory"))?;
+    let addr = addr.ok_or_else(|| usage("replay needs --addr <ip:port>"))?;
+    if config.tenant.is_empty() {
+        return Err(usage("replay needs --tenant <t>"));
+    }
+    if config.max_attempts == 0 {
+        return Err(usage("--max-attempts must be at least 1"));
+    }
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| usage(format!("invalid --addr: `{addr}`")))?;
+
+    let agent = ReplayAgent::from_corpus(config, &dir).map_err(CliError::Run)?;
+    let total = agent.stream_len();
+    let report = agent.run(addr).map_err(|e| CliError::Run(e.to_string()))?;
+    match &report.quarantined {
+        Some(reason) => println!(
+            "tenant quarantined after {}/{total} frames: {reason}",
+            report.final_cursor
+        ),
+        None => println!(
+            "replayed {total} frames in {} connection(s)",
+            report.connections
+        ),
+    }
     Ok(())
 }

@@ -23,6 +23,10 @@
 //!   [`Source`](pipeline::Source) → [`Transport`](pipeline::Transport) →
 //!   [`Classify`](pipeline::Classify) → [`Reduce`](pipeline::Reduce) →
 //!   [`Sink`](pipeline::Sink) seams over one chunked worker pool.
+//! - [`daemon`] — `ssfad`, the always-on analysis service: a framed TCP
+//!   ingest bus with per-tenant folds and quarantine, session cursors,
+//!   bounded backpressure, and reconnect/backoff replay agents
+//!   (DESIGN §12).
 //!
 //! This root crate is a thin facade: everything here is a re-export of
 //! [`ssfa-pipeline`](pipeline) (the engine) or the domain crates, kept so
@@ -120,6 +124,7 @@
 #![warn(missing_docs)]
 
 pub use ssfa_core as core;
+pub use ssfa_daemon as daemon;
 pub use ssfa_logs as logs;
 pub use ssfa_model as model;
 pub use ssfa_pipeline as pipeline;

@@ -1,0 +1,140 @@
+//! Pins the CLI error contract for both binaries: usage errors (unknown
+//! commands, unknown flags, invalid values) print the usage text to
+//! **stderr** and exit **2** — never a panic, never exit 1, and never a
+//! word on stdout. Runtime failures (a missing corpus directory) exit 1
+//! without the usage dump.
+
+use std::process::{Command, Output};
+
+fn ssfa(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ssfa"))
+        .args(args)
+        .output()
+        .expect("spawn ssfa")
+}
+
+fn ssfad(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ssfad"))
+        .args(args)
+        .output()
+        .expect("spawn ssfad")
+}
+
+fn assert_usage_refusal(out: &Output, binary: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{binary}: usage errors must exit 2, got {:?} (stderr: {stderr})",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{binary}: usage text must go to stderr, got: {stderr}"
+    );
+    assert!(
+        stderr.contains("error:"),
+        "{binary}: the specific error must be named, got: {stderr}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "{binary}: refusals must not write stdout, got: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn unknown_commands_and_subcommands_exit_2_with_usage() {
+    assert_usage_refusal(&ssfa(&[]), "ssfa");
+    assert_usage_refusal(&ssfa(&["frobnicate"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["corpus"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["corpus", "frobnicate"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["agent"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["agent", "frobnicate"]), "ssfa");
+    assert_usage_refusal(&ssfad(&[]), "ssfad");
+    assert_usage_refusal(&ssfad(&["frobnicate"]), "ssfad");
+}
+
+#[test]
+fn unknown_flags_exit_2_with_usage() {
+    assert_usage_refusal(&ssfa(&["corpus", "build", "--frobnicate"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["corpus", "analyze", "dir", "--frobnicate"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["agent", "replay", "dir", "--frobnicate"]), "ssfa");
+    assert_usage_refusal(&ssfad(&["serve", "--frobnicate"]), "ssfad");
+    assert_usage_refusal(&ssfad(&["status"]), "ssfad");
+}
+
+#[test]
+fn invalid_values_are_usage_errors_not_panics() {
+    // --threads 0 used to reach Pipeline::threads(0) and panic; it must
+    // be a polite usage refusal on every subcommand that accepts it.
+    assert_usage_refusal(
+        &ssfa(&["corpus", "build", "--out", "x", "--threads", "0"]),
+        "ssfa",
+    );
+    assert_usage_refusal(&ssfa(&["corpus", "analyze", "x", "--threads", "0"]), "ssfa");
+    assert_usage_refusal(
+        &ssfa(&["corpus", "build", "--out", "x", "--segment-shards", "0"]),
+        "ssfa",
+    );
+    assert_usage_refusal(
+        &ssfa(&["corpus", "build", "--out", "x", "--scale", "banana"]),
+        "ssfa",
+    );
+    assert_usage_refusal(
+        &ssfa(&["corpus", "build", "--out", "x", "--scale", "-1"]),
+        "ssfa",
+    );
+    assert_usage_refusal(
+        &ssfa(&[
+            "agent",
+            "replay",
+            "x",
+            "--addr",
+            "not-an-addr",
+            "--tenant",
+            "t",
+        ]),
+        "ssfa",
+    );
+    assert_usage_refusal(
+        &ssfa(&[
+            "agent",
+            "replay",
+            "x",
+            "--addr",
+            "127.0.0.1:1",
+            "--tenant",
+            "t",
+            "--max-attempts",
+            "0",
+        ]),
+        "ssfa",
+    );
+    assert_usage_refusal(&ssfad(&["serve", "--heartbeat-ms", "0"]), "ssfad");
+    assert_usage_refusal(&ssfad(&["serve", "--idle-ticks", "0"]), "ssfad");
+    assert_usage_refusal(&ssfad(&["serve", "--queue-capacity", "0"]), "ssfad");
+}
+
+#[test]
+fn missing_required_arguments_exit_2() {
+    assert_usage_refusal(&ssfa(&["corpus", "build"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["corpus", "verify"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["agent", "replay"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["agent", "replay", "some-dir"]), "ssfa");
+    assert_usage_refusal(&ssfad(&["health", "127.0.0.1:1"]), "ssfad");
+}
+
+#[test]
+fn runtime_failures_exit_1_without_usage_dump() {
+    // A well-formed invocation over a nonexistent corpus is a runtime
+    // error: exit 1, one error line, no usage text.
+    let out = ssfa(&["corpus", "verify", "/nonexistent/corpus"]);
+    assert_eq!(out.status.code(), Some(1), "runtime errors exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(
+        !stderr.contains("usage:"),
+        "runtime errors must not dump usage: {stderr}"
+    );
+}
