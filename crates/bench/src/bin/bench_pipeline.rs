@@ -7,8 +7,18 @@
 //! (`corpus_file`, `corpus_mmap`; the corpus is built once outside the
 //! timed region, so these measure pure analysis with simulation and
 //! rendering amortized away) — and emits one `BENCH_pipeline.json` with
-//! wall time, peak resident corpus bytes, and shard throughput per
-//! configuration.
+//! wall time, peak resident corpus bytes, allocations per corpus line,
+//! and shard throughput per configuration.
+//!
+//! The binary installs a counting global allocator, which powers two
+//! allocation contracts on the zero-copy parse path:
+//!
+//! - a *steady-state probe*: a classifier fed the same noise-line text
+//!   twice must allocate exactly **zero** times on the second pass — the
+//!   borrowed-slice parser's happy path holds no per-line allocation;
+//! - a per-configuration `allocs_per_line` metric (measured in the
+//!   untimed counters round, so timing reps stay clean), gated against
+//!   the baseline for the pure-analysis corpus configurations.
 //!
 //! Modes:
 //!
@@ -16,12 +26,16 @@
 //! - `--write-baseline <path>` — also write the results as a gate
 //!   baseline (how a new baseline is blessed).
 //! - `--check <baseline>` — run the benches, then gate against the
-//!   baseline: fail (exit 1) if the streaming/monolithic wall-time ratio
-//!   regressed by more than 25% relative to the baseline's ratio, or if
-//!   any streaming configuration's peak resident corpus bytes grew at
-//!   all. The ratio gate is machine-independent (both sides of the ratio
-//!   ran on the same box); the peak-bytes gate is absolute because peak
-//!   residency is deterministic for a given `(scale, seed)`.
+//!   baseline. Every violation names the exact configuration and metric
+//!   as a `[config=<name> metric=<metric>]` prefix. The gates:
+//!   fail (exit 1) if a gated configuration's streaming/monolithic
+//!   wall-time ratio regressed by more than 25% relative to the
+//!   baseline's ratio, if the text transport runs slower than 1.2x the
+//!   parsed-lines transport *in the current run* (both sides share the
+//!   box, so no baseline is involved), if any streaming configuration's
+//!   peak resident corpus bytes grew at all, if a gated configuration's
+//!   allocations-per-line grew more than 10% over baseline, or if the
+//!   steady-state probe allocates at all.
 //!
 //! Environment knobs: `SSFA_BENCH_SCALE` (default 0.01),
 //! `SSFA_BENCH_SEED` (1988), `SSFA_BENCH_THREADS` (1),
@@ -31,14 +45,41 @@
 //! streaming-path rep — exists so CI's gate can be proven to fail on a
 //! synthetic slowdown).
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use ssfa::logs::{Classifier, LogEvent, LogLine};
+use ssfa::model::{SimTime, SystemId};
 use ssfa::Pipeline;
 
 /// Wall-time regression tolerance on the streaming/monolithic ratio.
 const WALL_RATIO_TOLERANCE: f64 = 1.25;
+
+/// Hard ceiling on `streaming_auto_text` / `streaming_auto` wall time in
+/// the *current* run: the text transport serializes and re-parses every
+/// shard on top of the work the parsed transport does. Both sides run
+/// interleaved on the same box, so the ratio needs no baseline to be
+/// machine-independent — but it is NOT core-count-independent: with
+/// workers to spread over, the round-trip overhead hides behind
+/// parallelism and the ratio sits near 1.2; on a single-core runner the
+/// render+re-parse fully serializes against the shared simulate/classify
+/// work and floors near 1.4. The ceiling covers the serialized
+/// worst case; [`TEXT_RATIO_TOLERANCE`] tracks the blessed baseline's
+/// (machine-specific) ratio much more tightly.
+const TEXT_OVER_PARSED_LIMIT: f64 = 1.6;
+
+/// Relative tolerance on the text/parsed wall ratio against the blessed
+/// baseline's ratio: the tight, machine-calibrated half of the text gate
+/// (the absolute [`TEXT_OVER_PARSED_LIMIT`] is the floor-independent
+/// half; the lower of the two bounds wins).
+const TEXT_RATIO_TOLERANCE: f64 = 1.15;
+
+/// Allocations-per-line regression tolerance (relative to baseline, plus
+/// a half-allocation absolute slack so tiny counts don't flap).
+const ALLOCS_TOLERANCE: f64 = 1.1;
 
 /// Configurations whose wall time is gated as a ratio against
 /// [`GATED_REFERENCE`]: the default streaming path plus both disk-backed
@@ -58,6 +99,86 @@ const GATED_PEAK: [&str; 5] = [
     "corpus_mmap",
 ];
 
+/// Configurations whose allocations-per-line are gated against the
+/// baseline: the corpus-backed ones, whose counters round is pure
+/// disk-to-study analysis — every allocation it makes is parse/classify
+/// work, not simulation or rendering.
+const GATED_ALLOCS: [&str; 2] = ["corpus_file", "corpus_mmap"];
+
+/// Allocations observed process-wide, via [`CountingAlloc`].
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-delegating allocator that counts allocation calls, so the
+/// gate can hold the parsed hot path to zero steady-state allocations.
+/// Counters use `Relaxed` ordering: the probe and the counters round are
+/// single-threaded at the measurement boundaries, and an off-by-a-few
+/// count under concurrency would only show up in ungated diagnostics.
+struct CountingAlloc;
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// GlobalAlloc contract; the counter increments have no effect on the
+// memory returned.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwarded verbatim to `System::alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    // SAFETY: forwarded verbatim to `System::alloc_zeroed`.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    // SAFETY: forwarded verbatim to `System::dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: forwarded verbatim to `System::realloc`; a grow-in-place is
+    // still one allocator round trip, so it counts.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// The zero-allocation steady-state contract: feed one classifier the
+/// same rendered noise-event text twice and count allocations during the
+/// second pass. The first pass warms the tail scratch buffer; after that,
+/// the borrowed-slice parse path (`feed_bytes` → `LogLineRef::parse` →
+/// `feed_view`) must not touch the allocator at all. Returns the
+/// second-pass allocation count (the gate requires exactly zero).
+fn steady_state_probe() -> u64 {
+    const LINES: usize = 4096;
+    let mut one = String::new();
+    LogLine::new(
+        SystemId(7),
+        SimTime::from_secs(120_000),
+        LogEvent::FciAdapterReset { adapter: 3 },
+    )
+    .render_into(&mut one);
+    one.push('\n');
+    let text = one.repeat(LINES);
+    let mut classifier = Classifier::new();
+    classifier
+        .feed_bytes(text.as_bytes())
+        .expect("noise parses");
+    let before = allocations();
+    classifier
+        .feed_bytes(text.as_bytes())
+        .expect("noise parses");
+    allocations() - before
+}
+
 #[derive(Debug, Clone)]
 struct BenchResult {
     name: &'static str,
@@ -67,6 +188,7 @@ struct BenchResult {
     shards: u64,
     chunks: u64,
     shards_per_sec: f64,
+    allocs_per_line: f64,
 }
 
 struct BenchEnv {
@@ -147,26 +269,33 @@ fn stream_counters(stats: ssfa::StreamStats) -> Counters {
 /// Runs all configurations interleaved: one warmup round, then `reps`
 /// rounds that time each configuration once per round, reporting the
 /// per-configuration median. Interleaving matters because the headline
-/// gate is a *ratio* between configurations — a machine-wide slow phase
+/// gates are *ratios* between configurations — a machine-wide slow phase
 /// (CI neighbors, thermal throttling) that hits one configuration's
 /// entire timing block would skew the ratio, while spread across rounds
-/// it cancels out.
+/// it cancels out. The warmup round doubles as the allocation-counting
+/// round (per-rep counting would perturb the timed reps for nothing:
+/// allocation counts are deterministic for a given `(scale, seed)`).
 fn run_benches(env: &BenchEnv) -> Vec<BenchResult> {
     let base = env.pipeline();
 
     // Monolithic peak residency is the whole parsed corpus; it is
-    // deterministic, so measure it once outside the timed rounds.
-    let mono_counters = {
+    // deterministic, so measure it once outside the timed rounds. The
+    // line count doubles as the per-line allocation divisor for every
+    // configuration — all of them classify the same logical corpus.
+    let (mono_counters, corpus_lines) = {
         let fleet = base.build_fleet();
         let output = base.simulate(&fleet);
         let book = base.render(&fleet, &output);
         let bytes = book.resident_bytes() as u64;
-        Counters {
-            peak_bytes: bytes,
-            total_bytes: bytes,
-            shards: fleet.systems().len() as u64,
-            chunks: 1,
-        }
+        (
+            Counters {
+                peak_bytes: bytes,
+                total_bytes: bytes,
+                shards: fleet.systems().len() as u64,
+                chunks: 1,
+            },
+            (book.len() as u64).max(1),
+        )
     };
 
     // The corpus-backed configurations analyze a pre-built on-disk corpus
@@ -251,8 +380,11 @@ fn run_benches(env: &BenchEnv) -> Vec<BenchResult> {
     ];
 
     let mut counters: Vec<Counters> = Vec::with_capacity(configs.len());
+    let mut allocs_per_line: Vec<f64> = Vec::with_capacity(configs.len());
     for (_, _, run) in &mut configs {
+        let before = allocations();
         counters.push(run());
+        allocs_per_line.push((allocations() - before) as f64 / corpus_lines as f64);
     }
     let mut walls: Vec<Vec<f64>> = vec![Vec::with_capacity(env.reps); configs.len()];
     for _ in 0..env.reps {
@@ -269,24 +401,28 @@ fn run_benches(env: &BenchEnv) -> Vec<BenchResult> {
     configs
         .iter()
         .zip(counters)
+        .zip(allocs_per_line)
         .zip(walls)
-        .map(|(((name, _, _), counters), mut config_walls)| {
-            config_walls.sort_by(|a, b| a.total_cmp(b));
-            let wall_ms = config_walls[config_walls.len() / 2];
-            BenchResult {
-                name,
-                wall_ms,
-                peak_bytes: counters.peak_bytes,
-                total_bytes: counters.total_bytes,
-                shards: counters.shards,
-                chunks: counters.chunks,
-                shards_per_sec: counters.shards as f64 / (wall_ms / 1e3),
-            }
-        })
+        .map(
+            |((((name, _, _), counters), allocs_per_line), mut config_walls)| {
+                config_walls.sort_by(|a, b| a.total_cmp(b));
+                let wall_ms = config_walls[config_walls.len() / 2];
+                BenchResult {
+                    name,
+                    wall_ms,
+                    peak_bytes: counters.peak_bytes,
+                    total_bytes: counters.total_bytes,
+                    shards: counters.shards,
+                    chunks: counters.chunks,
+                    shards_per_sec: counters.shards as f64 / (wall_ms / 1e3),
+                    allocs_per_line,
+                }
+            },
+        )
         .collect()
 }
 
-fn to_json(env: &BenchEnv, results: &[BenchResult]) -> String {
+fn to_json(env: &BenchEnv, steady_state_allocs: u64, results: &[BenchResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"ssfa-bench-pipeline/v1\",\n");
@@ -294,6 +430,7 @@ fn to_json(env: &BenchEnv, results: &[BenchResult]) -> String {
     let _ = writeln!(out, "  \"seed\": {},", env.seed);
     let _ = writeln!(out, "  \"threads\": {},", env.threads);
     let _ = writeln!(out, "  \"reps\": {},", env.reps);
+    let _ = writeln!(out, "  \"steady_state_allocs\": {steady_state_allocs},");
     out.push_str("  \"configs\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
@@ -303,6 +440,7 @@ fn to_json(env: &BenchEnv, results: &[BenchResult]) -> String {
         let _ = writeln!(out, "      \"total_bytes\": {},", r.total_bytes);
         let _ = writeln!(out, "      \"shards\": {},", r.shards);
         let _ = writeln!(out, "      \"chunks\": {},", r.chunks);
+        let _ = writeln!(out, "      \"allocs_per_line\": {:.3},", r.allocs_per_line);
         let _ = writeln!(out, "      \"shards_per_sec\": {:.1}", r.shards_per_sec);
         out.push_str(if i + 1 == results.len() {
             "    }\n"
@@ -348,8 +486,14 @@ fn result_for<'a>(results: &'a [BenchResult], name: &str) -> &'a BenchResult {
         .expect("all configs ran")
 }
 
-/// Applies the gate; returns the list of violations (empty = pass).
-fn check_against_baseline(results: &[BenchResult], baseline: &str) -> Result<Vec<String>, String> {
+/// Applies the gate; returns the list of violations (empty = pass). Every
+/// violation is prefixed `[config=<name> metric=<metric>]` so a CI
+/// failure names exactly what regressed.
+fn check_against_baseline(
+    results: &[BenchResult],
+    steady_state_allocs: u64,
+    baseline: &str,
+) -> Result<Vec<String>, String> {
     let mut violations = Vec::new();
 
     // Wall gates: each gated config's ratio to the monolithic reference,
@@ -363,10 +507,32 @@ fn check_against_baseline(results: &[BenchResult], baseline: &str) -> Result<Vec
         let limit = baseline_ratio * WALL_RATIO_TOLERANCE;
         if current_ratio > limit {
             violations.push(format!(
-                "wall-time regression: {config}/{GATED_REFERENCE} ratio {current_ratio:.3} \
-                 exceeds baseline {baseline_ratio:.3} x {WALL_RATIO_TOLERANCE} = {limit:.3}"
+                "[config={config} metric=wall_ms] wall-time regression: \
+                 {config}/{GATED_REFERENCE} ratio {current_ratio:.3} exceeds baseline \
+                 {baseline_ratio:.3} x {WALL_RATIO_TOLERANCE} = {limit:.3}"
             ));
         }
+    }
+
+    // The text/parsed contract: the serialize-and-re-parse transport must
+    // stay close to feeding parsed lines. Two bounds, the lower wins:
+    // an absolute ceiling (TEXT_OVER_PARSED_LIMIT, covers the serialized
+    // single-core floor without a baseline) and a relative bound tracking
+    // the blessed baseline's own ratio (TEXT_RATIO_TOLERANCE, tight on the
+    // machine the baseline was blessed on). Ratios are compared
+    // ratio-to-ratio, so machine speed cancels out of the relative half.
+    let text_ratio = result_for(results, "streaming_auto_text").wall_ms
+        / result_for(results, "streaming_auto").wall_ms;
+    let baseline_text_ratio = baseline_number(baseline, "streaming_auto_text", "wall_ms")?
+        / baseline_number(baseline, "streaming_auto", "wall_ms")?;
+    let text_limit = TEXT_OVER_PARSED_LIMIT.min(baseline_text_ratio * TEXT_RATIO_TOLERANCE);
+    if text_ratio > text_limit {
+        violations.push(format!(
+            "[config=streaming_auto_text metric=wall_ms] text-transport regression: \
+             streaming_auto_text/streaming_auto ratio {text_ratio:.3} exceeds \
+             min(hard limit {TEXT_OVER_PARSED_LIMIT}, baseline {baseline_text_ratio:.3} x \
+             {TEXT_RATIO_TOLERANCE}) = {text_limit:.3}"
+        ));
     }
 
     // Memory gate: peak resident corpus bytes on every streaming config
@@ -376,9 +542,36 @@ fn check_against_baseline(results: &[BenchResult], baseline: &str) -> Result<Vec
         let allowed = baseline_number(baseline, config, "peak_bytes")?;
         if current > allowed {
             violations.push(format!(
-                "peak-memory regression: {config} peak {current} bytes exceeds baseline {allowed}"
+                "[config={config} metric=peak_bytes] peak-memory regression: \
+                 peak {current} bytes exceeds baseline {allowed}"
             ));
         }
+    }
+
+    // Allocation gate: the corpus configurations' counters round is pure
+    // parse/classify work, so allocations-per-line is a direct hot-path
+    // contract; 10% relative tolerance plus half an allocation of
+    // absolute slack.
+    for config in GATED_ALLOCS {
+        let current = result_for(results, config).allocs_per_line;
+        let allowed = baseline_number(baseline, config, "allocs_per_line")?;
+        let limit = allowed * ALLOCS_TOLERANCE + 0.5;
+        if current > limit {
+            violations.push(format!(
+                "[config={config} metric=allocs_per_line] allocation regression: \
+                 {current:.3} allocs/line exceeds baseline {allowed:.3} x \
+                 {ALLOCS_TOLERANCE} + 0.5 = {limit:.3}"
+            ));
+        }
+    }
+
+    // The steady-state contract is absolute: the warmed parse loop must
+    // never touch the allocator.
+    if steady_state_allocs > 0 {
+        violations.push(format!(
+            "[config=steady_state metric=allocs] steady-state regression: warmed \
+             noise-line parse loop made {steady_state_allocs} allocations (must be 0)"
+        ));
     }
     Ok(violations)
 }
@@ -386,8 +579,9 @@ fn check_against_baseline(results: &[BenchResult], baseline: &str) -> Result<Vec
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let env = BenchEnv::from_env();
+    let steady_state_allocs = steady_state_probe();
     let results = run_benches(&env);
-    let json = to_json(&env, &results);
+    let json = to_json(&env, steady_state_allocs, &results);
 
     let out_path = std::env::var("SSFA_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
     if let Err(err) = std::fs::write(&out_path, &json) {
@@ -396,10 +590,18 @@ fn main() -> ExitCode {
     }
     for r in &results {
         eprintln!(
-            "{:<22} wall {:>9.3} ms  peak {:>9} B  {:>6} shards in {:>4} chunks  {:>9.1} shards/s",
-            r.name, r.wall_ms, r.peak_bytes, r.shards, r.chunks, r.shards_per_sec,
+            "{:<22} wall {:>9.3} ms  peak {:>9} B  {:>6} shards in {:>4} chunks  \
+             {:>9.1} shards/s  {:>7.2} allocs/line",
+            r.name,
+            r.wall_ms,
+            r.peak_bytes,
+            r.shards,
+            r.chunks,
+            r.shards_per_sec,
+            r.allocs_per_line,
         );
     }
+    eprintln!("bench_pipeline: steady-state parse allocations: {steady_state_allocs}");
     eprintln!("bench_pipeline: wrote {out_path}");
 
     match args.first().map(String::as_str) {
@@ -428,7 +630,7 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            match check_against_baseline(&results, &baseline) {
+            match check_against_baseline(&results, steady_state_allocs, &baseline) {
                 Ok(violations) if violations.is_empty() => {
                     eprintln!("bench_pipeline: gate passed against {path}");
                     ExitCode::SUCCESS
@@ -458,6 +660,7 @@ mod tests {
 
     const SAMPLE: &str = r#"{
   "schema": "ssfa-bench-pipeline/v1",
+  "steady_state_allocs": 0,
   "configs": [
     {
       "name": "monolithic",
@@ -476,18 +679,20 @@ mod tests {
     },
     {
       "name": "streaming_auto_text",
-      "wall_ms": 40.000,
+      "wall_ms": 24.000,
       "peak_bytes": 23000
     },
     {
       "name": "corpus_file",
       "wall_ms": 18.000,
-      "peak_bytes": 20000
+      "peak_bytes": 20000,
+      "allocs_per_line": 4.000
     },
     {
       "name": "corpus_mmap",
       "wall_ms": 16.000,
-      "peak_bytes": 20000
+      "peak_bytes": 20000,
+      "allocs_per_line": 3.000
     }
   ]
 }
@@ -502,6 +707,11 @@ mod tests {
             shards: 391,
             chunks: 12,
             shards_per_sec: 391.0 / (wall_ms / 1e3),
+            allocs_per_line: match name {
+                "corpus_file" => 4.0,
+                "corpus_mmap" => 3.0,
+                _ => 100.0,
+            },
         }
     }
 
@@ -511,7 +721,7 @@ mod tests {
             result("monolithic_parallel", 15.0, 1_000_000),
             result("streaming_chunk1", 30.0, 20_000),
             result("streaming_auto", auto_wall, auto_peak),
-            result("streaming_auto_text", 40.0, 23_000),
+            result("streaming_auto_text", 24.0, 23_000),
             result("corpus_file", 18.0, 20_000),
             result("corpus_mmap", 16.0, 20_000),
         ]
@@ -524,6 +734,10 @@ mod tests {
         results
     }
 
+    fn check(results: &[BenchResult]) -> Vec<String> {
+        check_against_baseline(results, 0, SAMPLE).unwrap()
+    }
+
     #[test]
     fn parses_numbers_out_of_its_own_schema() {
         assert_eq!(
@@ -533,6 +747,10 @@ mod tests {
         assert_eq!(
             baseline_number(SAMPLE, "streaming_auto", "peak_bytes").unwrap(),
             20_000.0
+        );
+        assert_eq!(
+            baseline_number(SAMPLE, "corpus_mmap", "allocs_per_line").unwrap(),
+            3.0
         );
         assert!(baseline_number(SAMPLE, "nonexistent", "wall_ms").is_err());
     }
@@ -546,7 +764,7 @@ mod tests {
             reps: 5,
             handicap_ms: 0,
         };
-        let json = to_json(&env, &sample_results(21.0, 20_000));
+        let json = to_json(&env, 0, &sample_results(21.0, 20_000));
         assert_eq!(
             baseline_number(&json, "streaming_auto", "wall_ms").unwrap(),
             21.0
@@ -559,40 +777,116 @@ mod tests {
             baseline_number(&json, "streaming_auto_text", "peak_bytes").unwrap(),
             23_000.0
         );
+        assert_eq!(
+            baseline_number(&json, "corpus_file", "allocs_per_line").unwrap(),
+            4.0
+        );
+        assert!(json.contains("\"steady_state_allocs\": 0"));
     }
 
     #[test]
     fn gate_passes_at_parity_and_within_tolerance() {
         // Identical ratio: pass.
-        assert!(
-            check_against_baseline(&sample_results(21.0, 20_000), SAMPLE)
-                .unwrap()
-                .is_empty()
-        );
-        // 20% slower ratio: inside the 25% band.
-        assert!(
-            check_against_baseline(&sample_results(25.2, 20_000), SAMPLE)
-                .unwrap()
-                .is_empty()
-        );
+        assert!(check(&sample_results(21.0, 20_000)).is_empty());
+        // 11% slower streaming_auto: inside the 25% band, and the text
+        // ratio 24/23.3 stays under the baseline-relative text bound
+        // (24/21 x 1.15 = 1.314).
+        assert!(check(&sample_results(23.3, 20_000)).is_empty());
     }
 
     #[test]
     fn gate_fails_on_synthetic_2x_slowdown() {
-        let violations = check_against_baseline(&sample_results(42.0, 20_000), SAMPLE).unwrap();
+        // streaming_auto at 2x trips its baseline ratio gate; the text
+        // config rides along because its hard ratio is measured against
+        // the now-slow streaming_auto, so exclude it from the count by
+        // slowing text equally.
+        let mut results = sample_results(42.0, 20_000);
+        results
+            .iter_mut()
+            .find(|r| r.name == "streaming_auto_text")
+            .unwrap()
+            .wall_ms = 48.0;
+        let violations = check(&results);
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert!(
-            violations[0].contains("wall-time regression"),
+            violations[0].contains("[config=streaming_auto metric=wall_ms]")
+                && violations[0].contains("wall-time regression"),
             "{violations:?}"
         );
     }
 
     #[test]
-    fn gate_fails_on_any_peak_memory_growth() {
-        let violations = check_against_baseline(&sample_results(21.0, 20_001), SAMPLE).unwrap();
+    fn gate_fails_when_text_transport_exceeds_the_baseline_relative_bound() {
+        // Baseline ratio 24/21 = 1.143, x 1.15 = 1.314 — below the 1.6
+        // ceiling, so the relative half binds. 30/21 = 1.429 trips it.
+        let violations = check(&sample_results_with("streaming_auto_text", 30.0, 23_000));
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert!(
-            violations[0].contains("peak-memory regression"),
+            violations[0].contains("[config=streaming_auto_text metric=wall_ms]")
+                && violations[0].contains("text-transport regression"),
+            "{violations:?}"
+        );
+        // 26/21 = 1.238 would have tripped the old fixed 1.2 limit but is
+        // inside the relative bound: pass.
+        assert!(check(&sample_results_with("streaming_auto_text", 26.0, 23_000)).is_empty());
+    }
+
+    #[test]
+    fn gate_caps_the_text_transport_at_the_absolute_ceiling() {
+        // A baseline blessed with a bad ratio (32/21 = 1.524, x 1.15 =
+        // 1.752) cannot loosen the gate past the 1.6 absolute ceiling.
+        let loose_baseline = SAMPLE.replace("24.000", "32.000");
+        let results = sample_results_with("streaming_auto_text", 35.0, 23_000);
+        let violations = check_against_baseline(&results, 0, &loose_baseline).unwrap();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("text-transport regression")
+                && violations[0].contains("hard limit 1.6"),
+            "{violations:?}"
+        );
+        // 33/21 = 1.571 is under the ceiling and under the (capped)
+        // relative bound: pass.
+        let results = sample_results_with("streaming_auto_text", 33.0, 23_000);
+        assert!(check_against_baseline(&results, 0, &loose_baseline)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_any_peak_memory_growth() {
+        let violations = check(&sample_results(21.0, 20_001));
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("[config=streaming_auto metric=peak_bytes]")
+                && violations[0].contains("peak-memory regression"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn gate_fails_on_allocation_growth() {
+        let mut results = sample_results(21.0, 20_000);
+        results
+            .iter_mut()
+            .find(|r| r.name == "corpus_mmap")
+            .unwrap()
+            .allocs_per_line = 4.5; // baseline 3.0 * 1.1 + 0.5 = 3.8
+        let violations = check_against_baseline(&results, 0, SAMPLE).unwrap();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("[config=corpus_mmap metric=allocs_per_line]")
+                && violations[0].contains("allocation regression"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn gate_fails_on_steady_state_allocations() {
+        let violations = check_against_baseline(&sample_results(21.0, 20_000), 7, SAMPLE).unwrap();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("[config=steady_state metric=allocs]")
+                && violations[0].contains("7 allocations"),
             "{violations:?}"
         );
     }
@@ -601,22 +895,30 @@ mod tests {
     fn gate_covers_the_disk_backed_corpus_paths() {
         // A 2x wall slowdown on either corpus source trips the ratio gate.
         for config in ["corpus_file", "corpus_mmap"] {
-            let violations =
-                check_against_baseline(&sample_results_with(config, 40.0, 20_000), SAMPLE).unwrap();
+            let violations = check(&sample_results_with(config, 40.0, 20_000));
             assert_eq!(violations.len(), 1, "{config}: {violations:?}");
             assert!(
-                violations[0].contains("wall-time regression") && violations[0].contains(config),
+                violations[0].contains("wall-time regression")
+                    && violations[0].contains(&format!("[config={config} metric=wall_ms]")),
                 "{config}: {violations:?}"
             );
             // Any peak-bytes growth trips the memory gate.
-            let violations =
-                check_against_baseline(&sample_results_with(config, 18.0, 20_001), SAMPLE).unwrap();
+            let violations = check(&sample_results_with(config, 18.0, 20_001));
             assert_eq!(violations.len(), 1, "{config}: {violations:?}");
             assert!(
                 violations[0].contains("peak-memory regression"),
                 "{config}: {violations:?}"
             );
         }
+    }
+
+    #[test]
+    fn gate_rejects_a_baseline_missing_the_allocation_metrics() {
+        // A pre-allocation-gate baseline (no allocs_per_line fields) must
+        // be a loud configuration error, not a silent pass.
+        let legacy = SAMPLE.replace("allocs_per_line", "allocs_per_line_renamed");
+        let err = check_against_baseline(&sample_results(21.0, 20_000), 0, &legacy).unwrap_err();
+        assert!(err.contains("allocs_per_line"), "{err}");
     }
 
     #[test]
@@ -628,7 +930,12 @@ mod tests {
             .take_while(|line| !line.contains("corpus_file"))
             .map(|line| format!("{line}\n"))
             .collect();
-        let err = check_against_baseline(&sample_results(21.0, 20_000), &legacy).unwrap_err();
+        let err = check_against_baseline(&sample_results(21.0, 20_000), 0, &legacy).unwrap_err();
         assert!(err.contains("corpus_file"), "{err}");
+    }
+
+    #[test]
+    fn steady_state_parse_loop_makes_zero_allocations() {
+        assert_eq!(steady_state_probe(), 0);
     }
 }

@@ -486,6 +486,12 @@ fn absorb_loop(cell: &TenantCell) {
 /// Decodes and classifies one inner corpus frame. On error, reports the
 /// reason plus whatever identity/loss accounting the frame header still
 /// offers.
+///
+/// The classification itself inherits the zero-copy hot path (DESIGN
+/// §13): `feed_bytes` validates the payload as UTF-8 once, splits lines
+/// with a byte scan, and parses each into a borrowed
+/// [`ssfa_logs::LogLineRef`] over the frame's own bytes — the daemon
+/// allocates per frame, never per line.
 #[allow(clippy::type_complexity)]
 fn classify_frame(
     frame: &[u8],

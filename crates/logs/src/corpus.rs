@@ -168,12 +168,13 @@ impl LogBook {
     }
 
     /// Renders the whole corpus as text, one line per event. Lines are
-    /// formatted straight into the output buffer — no per-line allocation.
+    /// pushed straight into the output buffer via
+    /// [`LogLine::render_into`] — no per-line allocation and no `fmt`
+    /// machinery (the `Display` impl stays the pinned oracle).
     pub fn to_text(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::with_capacity(self.lines.len() * 96);
+        let mut out = String::with_capacity(self.lines.len() * 128);
         for line in &self.lines {
-            write!(out, "{line}").expect("writing to a String never fails");
+            line.render_into(&mut out);
             out.push('\n');
         }
         out

@@ -27,7 +27,7 @@ pub enum Severity {
 }
 
 impl Severity {
-    fn tag(self) -> &'static str {
+    pub(crate) fn tag(self) -> &'static str {
         match self {
             Severity::Info => "info",
             Severity::Warning => "warning",
@@ -35,7 +35,7 @@ impl Severity {
         }
     }
 
-    fn from_tag(tag: &str) -> Option<Severity> {
+    pub(crate) fn from_tag(tag: &str) -> Option<Severity> {
         match tag {
             "info" => Some(Severity::Info),
             "warning" => Some(Severity::Warning),
@@ -372,6 +372,170 @@ impl LogEvent {
         }
     }
 
+    /// Appends the message after `]: ` directly to a `String`,
+    /// byte-for-byte identical to [`LogEvent::write_message`] but via
+    /// literal pushes and direct digit writes instead of the `fmt`
+    /// machinery — the corpus renderer's hot path ([`crate::LogBook::to_text`]).
+    /// Equivalence with `write_message` is pinned by a unit test below
+    /// and fuzzed in `tests/parser_equivalence.rs`.
+    pub fn push_message(&self, out: &mut String) {
+        match self {
+            LogEvent::FciDeviceTimeout { device } => {
+                out.push_str("Adapter ");
+                push_decimal(out, device.adapter as u64);
+                out.push_str(" encountered a device timeout on device ");
+                push_device(out, device);
+            }
+            LogEvent::FciAdapterReset { adapter } => {
+                out.push_str("Resetting Fibre Channel adapter ");
+                push_decimal(out, *adapter as u64);
+                out.push('.');
+            }
+            LogEvent::ScsiCmdAborted { device } => {
+                out.push_str("Device ");
+                push_device(out, device);
+                out.push_str(": Command aborted by host adapter:");
+            }
+            LogEvent::ScsiSelectionTimeout { device } => {
+                out.push_str("Device ");
+                push_device(out, device);
+                out.push_str(
+                    ": Adapter/target error: Targeted device did not respond \
+                     to requested I/O. I/O will be retried.",
+                );
+            }
+            LogEvent::ScsiNoMorePaths { device } => {
+                out.push_str("Device ");
+                push_device(out, device);
+                out.push_str(": No more paths to device. All retries have failed.");
+            }
+            LogEvent::ScsiPathFailover { device } => {
+                out.push_str("Device ");
+                push_device(out, device);
+                out.push_str(": Primary path failed. I/O rerouted through redundant path.");
+            }
+            LogEvent::DiskMediumError { device, sector } => {
+                out.push_str("Device ");
+                push_device(out, device);
+                out.push_str(": Medium error detected on sector ");
+                push_decimal(out, *sector);
+                out.push_str(". Sector remapped.");
+            }
+            LogEvent::ScsiProtocolViolation { device } => {
+                out.push_str("Device ");
+                push_device(out, device);
+                out.push_str(
+                    ": Protocol violation in command response. \
+                     Driver or firmware incompatibility suspected.",
+                );
+            }
+            LogEvent::ScsiSlowResponse { device, latency_ms } => {
+                out.push_str("Device ");
+                push_device(out, device);
+                out.push_str(": I/O completion exceeded service threshold (");
+                push_decimal(out, *latency_ms as u64);
+                out.push_str(" ms).");
+            }
+            LogEvent::RaidDiskMissing { device, serial } => {
+                push_raid_prefix(out, device, serial);
+                out.push_str(" is missing.");
+            }
+            LogEvent::RaidDiskFailed { device, serial } => {
+                push_raid_prefix(out, device, serial);
+                out.push_str(" has failed.");
+            }
+            LogEvent::RaidProtocolError { device, serial } => {
+                push_raid_prefix(out, device, serial);
+                out.push_str(" is not responding correctly to I/O requests.");
+            }
+            LogEvent::RaidDiskSlow { device, serial } => {
+                push_raid_prefix(out, device, serial);
+                out.push_str(" cannot serve I/O requests in a timely manner.");
+            }
+            LogEvent::CfgSystem {
+                class,
+                disk_model,
+                shelf_model,
+                paths,
+                layout,
+            } => {
+                out.push_str("class=");
+                out.push_str(class.tag());
+                out.push_str(" disk_model=");
+                push_disk_model(out, disk_model);
+                out.push_str(" shelf_model=");
+                out.push(shelf_model.letter());
+                out.push_str(" paths=");
+                push_decimal(out, paths.paths() as u64);
+                out.push_str(" layout=");
+                out.push_str(layout.label());
+            }
+            LogEvent::CfgShelf {
+                shelf,
+                model,
+                fc_loop,
+                adapter,
+                position,
+                bays,
+            } => {
+                out.push_str("shelf=");
+                push_decimal(out, shelf.0 as u64);
+                out.push_str(" model=");
+                out.push(model.letter());
+                out.push_str(" loop=");
+                push_decimal(out, fc_loop.0 as u64);
+                out.push_str(" adapter=");
+                push_decimal(out, *adapter as u64);
+                out.push_str(" position=");
+                push_decimal(out, *position as u64);
+                out.push_str(" bays=");
+                push_decimal(out, *bays as u64);
+            }
+            LogEvent::CfgRaidGroup {
+                rg,
+                raid_type,
+                slots,
+            } => {
+                out.push_str("rg=");
+                push_decimal(out, rg.0 as u64);
+                out.push_str(" type=");
+                out.push_str(raid_type.label());
+                out.push_str(" slots=");
+                for (i, s) in slots.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_decimal(out, s.shelf.0 as u64);
+                    out.push(':');
+                    push_decimal(out, s.bay as u64);
+                }
+            }
+            LogEvent::CfgDiskInstall {
+                serial,
+                model,
+                slot,
+                device,
+            } => {
+                out.push_str("serial=");
+                out.push_str(serial);
+                out.push_str(" model=");
+                push_disk_model(out, model);
+                out.push_str(" shelf=");
+                push_decimal(out, slot.shelf.0 as u64);
+                out.push_str(" bay=");
+                push_decimal(out, slot.bay as u64);
+                out.push_str(" device=");
+                push_device(out, device);
+            }
+            LogEvent::CfgDiskRemove { serial, reason } => {
+                out.push_str("serial=");
+                out.push_str(serial);
+                out.push_str(" reason=");
+                out.push_str(reason);
+            }
+        }
+    }
+
     /// Heap bytes this event holds beyond its inline enum footprint —
     /// the variable part of [`LogLine::resident_bytes`].
     fn heap_bytes(&self) -> usize {
@@ -547,6 +711,45 @@ impl LogEvent {
     }
 }
 
+/// Appends `v`'s decimal digits without going through `fmt`.
+fn push_decimal(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
+}
+
+/// Appends `adapter.target`, matching [`DeviceAddr`]'s `Display`.
+fn push_device(out: &mut String, device: &DeviceAddr) {
+    push_decimal(out, device.adapter as u64);
+    out.push('.');
+    push_decimal(out, device.target as u64);
+}
+
+/// Appends `family-capacity`, matching [`DiskModelId`]'s `Display`.
+fn push_disk_model(out: &mut String, model: &DiskModelId) {
+    out.push(model.family.0);
+    out.push('-');
+    push_decimal(out, model.capacity_point as u64);
+}
+
+/// Appends the shared `File system Disk <device> S/N [<serial>]` prefix
+/// of the RAID-layer messages.
+fn push_raid_prefix(out: &mut String, device: &DeviceAddr, serial: &str) {
+    out.push_str("File system Disk ");
+    push_device(out, device);
+    out.push_str(" S/N [");
+    out.push_str(serial);
+    out.push(']');
+}
+
 /// One complete log line: host, timestamp, event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogLine {
@@ -570,6 +773,23 @@ impl LogLine {
     /// the unit of [`crate::LogBook::resident_bytes`].
     pub fn resident_bytes(&self) -> usize {
         std::mem::size_of::<LogLine>() + self.event.heap_bytes()
+    }
+
+    /// Appends the rendered line to `out`, byte-for-byte identical to
+    /// this type's `Display` but via direct pushes — the corpus
+    /// renderer's hot path ([`crate::LogBook::to_text`]). `Display`
+    /// stays the oracle; a unit test pins the equivalence.
+    pub fn render_into(&self, out: &mut String) {
+        out.push_str("sys-");
+        push_decimal(out, self.host.0 as u64);
+        out.push(' ');
+        self.at.civil().push_into(out);
+        out.push_str(" [");
+        out.push_str(self.event.tag());
+        out.push(':');
+        out.push_str(self.event.severity().tag());
+        out.push_str("]: ");
+        self.event.push_message(out);
     }
 
     /// Parses one rendered line.
@@ -712,6 +932,108 @@ mod tests {
             serial: DiskInstanceId(31337).serial(),
             reason: "failed".to_owned(),
         });
+    }
+
+    #[test]
+    fn render_into_matches_display_for_every_event_kind() {
+        let d = DeviceAddr::new(8, 24);
+        let serial = DiskInstanceId(31337).serial();
+        let events = vec![
+            LogEvent::FciDeviceTimeout { device: d },
+            LogEvent::FciAdapterReset { adapter: 8 },
+            LogEvent::ScsiCmdAborted { device: d },
+            LogEvent::ScsiSelectionTimeout { device: d },
+            LogEvent::ScsiNoMorePaths { device: d },
+            LogEvent::ScsiPathFailover { device: d },
+            LogEvent::DiskMediumError {
+                device: d,
+                sector: 123_456_789,
+            },
+            LogEvent::ScsiProtocolViolation { device: d },
+            LogEvent::ScsiSlowResponse {
+                device: d,
+                latency_ms: 30_000,
+            },
+            LogEvent::RaidDiskMissing {
+                device: d,
+                serial: serial.clone(),
+            },
+            LogEvent::RaidDiskFailed {
+                device: d,
+                serial: serial.clone(),
+            },
+            LogEvent::RaidProtocolError {
+                device: d,
+                serial: serial.clone(),
+            },
+            LogEvent::RaidDiskSlow {
+                device: d,
+                serial: serial.clone(),
+            },
+            LogEvent::CfgSystem {
+                class: SystemClass::MidRange,
+                disk_model: DiskModelId::new('D', 2),
+                shelf_model: ShelfModel::B,
+                paths: PathConfig::SinglePath,
+                layout: LayoutPolicy::SameShelf,
+            },
+            LogEvent::CfgShelf {
+                shelf: ShelfId(1234),
+                model: ShelfModel::C,
+                fc_loop: LoopId(88),
+                adapter: 9,
+                position: 2,
+                bays: 13,
+            },
+            LogEvent::CfgRaidGroup {
+                rg: RaidGroupId(55),
+                raid_type: RaidType::Raid6,
+                slots: vec![
+                    SlotAddr {
+                        shelf: ShelfId(1),
+                        bay: 0,
+                    },
+                    SlotAddr {
+                        shelf: ShelfId(2),
+                        bay: 7,
+                    },
+                ],
+            },
+            LogEvent::CfgRaidGroup {
+                rg: RaidGroupId(0),
+                raid_type: RaidType::Raid4,
+                slots: Vec::new(),
+            },
+            LogEvent::CfgDiskInstall {
+                serial: serial.clone(),
+                model: DiskModelId::new('H', 2),
+                slot: SlotAddr {
+                    shelf: ShelfId(9),
+                    bay: 13,
+                },
+                device: DeviceAddr::new(8, 45),
+            },
+            LogEvent::CfgDiskRemove {
+                serial,
+                reason: "study_end".to_owned(),
+            },
+        ];
+        let mut out = String::new();
+        for event in events {
+            let line = LogLine::new(SystemId(42), SimTime::from_secs(79_876_543), event);
+            out.clear();
+            line.render_into(&mut out);
+            assert_eq!(out, line.to_string());
+        }
+        // Single-digit day exercises the timestamp's space padding.
+        let line = LogLine::new(
+            SystemId(0),
+            SimTime::from_secs(3600),
+            LogEvent::FciAdapterReset { adapter: 0 },
+        );
+        out.clear();
+        line.render_into(&mut out);
+        assert_eq!(out, line.to_string());
     }
 
     #[test]

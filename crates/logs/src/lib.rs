@@ -48,9 +48,11 @@ pub mod corpus;
 pub mod event;
 pub mod faults;
 pub mod frame;
+pub mod intern;
 pub mod render;
 pub mod shard;
 pub mod store;
+pub mod view;
 
 pub use cascade::{CascadeInput, CascadeStyle};
 pub use classify::{
@@ -67,6 +69,7 @@ pub use frame::{
     checksum64, decode_frame, decode_frame_text, encode_frame, Checksum, FrameError, FrameHeader,
     FRAME_MAGIC, FRAME_VERSION, HEADER_LEN,
 };
+pub use intern::{HostInterner, TagId};
 pub use render::{render_support_log, render_support_log_noisy, NoiseParams};
 pub use shard::{
     render_chunk_log, render_system_log, write_chunk, write_shard, ChunkPlan, ShardPlan,
@@ -76,3 +79,4 @@ pub use store::{
     CorpusError, CorpusReader, CorpusSummary, CorpusWriter, Manifest, ShardEntry,
     DEFAULT_SEGMENT_SHARDS, MANIFEST_NAME,
 };
+pub use view::{EventRef, LogLineRef, SlotsRef};

@@ -81,6 +81,25 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// Parses a support-log timestamp straight to a [`SimTime`] —
+    /// equivalent to `CivilDateTime::parse_log_timestamp(s)?.to_sim_time()`
+    /// but fused: the calendar conversion runs once and the weekday
+    /// derivation (which the sim-time offset never needs) is skipped.
+    /// This is the line parser's hot path.
+    pub fn parse_log_timestamp(s: &str) -> Option<SimTime> {
+        let (year, month, day, hour, minute, second) = parse_log_fields(s)?;
+        let days = days_from_civil(year, month, day) - days_from_civil(2004, 1, 1);
+        if days < 0 {
+            return None;
+        }
+        Some(SimTime(
+            days as u64 * SECS_PER_DAY
+                + hour as u64 * SECS_PER_HOUR
+                + minute as u64 * 60
+                + second as u64,
+        ))
+    }
+
     /// Converts to calendar fields for display.
     pub fn civil(self) -> CivilDateTime {
         let total_days = self.0 / SECS_PER_DAY;
@@ -255,25 +274,13 @@ impl CivilDateTime {
 
     /// Parses the support-log timestamp layout, e.g.
     /// `Sun Jul 23 05:43:36 PDT 2006`.
+    ///
+    /// A fixed-offset fast path handles the exact byte layout the renderer
+    /// emits (`Www Mmm dd HH:MM:SS TZm yyyy`, day space-padded to width 2);
+    /// anything that deviates falls back to the token-by-token parser, so
+    /// the accepted language and produced fields are identical either way.
     pub fn parse_log_timestamp(s: &str) -> Option<CivilDateTime> {
-        let mut parts = s.split_whitespace();
-        let _weekday = parts.next()?;
-        let month_name = parts.next()?;
-        let day: u8 = parts.next()?.parse().ok()?;
-        let hms = parts.next()?;
-        let _tz = parts.next()?;
-        let year: i32 = parts.next()?.parse().ok()?;
-        let month = MONTH_NAMES.iter().position(|m| *m == month_name)? as u8 + 1;
-        let mut hms_parts = hms.split(':');
-        let hour: u8 = hms_parts.next()?.parse().ok()?;
-        let minute: u8 = hms_parts.next()?.parse().ok()?;
-        let second: u8 = hms_parts.next()?.parse().ok()?;
-        if hms_parts.next().is_some() || month == 0 || day == 0 || day > 31 {
-            return None;
-        }
-        if hour > 23 || minute > 59 || second > 59 {
-            return None;
-        }
+        let (year, month, day, hour, minute, second) = parse_log_fields(s)?;
         let epoch_days = days_from_civil(2004, 1, 1);
         let days = days_from_civil(year, month, day);
         let weekday = weekday_from_days(days.max(epoch_days));
@@ -286,6 +293,193 @@ impl CivilDateTime {
             second,
             weekday,
         })
+    }
+}
+
+/// Validated timestamp fields shared by both parse entry points:
+/// `(year, month, day, hour, minute, second)`, ranges already checked.
+type LogFields = (i32, u8, u8, u8, u8, u8);
+
+/// Field extraction behind [`CivilDateTime::parse_log_timestamp`] and
+/// [`SimTime::parse_log_timestamp`]: canonical fixed-offset fast path
+/// first, token-by-token fallback for anything else.
+fn parse_log_fields(s: &str) -> Option<LogFields> {
+    if let Some(fields) = parse_canonical_fields(s) {
+        return Some(fields);
+    }
+    let mut parts = s.split_whitespace();
+    let _weekday = parts.next()?;
+    let month_name = parts.next()?;
+    let day: u8 = parts.next()?.parse().ok()?;
+    let hms = parts.next()?;
+    let _tz = parts.next()?;
+    let year: i32 = parts.next()?.parse().ok()?;
+    let month = MONTH_NAMES.iter().position(|m| *m == month_name)? as u8 + 1;
+    let mut hms_parts = hms.split(':');
+    let hour: u8 = hms_parts.next()?.parse().ok()?;
+    let minute: u8 = hms_parts.next()?.parse().ok()?;
+    let second: u8 = hms_parts.next()?.parse().ok()?;
+    if hms_parts.next().is_some() {
+        return None;
+    }
+    check_log_fields((year, month, day, hour, minute, second))
+}
+
+/// Fast path for the renderer's canonical layout; `None` means "not
+/// canonical, let the general parser decide", never "invalid".
+fn parse_canonical_fields(s: &str) -> Option<LogFields> {
+    let b = s.as_bytes();
+    // 28 bytes = "Www Mmm dd HH:MM:SS TZm yyyy" with a 4-digit year;
+    // longer years (or any other layout) take the general path.
+    if b.len() != 28 || !s.is_ascii() {
+        return None;
+    }
+    if b[3] != b' '
+        || b[7] != b' '
+        || b[10] != b' '
+        || b[13] != b':'
+        || b[16] != b':'
+        || b[19] != b' '
+        || b[23] != b' '
+    {
+        return None;
+    }
+    // Weekday and timezone tokens: contents are ignored (matching the
+    // general parser) but must be single whitespace-free tokens.
+    if b[..3].iter().chain(&b[20..23]).any(|&c| ascii_space(c)) {
+        return None;
+    }
+    let month = match &b[4..7] {
+        b"Jan" => 1,
+        b"Feb" => 2,
+        b"Mar" => 3,
+        b"Apr" => 4,
+        b"May" => 5,
+        b"Jun" => 6,
+        b"Jul" => 7,
+        b"Aug" => 8,
+        b"Sep" => 9,
+        b"Oct" => 10,
+        b"Nov" => 11,
+        b"Dec" => 12,
+        _ => return None,
+    };
+    let day = match (b[8], digit(b[9])?) {
+        (b' ', lo) => lo,
+        (hi, lo) => digit(hi)? * 10 + lo,
+    };
+    let hour = digit(b[11])? * 10 + digit(b[12])?;
+    let minute = digit(b[14])? * 10 + digit(b[15])?;
+    let second = digit(b[17])? * 10 + digit(b[18])?;
+    let year = b[24..]
+        .iter()
+        .try_fold(0i32, |acc, &c| Some(acc * 10 + digit(c)? as i32))?;
+    check_log_fields((year, month, day, hour, minute, second))
+}
+
+/// The range checks both parse paths share.
+fn check_log_fields(fields: LogFields) -> Option<LogFields> {
+    let (_, month, day, hour, minute, second) = fields;
+    if month == 0 || day == 0 || day > 31 || hour > 23 || minute > 59 || second > 59 {
+        return None;
+    }
+    Some(fields)
+}
+
+/// ASCII bytes `char::is_whitespace` treats as whitespace (the only ones
+/// relevant below 0x80): tab, LF, VT, FF, CR, space.
+#[inline]
+fn ascii_space(c: u8) -> bool {
+    matches!(c, b'\t' | b'\n' | 0x0b | 0x0c | b'\r' | b' ')
+}
+
+/// Decimal digit value of an ASCII byte, or `None`.
+#[inline]
+fn digit(c: u8) -> Option<u8> {
+    c.is_ascii_digit().then(|| c - b'0')
+}
+
+/// Appends `v`'s decimal digits to `out` without going through `fmt`.
+fn push_decimal(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
+}
+
+impl CivilDateTime {
+    /// Appends the support-log timestamp to `out`, byte-for-byte
+    /// identical to this type's `Display` (`Sun Jul 23 05:43:36 PDT
+    /// 2006`) but via direct digit pushes instead of the `fmt`
+    /// machinery — the corpus renderer's hot path. Equivalence with
+    /// `Display` is pinned by a sweep test below.
+    pub fn push_into(&self, out: &mut String) {
+        // In-range fields (every rendered study instant) assemble the
+        // whole 28-byte canonical layout in one stack buffer and append
+        // it with a single push; out-of-range fields (callers with
+        // degenerate hand-built values) keep the general pushes below.
+        if self.day >= 1 && self.day <= 31 && self.hour < 24 && self.minute < 60 && self.second < 60
+        {
+            if let (1000..=9999, 1..=12) = (self.year, self.month) {
+                let mut buf = *b"Www Mmm dd HH:MM:SS PDT yyyy";
+                buf[..3].copy_from_slice(self.weekday_name().as_bytes());
+                buf[4..7].copy_from_slice(self.month_name().as_bytes());
+                buf[8] = if self.day < 10 {
+                    b' '
+                } else {
+                    b'0' + self.day / 10
+                };
+                buf[9] = b'0' + self.day % 10;
+                for (at, v) in [(11, self.hour), (14, self.minute), (17, self.second)] {
+                    buf[at] = b'0' + v / 10;
+                    buf[at + 1] = b'0' + v % 10;
+                }
+                let mut y = self.year as u16;
+                for slot in buf[24..28].iter_mut().rev() {
+                    *slot = b'0' + (y % 10) as u8;
+                    y /= 10;
+                }
+                out.push_str(std::str::from_utf8(&buf).expect("canonical layout is ASCII"));
+                return;
+            }
+        }
+        out.push_str(self.weekday_name());
+        out.push(' ');
+        out.push_str(self.month_name());
+        out.push(' ');
+        // `{:2}`: space-pad the day to width 2.
+        if self.day < 10 {
+            out.push(' ');
+        }
+        push_decimal(out, self.day as u64);
+        out.push(' ');
+        // `{:02}`: zero-pad each clock field to width 2.
+        for (i, field) in [self.hour, self.minute, self.second]
+            .into_iter()
+            .enumerate()
+        {
+            if i > 0 {
+                out.push(':');
+            }
+            if field < 10 {
+                out.push('0');
+            }
+            push_decimal(out, field as u64);
+        }
+        out.push_str(" PDT ");
+        if self.year < 0 {
+            out.push('-');
+            push_decimal(out, (self.year as i64).unsigned_abs());
+        } else {
+            push_decimal(out, self.year as u64);
+        }
     }
 }
 
@@ -396,6 +590,36 @@ mod tests {
             weekday: 0,
         };
         assert_eq!(t.to_string(), "Sun Jul 23 05:43:36 PDT 2006");
+    }
+
+    #[test]
+    fn push_into_matches_display_across_the_study_window() {
+        // Sweep odd offsets across the whole window so every weekday,
+        // month, single/double-digit day, and clock-field padding case
+        // is exercised.
+        let end = SimTime::study_end().as_secs();
+        let mut out = String::new();
+        let mut t = 0u64;
+        while t < end {
+            let civil = SimTime::from_secs(t).civil();
+            out.clear();
+            civil.push_into(&mut out);
+            assert_eq!(out, civil.to_string(), "at t={t}");
+            t += 86_399 * 3 + 7; // step ~3 days, drifting through times of day
+        }
+        // Degenerate field values still match Display.
+        let weird = CivilDateTime {
+            year: -44,
+            month: 12,
+            day: 31,
+            hour: 0,
+            minute: 0,
+            second: 59,
+            weekday: 6,
+        };
+        out.clear();
+        weird.push_into(&mut out);
+        assert_eq!(out, weird.to_string());
     }
 
     #[test]

@@ -54,9 +54,9 @@ pub(crate) fn process_chunk(
             || -> Result<(AnalysisInput, ShardHealth), LogError> {
                 let mut classifier = classify.begin_chunk();
                 for shard in range.clone() {
-                    let book = source.load(shard);
+                    let data = source.load(shard);
                     let delivery =
-                        transport.convey(shard, attempt, book, &mut classifier, &mut ledger)?;
+                        transport.convey(shard, attempt, data, &mut classifier, &mut ledger)?;
                     if delivery.dropped {
                         dropped += 1;
                     } else {

@@ -13,16 +13,23 @@
 //! quarantines the chunk with **exact** loss accounting, because both
 //! sources answer [`Source::system_ids`] and [`Source::count_lines`] from
 //! the manifest without touching the (possibly corrupt) shard bytes.
+//!
+//! Corruption that slips every checksum but breaks line syntax is the
+//! classifier's to judge, not the source's: shards load as
+//! [`ShardData::Text`] and feed the byte-oriented parser, so strict mode
+//! reports the exact bad line as [`crate::PipelineError::Log`] and
+//! lenient mode skips and counts it like any other malformed line.
 
+use std::borrow::Cow;
 use std::path::Path;
 
 use memmap2::Mmap;
 use ssfa_logs::store::{CorpusError, CorpusReader};
-use ssfa_logs::{decode_frame_text, ChunkPlan, LogBook, DEFAULT_CHUNK_TARGET_BYTES};
+use ssfa_logs::{decode_frame_text, ChunkPlan, DEFAULT_CHUNK_TARGET_BYTES};
 use ssfa_model::SystemId;
 
 use crate::plan::ChunkPolicy;
-use crate::source::Source;
+use crate::source::{ShardData, Source};
 
 /// Plans chunks for a manifest-backed source: fixed counts need no sizes;
 /// the auto policy uses the manifest's exact payload lengths (where
@@ -49,22 +56,10 @@ fn corpus_system_ids(reader: &CorpusReader, shard: usize) -> Vec<SystemId> {
     vec![SystemId(reader.manifest().shards[shard].system_id)]
 }
 
-/// Parses one integrity-checked shard payload, panicking with the parse
-/// error's message on failure — rendered corpora always parse, so a
-/// failure here means disk corruption that slipped every checksum, and
-/// the panic routes it into the same strict/lenient machinery as a
-/// checksum failure.
-fn parse_shard(shard: usize, text: &str) -> LogBook {
-    match LogBook::from_text(text) {
-        Ok(book) => book,
-        Err(e) => panic!("corpus shard {shard} failed to parse: {e}"),
-    }
-}
-
 /// A [`Source`] over an on-disk corpus using buffered positioned reads:
 /// open the segment file, seek to the shard's frame, read exactly the
-/// frame, verify, parse. Cheap to open (only the manifest is read) and
-/// reads only the shards the engine asks for.
+/// frame, verify, hand the text to the transport. Cheap to open (only the
+/// manifest is read) and reads only the shards the engine asks for.
 #[derive(Debug)]
 pub struct FileSource {
     reader: CorpusReader,
@@ -98,12 +93,11 @@ impl Source for FileSource {
         plan_corpus_chunks(&self.reader, policy)
     }
 
-    fn load(&self, shard: usize) -> LogBook {
-        let text = match self.reader.read_shard_text(shard) {
-            Ok(text) => text,
+    fn load(&self, shard: usize) -> ShardData<'_> {
+        match self.reader.read_shard_text(shard) {
+            Ok(text) => ShardData::Text(Cow::Owned(text)),
             Err(e) => panic!("{e}"),
-        };
-        parse_shard(shard, &text)
+        }
     }
 
     fn system_ids(&self, shard: usize) -> Vec<SystemId> {
@@ -193,12 +187,11 @@ impl Source for MmapSource {
         plan_corpus_chunks(&self.reader, policy)
     }
 
-    fn load(&self, shard: usize) -> LogBook {
-        let text = match self.shard_text(shard) {
-            Ok(text) => text,
+    fn load(&self, shard: usize) -> ShardData<'_> {
+        match self.shard_text(shard) {
+            Ok(text) => ShardData::Text(Cow::Borrowed(text)),
             Err(e) => panic!("{e}"),
-        };
-        parse_shard(shard, text)
+        }
     }
 
     fn system_ids(&self, shard: usize) -> Vec<SystemId> {

@@ -66,5 +66,5 @@ pub use plan::ChunkPolicy;
 pub use quarantine::ChunkQuarantine;
 pub use reduce::{Reduce, StudyReduce};
 pub use sink::{JsonSummarySink, Sink, TextReportSink};
-pub use source::{MonolithicSource, SimSource, Source};
+pub use source::{MonolithicSource, ShardData, SimSource, Source};
 pub use transport::{Delivery, InjectedText, ParsedLines, TextRoundTrip, Transport};

@@ -6,6 +6,8 @@
 //! [`Source`] over your shard layout and drive it with
 //! [`crate::Pipeline::run_source`].
 
+use std::borrow::Cow;
+
 use ssfa_logs::{
     render_support_log, render_system_log, CascadeStyle, ChunkPlan, LogBook, NoiseParams,
     ShardPlan, DEFAULT_CHUNK_TARGET_BYTES,
@@ -14,6 +16,44 @@ use ssfa_model::{Fleet, SystemId};
 use ssfa_sim::SimOutput;
 
 use crate::plan::ChunkPolicy;
+
+/// One shard's corpus in whichever representation the source produced it.
+///
+/// The simulator-backed sources render parsed [`LogBook`]s; the disk-backed
+/// sources hand over corpus *text* — borrowed straight out of the mmap for
+/// [`crate::MmapSource`], owned for [`crate::FileSource`] — and the
+/// transport feeds it to the classifier's byte-oriented parser without
+/// ever materializing owned [`ssfa_logs::LogLine`]s. The lifetime ties a
+/// borrowed payload to the source that loaded it.
+#[derive(Debug)]
+pub enum ShardData<'a> {
+    /// Already-parsed lines (the simulator sources render these directly).
+    Parsed(LogBook),
+    /// Corpus text, as it sits on disk. `Cow::Borrowed` means zero-copy
+    /// all the way from the mapped segment file to the classifier.
+    Text(Cow<'a, str>),
+}
+
+impl<'a> ShardData<'a> {
+    /// Converts to corpus text, rendering parsed lines if needed.
+    pub fn into_text(self) -> Cow<'a, str> {
+        match self {
+            ShardData::Parsed(book) => Cow::Owned(book.to_text()),
+            ShardData::Text(text) => text,
+        }
+    }
+
+    /// Number of rendered log lines this shard holds (blank lines are not
+    /// log lines — the classifier skips them without counting).
+    pub fn count_lines(&self) -> u64 {
+        match self {
+            ShardData::Parsed(book) => book.len() as u64,
+            ShardData::Text(text) => {
+                text.lines().filter(|line| !line.trim().is_empty()).count() as u64
+            }
+        }
+    }
+}
 
 /// A corpus of shard-grained support logs the engine can pull from.
 ///
@@ -31,8 +71,10 @@ pub trait Source: Sync {
     fn plan_chunks(&self, policy: ChunkPolicy) -> ChunkPlan;
 
     /// Loads (for the simulator-backed sources: renders) one shard's
-    /// corpus. Called once per shard per attempt, from worker threads.
-    fn load(&self, shard: usize) -> LogBook;
+    /// corpus, in whichever representation the source holds it — see
+    /// [`ShardData`]. Called once per shard per attempt, from worker
+    /// threads.
+    fn load(&self, shard: usize) -> ShardData<'_>;
 
     /// The systems whose logs live in `shard`, for quarantine accounting.
     fn system_ids(&self, shard: usize) -> Vec<SystemId>;
@@ -41,7 +83,7 @@ pub trait Source: Sync {
     /// when a chunk is quarantined. The default re-loads the shard and
     /// counts; sources with cheaper metadata may override.
     fn count_lines(&self, shard: usize) -> u64 {
-        self.load(shard).len() as u64
+        self.load(shard).count_lines()
     }
 }
 
@@ -96,8 +138,8 @@ impl Source for SimSource<'_> {
         }
     }
 
-    fn load(&self, shard: usize) -> LogBook {
-        render_system_log(
+    fn load(&self, shard: usize) -> ShardData<'_> {
+        ShardData::Parsed(render_system_log(
             self.fleet,
             self.output,
             &self.plan,
@@ -105,7 +147,7 @@ impl Source for SimSource<'_> {
             self.style,
             NoiseParams::none(),
             self.seed,
-        )
+        ))
     }
 
     fn system_ids(&self, shard: usize) -> Vec<SystemId> {
@@ -154,9 +196,9 @@ impl Source for MonolithicSource<'_> {
         ChunkPlan::whole(self.shard_count())
     }
 
-    fn load(&self, shard: usize) -> LogBook {
+    fn load(&self, shard: usize) -> ShardData<'_> {
         assert_eq!(shard, 0, "monolithic source has exactly one shard");
-        render_support_log(self.fleet, self.output, self.style)
+        ShardData::Parsed(render_support_log(self.fleet, self.output, self.style))
     }
 
     fn system_ids(&self, _shard: usize) -> Vec<SystemId> {

@@ -5,15 +5,25 @@
 //! inline fault-injection branch into one seam with three shipped
 //! implementations. Transports see one shard at a time and drop it after
 //! feeding, which is what keeps peak corpus residency at one shard.
+//!
+//! Shards arrive as [`ShardData`] — already-parsed lines from the
+//! simulator sources, corpus text (possibly borrowed straight from an
+//! mmap) from the disk-backed ones. [`ParsedLines`] feeds each
+//! representation natively, so a text shard goes mapped bytes →
+//! borrowed-slice parser → classifier with no intermediate allocation per
+//! line; [`TextRoundTrip`] forces the text representation to exercise the
+//! full serialize/re-parse round trip.
 
-use ssfa_logs::{Classifier, FaultInjector, FaultLedger, FaultSpec, LogBook, LogError, ShardFate};
+use ssfa_logs::{Classifier, FaultInjector, FaultLedger, FaultSpec, LogError, ShardFate};
+
+use crate::source::ShardData;
 
 /// What conveying one shard produced, for the run's stream statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Delivery {
     /// Corpus bytes the shard occupied in this transport's representation
-    /// (rendered text bytes for the text transports, in-memory parsed
-    /// line bytes for [`ParsedLines`]).
+    /// (rendered text bytes for text-shaped deliveries, in-memory parsed
+    /// line bytes for parsed ones).
     pub bytes: usize,
     /// The shard never reached the classifier (fault injection dropped
     /// the whole upload). `bytes` is zero.
@@ -27,7 +37,7 @@ pub struct Delivery {
 /// delivery for deterministic fault keying; `ledger` records any faults
 /// landed on the way.
 pub trait Transport: Sync {
-    /// Feeds `book` into `classifier`, consuming the shard.
+    /// Feeds `data` into `classifier`, consuming the shard.
     ///
     /// # Errors
     ///
@@ -38,15 +48,18 @@ pub trait Transport: Sync {
         &self,
         shard: usize,
         attempt: u32,
-        book: LogBook,
+        data: ShardData<'_>,
         classifier: &mut Classifier,
         ledger: &mut FaultLedger,
     ) -> Result<Delivery, LogError>;
 }
 
-/// The default transport: hands parsed [`ssfa_logs::LogLine`]s straight
-/// to the classifier — the same representation the monolithic oracle
-/// consumes, with no serialize/re-parse round trip.
+/// The default transport: feeds each shard in the representation it
+/// arrived in. Parsed shards hand [`ssfa_logs::LogLine`]s straight to the
+/// classifier — the same representation the monolithic oracle consumes;
+/// text shards stream through the classifier's byte-oriented parser,
+/// which borrows every message slice from the shard buffer instead of
+/// allocating owned lines.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ParsedLines;
 
@@ -55,12 +68,24 @@ impl Transport for ParsedLines {
         &self,
         _shard: usize,
         _attempt: u32,
-        book: LogBook,
+        data: ShardData<'_>,
         classifier: &mut Classifier,
         _ledger: &mut FaultLedger,
     ) -> Result<Delivery, LogError> {
-        let bytes = book.resident_bytes();
-        classifier.feed_book(&book)?;
+        let bytes = match data {
+            ShardData::Parsed(book) => {
+                let bytes = book.resident_bytes();
+                classifier.feed_book(&book)?;
+                bytes
+            }
+            ShardData::Text(text) => {
+                classifier.feed_bytes(text.as_bytes())?;
+                // Per-shard-file EOF: a truncated tail must not glue onto
+                // the next shard's first line.
+                classifier.flush_tail()?;
+                text.len()
+            }
+        };
         Ok(Delivery {
             bytes,
             dropped: false,
@@ -70,8 +95,8 @@ impl Transport for ParsedLines {
 
 /// Serializes every shard to corpus text and re-parses it — the full
 /// on-disk round trip production corpora arrive as. Slower than
-/// [`ParsedLines`], and kept differentially tested for exactly that
-/// reason.
+/// [`ParsedLines`] for simulator shards (which must render first), and
+/// kept differentially tested for exactly that reason.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TextRoundTrip;
 
@@ -80,12 +105,11 @@ impl Transport for TextRoundTrip {
         &self,
         _shard: usize,
         _attempt: u32,
-        book: LogBook,
+        data: ShardData<'_>,
         classifier: &mut Classifier,
         _ledger: &mut FaultLedger,
     ) -> Result<Delivery, LogError> {
-        let text = book.to_text();
-        drop(book);
+        let text = data.into_text();
         classifier.feed_bytes(text.as_bytes())?;
         // Restore per-shard-file EOF semantics: a truncated tail must not
         // glue onto the next shard's first line.
@@ -124,14 +148,14 @@ impl Transport for InjectedText {
         &self,
         shard: usize,
         attempt: u32,
-        book: LogBook,
+        data: ShardData<'_>,
         classifier: &mut Classifier,
         ledger: &mut FaultLedger,
     ) -> Result<Delivery, LogError> {
-        let text = book.to_text();
-        drop(book);
+        let text = data.into_text();
         match self.injector.corrupt_shard(shard, attempt, &text, ledger) {
             ShardFate::Processed(bytes) => {
+                drop(text);
                 classifier.feed_bytes(&bytes)?;
                 classifier.flush_tail()?;
                 Ok(Delivery {

@@ -1,9 +1,9 @@
 //! Engine seam tests driven through custom [`Source`] implementations and
 //! the [`Sink`] stage — the extension points the trait seams exist for.
 
-use ssfa_logs::{ChunkPlan, LogBook, Strictness};
+use ssfa_logs::{ChunkPlan, Strictness};
 use ssfa_model::{FleetConfig, SystemClass, SystemId};
-use ssfa_pipeline::{ChunkPolicy, JsonSummarySink, Pipeline, Source, TextReportSink};
+use ssfa_pipeline::{ChunkPolicy, JsonSummarySink, Pipeline, ShardData, Source, TextReportSink};
 
 /// A source with nothing to yield: the engine must short-circuit without
 /// planning chunks, spawning workers, or touching `load`.
@@ -18,7 +18,7 @@ impl Source for EmptySource {
         ChunkPlan::whole(0)
     }
 
-    fn load(&self, shard: usize) -> LogBook {
+    fn load(&self, shard: usize) -> ShardData<'_> {
         unreachable!("empty source asked to load shard {shard}")
     }
 

@@ -141,6 +141,70 @@ fn disk_backed_sources_match_the_pre_refactor_golden() {
     }
 }
 
+/// The borrowed/owned accounting differential: a corrupt shard must
+/// produce *identical* lenient-mode degraded output whether the frame
+/// reached the worker through the owned path ([`FileSource`], which
+/// copies the payload into a `String`) or the borrowed path
+/// ([`MmapSource`], which feeds the classifier straight out of the map).
+/// Both paths panic the worker on the checksum mismatch, so the chunk is
+/// retried then quarantined — and the quarantine record (systems, shard
+/// range, attempts, reason, `lines_lost`), the rest of `RunHealth`, the
+/// `StreamStats`, and the merged Table 1 must all match field for field.
+#[test]
+fn corrupt_shard_quarantine_is_identical_for_borrowed_and_owned_paths() {
+    let tmp = TempDir::new("quarantine");
+    let base = Pipeline::new().scale(0.002).seed(7);
+    let fleet = base.build_fleet();
+    let output = base.simulate(&fleet);
+    CorpusWriter::new(&tmp.0)
+        .write(&fleet, &output, ssfa::logs::CascadeStyle::RaidOnly, 7)
+        .expect("corpus builds");
+
+    // Flip one payload byte in the middle of a mid-corpus shard's frame.
+    // Any flip breaks the FNV digest, which both sources verify before
+    // handing text to the classifier.
+    let reader = CorpusReader::open(&tmp.0).expect("manifest parses");
+    let victim = reader.shard_count() / 2;
+    let entry = reader.manifest().shards[victim];
+    let seg_path = reader.segment_path(entry.segment);
+    let mut bytes = std::fs::read(&seg_path).expect("segment reads");
+    let at = entry.offset as usize + ssfa::logs::HEADER_LEN + entry.payload_len as usize / 2;
+    bytes[at] ^= 0x01;
+    std::fs::write(&seg_path, &bytes).expect("segment rewrites");
+
+    let file = FileSource::open(&tmp.0).expect("file source opens");
+    let mmap = MmapSource::open(&tmp.0).expect("mmap source opens");
+    for threads in [1, 4] {
+        // One system per chunk so the quarantine blast radius is exactly
+        // the corrupted shard.
+        let pipeline = base.clone().threads(threads).lenient().chunk_systems(1);
+        let (study_f, stats_f, health_f) =
+            pipeline.run_source(&file).expect("lenient run degrades");
+        let (study_m, stats_m, health_m) =
+            pipeline.run_source(&mmap).expect("lenient run degrades");
+
+        // The record itself must be exact and identical across paths.
+        assert_eq!(health_f.quarantined.len(), 1, "{health_f}");
+        let q = &health_f.quarantined[0];
+        assert_eq!(q.shards, victim..victim + 1);
+        assert_eq!(q.systems, vec![ssfa::model::SystemId(entry.system_id)]);
+        assert_eq!(q.attempts, 2, "one retry before quarantine");
+        assert_eq!(
+            q.lines_lost,
+            Some(entry.line_count),
+            "loss is charged from the manifest, not a re-read of the bad frame"
+        );
+        assert_eq!(health_f.quarantined, health_m.quarantined);
+        assert_eq!(health_f, health_m, "RunHealth diverged (threads={threads})");
+        assert_eq!(stats_f, stats_m, "StreamStats diverged (threads={threads})");
+        assert_eq!(
+            table1(&study_f),
+            table1(&study_m),
+            "degraded Table 1 diverged (threads={threads})"
+        );
+    }
+}
+
 /// Rebuilding the same `(fleet, seed)` corpus twice yields byte-identical
 /// directories — the determinism contract `ssfa-lint` enforces statically,
 /// checked dynamically at the corpus level.

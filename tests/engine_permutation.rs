@@ -10,9 +10,9 @@
 //! arrive in permuted order, and the reduce stage's single final
 //! canonicalization has to restore the one canonical result.
 
-use ssfa::logs::{CascadeStyle, ChunkPlan, LogBook};
+use ssfa::logs::{CascadeStyle, ChunkPlan};
 use ssfa::model::SystemId;
-use ssfa::pipeline::{ChunkPolicy, SimSource, Source};
+use ssfa::pipeline::{ChunkPolicy, ShardData, SimSource, Source};
 use ssfa::prelude::*;
 use ssfa::Pipeline;
 
@@ -37,7 +37,7 @@ impl Source for PermutedSource<'_> {
         self.inner.plan_chunks(policy)
     }
 
-    fn load(&self, shard: usize) -> LogBook {
+    fn load(&self, shard: usize) -> ShardData<'_> {
         self.inner.load(self.order[shard])
     }
 
