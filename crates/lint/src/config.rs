@@ -25,6 +25,23 @@ pub struct AllowEntry {
     pub contains: Option<String>,
     /// Why this occurrence is acceptable. Required.
     pub reason: String,
+    /// 1-based lint.toml line of the `[[allow]]` header (for diagnostics).
+    pub line: usize,
+}
+
+/// `[contracts]` section: the cross-artifact sources of truth the
+/// `contract-sync` rule keeps consistent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Contracts {
+    /// Bench binary source whose config-name tuples must match the
+    /// baseline (e.g. `crates/bench/src/bin/bench_pipeline.rs`).
+    pub bench_configs: Option<String>,
+    /// Baseline JSON the bench gate compares against
+    /// (e.g. `crates/bench/baselines/pipeline_smoke.json`).
+    pub bench_baseline: Option<String>,
+    /// Directory of workspace member crates; every crate under it must be
+    /// covered by a scanner path list or `coverage_exempt`.
+    pub crate_roots: Option<String>,
 }
 
 /// Parsed `lint.toml`.
@@ -37,8 +54,16 @@ pub struct Config {
     pub wall_clock_allowed: Vec<String>,
     /// Path prefixes blessed to spawn or scope raw threads (worker pools).
     pub raw_spawn_allowed: Vec<String>,
+    /// Files/prefixes whose every fn is a hot region for
+    /// `no-alloc-hot-path` (fn-granular opt-outs via `// lint: alloc-ok`).
+    pub hot_paths: Vec<String>,
+    /// Crates deliberately outside the determinism path lists (the
+    /// `contract-sync` coverage check accepts them as reviewed).
+    pub coverage_exempt: Vec<String>,
     /// Path prefixes the scanner skips entirely (fixtures, build output).
     pub skip: Vec<String>,
+    /// Cross-artifact contract sources, if configured.
+    pub contracts: Option<Contracts>,
     /// The reviewed burndown allowlist.
     pub allows: Vec<AllowEntry>,
 }
@@ -57,6 +82,7 @@ impl Config {
         enum Section {
             None,
             Scanner,
+            Contracts,
             Allow,
         }
         let mut section = Section::None;
@@ -101,6 +127,12 @@ impl Config {
                 section = Section::Scanner;
                 continue;
             }
+            if line == "[contracts]" {
+                flush_allow(&mut allow, &mut config)?;
+                section = Section::Contracts;
+                config.contracts.get_or_insert_with(Contracts::default);
+                continue;
+            }
             if line == "[[allow]]" {
                 flush_allow(&mut allow, &mut config)?;
                 section = Section::Allow;
@@ -109,6 +141,7 @@ impl Config {
                     path: String::new(),
                     contains: None,
                     reason: String::new(),
+                    line: no + 1,
                 });
                 continue;
             }
@@ -128,10 +161,28 @@ impl Config {
                         "deterministic_paths" => config.deterministic_paths = list,
                         "wall_clock_allowed" => config.wall_clock_allowed = list,
                         "raw_spawn_allowed" => config.raw_spawn_allowed = list,
+                        "hot_paths" => config.hot_paths = list,
+                        "coverage_exempt" => config.coverage_exempt = list,
                         "skip" => config.skip = list,
                         _ => {
                             return Err(format!(
                                 "lint.toml line {}: unknown [scanner] key `{key}`",
+                                no + 1
+                            ))
+                        }
+                    }
+                }
+                Section::Contracts => {
+                    let s = parse_string(value)
+                        .ok_or_else(|| format!("lint.toml line {}: expected a string", no + 1))?;
+                    let contracts = config.contracts.as_mut().expect("inside [contracts]");
+                    match key {
+                        "bench_configs" => contracts.bench_configs = Some(s),
+                        "bench_baseline" => contracts.bench_baseline = Some(s),
+                        "crate_roots" => contracts.crate_roots = Some(s),
+                        _ => {
+                            return Err(format!(
+                                "lint.toml line {}: unknown [contracts] key `{key}`",
                                 no + 1
                             ))
                         }
@@ -258,6 +309,41 @@ reason = "bounded worker pool"
         let text = "[scanner]\nskip = [\n    \"a\", # fixture\n    \"b/c\",\n]\n";
         let config = Config::parse(text).unwrap();
         assert_eq!(config.skip, vec!["a", "b/c"]);
+    }
+
+    #[test]
+    fn contracts_section_and_new_scanner_keys_parse() {
+        let text = r#"
+[scanner]
+hot_paths = ["crates/logs/src/view.rs"]
+coverage_exempt = ["crates/rand"]
+
+[contracts]
+bench_configs = "crates/bench/src/bin/bench_pipeline.rs"
+bench_baseline = "crates/bench/baselines/pipeline_smoke.json"
+crate_roots = "crates"
+
+[[allow]]
+rule = "no-wall-clock"
+path = "src/lib.rs"
+reason = "probe"
+"#;
+        let config = Config::parse(text).unwrap();
+        assert_eq!(config.hot_paths, vec!["crates/logs/src/view.rs"]);
+        assert_eq!(config.coverage_exempt, vec!["crates/rand"]);
+        let contracts = config.contracts.as_ref().unwrap();
+        assert_eq!(
+            contracts.bench_configs.as_deref(),
+            Some("crates/bench/src/bin/bench_pipeline.rs")
+        );
+        assert_eq!(contracts.crate_roots.as_deref(), Some("crates"));
+        assert_eq!(config.allows[0].line, 11, "[[allow]] header line recorded");
+    }
+
+    #[test]
+    fn unknown_contracts_key_is_a_hard_error() {
+        let err = Config::parse("[contracts]\nbench_cfg = \"x\"\n").unwrap_err();
+        assert!(err.contains("bench_cfg"), "{err}");
     }
 
     #[test]

@@ -2,11 +2,37 @@
 
 use std::fmt;
 
+/// Finding severity. Both levels fail a `check` run — the gate has no
+/// advisory tier — but they render differently (`error[...]` vs
+/// `warning[...]`, `::error` vs `::warning` in `--github` mode) so a
+/// reader can triage: errors are contract violations in code, warnings
+/// are bookkeeping drift (stale allow entries, orphaned baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Level {
+    /// A contract violation.
+    #[default]
+    Error,
+    /// Bookkeeping drift.
+    Warning,
+}
+
+impl Level {
+    /// Lowercase name, used by every rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warning => "warning",
+        }
+    }
+}
+
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Rule name (e.g. `no-hashmap-iter`).
     pub rule: &'static str,
+    /// Severity (both levels fail the run).
+    pub level: Level,
     /// Workspace-relative path, `/`-separated.
     pub path: String,
     /// 1-based line.
@@ -21,10 +47,48 @@ pub struct Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
+        writeln!(
+            f,
+            "{}[{}]: {}",
+            self.level.as_str(),
+            self.rule,
+            self.message
+        )?;
         writeln!(f, "  --> {}:{}:{}", self.path, self.line, self.col)?;
         write!(f, "   = help: {}", self.help)
     }
+}
+
+impl Diagnostic {
+    /// GitHub Actions workflow-command rendering
+    /// (`::error file=…,line=…,col=…,title=…::message`).
+    pub fn to_github(&self) -> String {
+        format!(
+            "::{} file={},line={},col={},title={}::{}",
+            self.level.as_str(),
+            escape_property(&self.path),
+            self.line,
+            self.col,
+            escape_property(&format!("ssfa-lint[{}]", self.rule)),
+            escape_data(&format!("{} (help: {})", self.message, self.help)),
+        )
+    }
+}
+
+/// Workflow-command property escaping (`%`, CR, LF, `:`, `,`).
+fn escape_property(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+        .replace(':', "%3A")
+        .replace(',', "%2C")
+}
+
+/// Workflow-command data escaping (`%`, CR, LF).
+fn escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 /// One `unsafe` site with its justification, for the machine-readable
@@ -74,8 +138,9 @@ fn json_str(s: &str) -> String {
 
 fn diag_json(d: &Diagnostic) -> String {
     format!(
-        "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{},\"help\":{}}}",
+        "{{\"rule\":{},\"level\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{},\"help\":{}}}",
         json_str(d.rule),
+        json_str(d.level.as_str()),
         json_str(&d.path),
         d.line,
         d.col,
@@ -110,6 +175,17 @@ impl ScanResult {
         )
     }
 
+    /// GitHub Actions annotation rendering: one workflow command per
+    /// finding (the job's own exit code carries pass/fail).
+    pub fn render_github(&self) -> String {
+        let mut out = String::new();
+        for d in &self.findings {
+            out.push_str(&d.to_github());
+            out.push('\n');
+        }
+        out
+    }
+
     /// Human (rustc-style) rendering of the findings plus a summary line.
     pub fn render_human(&self) -> String {
         let mut out = String::new();
@@ -135,6 +211,7 @@ mod tests {
     fn sample() -> Diagnostic {
         Diagnostic {
             rule: "no-wall-clock",
+            level: Level::Error,
             path: "src/lib.rs".into(),
             line: 7,
             col: 13,
@@ -149,6 +226,34 @@ mod tests {
         assert!(text.starts_with("error[no-wall-clock]:"));
         assert!(text.contains("--> src/lib.rs:7:13"));
         assert!(text.contains("= help:"));
+    }
+
+    #[test]
+    fn warning_level_renders_and_serializes() {
+        let mut d = sample();
+        d.level = Level::Warning;
+        assert!(d.to_string().starts_with("warning[no-wall-clock]:"));
+        let mut result = ScanResult::default();
+        result.findings.push(d);
+        assert!(result.to_json().contains("\"level\":\"warning\""));
+    }
+
+    #[test]
+    fn github_mode_emits_escaped_workflow_commands() {
+        let mut d = sample();
+        d.message = "line one\nline two, 50% done".into();
+        let cmd = d.to_github();
+        assert!(
+            cmd.starts_with(
+                "::error file=src/lib.rs,line=7,col=13,title=ssfa-lint[no-wall-clock]::"
+            ),
+            "{cmd}"
+        );
+        assert!(cmd.contains("line one%0Aline two, 50%25 done"), "{cmd}");
+        assert!(
+            !cmd[2..].contains('\n'),
+            "data newlines must be escaped: {cmd}"
+        );
     }
 
     #[test]

@@ -27,13 +27,19 @@ pub struct Edit {
     pub insert: String,
 }
 
+/// Rules the fixer never plans for: their findings live in config or
+/// cross-artifact state (lint.toml, baseline JSON), where a suppression
+/// comment is either impossible or the wrong move — config drift is fixed
+/// by fixing the config, not by blessing the drift.
+const NOFIX_RULES: [&str; 2] = ["unused-allow", "contract-sync"];
+
 /// Plans the suppression edits for `findings`. Diagnostics without a
-/// source line (e.g. `unused-allow`, which lives in lint.toml) are
-/// skipped — deleting config is not the fixer's call.
+/// source line and [`NOFIX_RULES`] findings are skipped — deleting or
+/// rewriting config is not the fixer's call.
 pub fn plan(root: &Path, findings: &[Diagnostic]) -> std::io::Result<Vec<Edit>> {
     let mut edits = Vec::new();
     for d in findings {
-        if d.line == 0 || d.rule == "unused-allow" {
+        if d.line == 0 || NOFIX_RULES.contains(&d.rule) {
             continue;
         }
         let path = root.join(&d.path);
@@ -145,6 +151,7 @@ mod tests {
         std::fs::write(dir.join("a.rs"), "fn f() {\n    thread::spawn(|| {});\n}\n").unwrap();
         let findings = vec![Diagnostic {
             rule: "no-raw-spawn",
+            level: crate::diag::Level::Error,
             path: "a.rs".into(),
             line: 2,
             col: 5,

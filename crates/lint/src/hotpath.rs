@@ -1,0 +1,513 @@
+//! The item-aware rule families: `no-alloc-hot-path` and
+//! `bail-discipline`. Both run over the [`crate::items::ItemIndex`].
+//!
+//! ## `no-alloc-hot-path`
+//!
+//! A fn is *hot* when its file is under `[scanner] hot_paths` or it
+//! carries `// lint: zero-alloc`; `#[cfg(test)]` code and fns reviewed
+//! with `// lint: alloc-ok <reason>` are exempt. Inside a hot fn every
+//! allocation-introducing token ([`crate::items::ALLOC_TOKENS`]) is a
+//! finding, and — the part a token scan cannot do — a call to an
+//! intra-crate helper that (transitively) allocates is flagged *at the
+//! call site*, so the bench gate's zero-alloc probe has a static
+//! counterpart. An `alloc-ok` fn is a reviewed boundary: its own body is
+//! exempt and callers treat it as clean (the review covers the edge).
+//!
+//! ## `bail-discipline`
+//!
+//! DESIGN §13: fast paths may only *accept*; rejection is always the
+//! general parser's verdict. A fn annotated `// lint: fast-path(<g>)`
+//! must return `Option`, `<g>` must exist in the same crate, and every
+//! caller must either *be* `<g>` or call `<g>` in the same body (the
+//! `None` fall-through path).
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, Level};
+use crate::items::{CallSite, FnItem, ItemIndex};
+
+/// Resolution outcome for `allocates`: `None` = unknown/ambiguous (the
+/// candidates disagree), `Some(witness)` = allocates, with a short
+/// human-readable witness chain.
+type Verdict = Option<Option<String>>;
+
+struct AllocAnalysis<'a> {
+    index: &'a ItemIndex,
+    /// Memo: per item id, `None` = not computed / in progress.
+    memo: Vec<Verdict>,
+}
+
+impl<'a> AllocAnalysis<'a> {
+    fn new(index: &'a ItemIndex) -> Self {
+        AllocAnalysis {
+            memo: vec![None; index.items.len()],
+            index,
+        }
+    }
+
+    /// Whether item `id` (transitively) allocates, with a witness.
+    /// `alloc-ok` fns answer "no" — the annotation is the reviewed
+    /// boundary. Cycles resolve optimistically (direct tokens are checked
+    /// before recursion, so a dirty cycle member still reports).
+    fn allocates(&mut self, id: usize) -> Option<String> {
+        if let Some(verdict) = &self.memo[id] {
+            return verdict.clone();
+        }
+        // Mark in-progress as clean to break cycles.
+        self.memo[id] = Some(None);
+        let item = &self.index.items[id];
+        let verdict = if item.alloc_ok.is_some() {
+            None
+        } else if let Some(tok) = item.alloc_tokens.first() {
+            Some(format!("`{}` at {}:{}", tok.token, item.rel, tok.line))
+        } else {
+            let calls = item.calls.clone();
+            let mut found = None;
+            for call in &calls {
+                if let Some(inner) = self.call_allocates(call, id) {
+                    found = Some(inner);
+                    break;
+                }
+            }
+            found
+        };
+        self.memo[id] = Some(verdict.clone());
+        verdict
+    }
+
+    /// Whether a call site resolves to an allocating intra-crate fn.
+    /// Ambiguous names (candidates with different verdicts) are skipped —
+    /// precision over recall, same policy as the hash-name index.
+    fn call_allocates(&mut self, call: &CallSite, caller_id: usize) -> Option<String> {
+        let caller = &self.index.items[caller_id];
+        let candidates = self.index.resolve(call, caller);
+        if candidates.is_empty() {
+            return None;
+        }
+        let verdicts: Vec<Option<String>> =
+            candidates.iter().map(|&id| self.allocates(id)).collect();
+        let all_alloc = verdicts.iter().all(|v| v.is_some());
+        if all_alloc {
+            let witness = verdicts.into_iter().flatten().next().unwrap_or_default();
+            Some(format!("`{}` allocates via {}", call.name, witness))
+        } else {
+            // Clean, or candidates disagree (ambiguous name): skip.
+            None
+        }
+    }
+}
+
+/// Whether `item` is a hot region under `config`.
+fn is_hot(item: &FnItem, config: &Config) -> bool {
+    if item.is_test || item.alloc_ok.is_some() {
+        return false;
+    }
+    item.zero_alloc || Config::under(&item.rel, &config.hot_paths)
+}
+
+/// `no-alloc-hot-path`: allocation tokens and allocating-helper calls
+/// inside hot fns.
+pub fn no_alloc_hot_path(index: &ItemIndex, config: &Config, out: &mut Vec<Diagnostic>) {
+    let mut analysis = AllocAnalysis::new(index);
+    for id in 0..index.items.len() {
+        if !is_hot(&index.items[id], config) {
+            // An `alloc-ok` with an empty reason is not a review.
+            let item = &index.items[id];
+            if item.alloc_ok.as_deref() == Some("") {
+                out.push(Diagnostic {
+                    rule: "no-alloc-hot-path",
+                    level: Level::Error,
+                    path: item.rel.clone(),
+                    line: item.line,
+                    col: 1,
+                    message: format!("`{}` has `lint: alloc-ok` with no reason", item.name),
+                    help: "an alloc-ok boundary is a review: say why the allocations are \
+                           acceptable (`// lint: alloc-ok <why>`)"
+                        .into(),
+                });
+            }
+            continue;
+        }
+        let item = &index.items[id];
+        let name = item.name.clone();
+        let rel = item.rel.clone();
+        for tok in &item.alloc_tokens.clone() {
+            out.push(Diagnostic {
+                rule: "no-alloc-hot-path",
+                level: Level::Error,
+                path: rel.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!("allocation in hot path: `{}` in `{name}`", tok.token),
+                help: "hot regions must not allocate in steady state (DESIGN §13); restructure \
+                       to borrow, mark the fn `// lint: alloc-ok <why>` if reviewed, or \
+                       suppress the line with `// lint: allow(no-alloc-hot-path) <why>`"
+                    .into(),
+            });
+        }
+        for call in &index.items[id].calls.clone() {
+            // A callee that is itself hot reports its own findings.
+            let candidates = analysis.index.resolve(call, &analysis.index.items[id]);
+            if candidates
+                .iter()
+                .any(|&c| is_hot(&analysis.index.items[c], config))
+            {
+                continue;
+            }
+            if let Some(witness) = analysis.call_allocates(call, id) {
+                out.push(Diagnostic {
+                    rule: "no-alloc-hot-path",
+                    level: Level::Error,
+                    path: rel.clone(),
+                    line: call.line,
+                    col: call.col,
+                    message: format!("hot fn `{name}` calls allocating helper: {witness}"),
+                    help: "the helper allocates on this path; make it allocation-free, mark it \
+                           `// lint: alloc-ok <why>` if the allocation is reviewed, or suppress \
+                           the call with `// lint: allow(no-alloc-hot-path) <why>`"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// `bail-discipline`: `// lint: fast-path(<general>)` fns must return
+/// `Option`, their general counterpart must exist intra-crate, and every
+/// caller must be (or call) the general parser.
+pub fn bail_discipline(index: &ItemIndex, out: &mut Vec<Diagnostic>) {
+    for (id, item) in index.items.iter().enumerate() {
+        if item.fast_path_malformed {
+            out.push(Diagnostic {
+                rule: "bail-discipline",
+                level: Level::Error,
+                path: item.rel.clone(),
+                line: item.line,
+                col: 1,
+                message: format!(
+                    "`{}` has a malformed `lint: fast-path` annotation",
+                    item.name
+                ),
+                help: "the annotation names the general parser: \
+                       `// lint: fast-path(<general_fn>)` (optionally `Owner::name`)"
+                    .into(),
+            });
+        }
+        let Some(target) = &item.fast_path else {
+            continue;
+        };
+        let (target_owner, target_name) = match target.split_once("::") {
+            Some((owner, name)) => (Some(owner), name),
+            None => (None, name_only(target)),
+        };
+
+        // (a) Accept-only: the fast path must return Option.
+        let returns_option = item
+            .sig
+            .split_once("->")
+            .is_some_and(|(_, ret)| ret.contains("Option"));
+        if !returns_option {
+            out.push(Diagnostic {
+                rule: "bail-discipline",
+                level: Level::Error,
+                path: item.rel.clone(),
+                line: item.line,
+                col: 1,
+                message: format!(
+                    "fast path `{}` does not return `Option` (accept-only, DESIGN §13)",
+                    item.name
+                ),
+                help: "a fast path may only accept; return `Option` and fall through to the \
+                       general parser on any deviation"
+                    .into(),
+            });
+        }
+
+        // (b) The general counterpart must exist in the same crate.
+        let generals: Vec<usize> = index
+            .named(&item.crate_key, target_name)
+            .iter()
+            .copied()
+            .filter(|&g| {
+                g != id && target_owner.is_none_or(|o| index.items[g].owner.as_deref() == Some(o))
+            })
+            .collect();
+        if generals.is_empty() {
+            out.push(Diagnostic {
+                rule: "bail-discipline",
+                level: Level::Error,
+                path: item.rel.clone(),
+                line: item.line,
+                col: 1,
+                message: format!(
+                    "fast path `{}` names general parser `{target}`, which does not exist in {}",
+                    item.name, item.crate_key
+                ),
+                help: "the general counterpart must live in the same crate so the bail path \
+                       is checkable; fix the annotation or add the general fn"
+                    .into(),
+            });
+            continue;
+        }
+
+        // (c) Every caller must be the general parser or call it.
+        for (caller_id, caller) in index.items.iter().enumerate() {
+            if caller_id == id {
+                continue;
+            }
+            for call in &caller.calls {
+                if call.name != item.name {
+                    continue;
+                }
+                let resolved = index.resolve(call, caller);
+                if !resolved.contains(&id) {
+                    continue;
+                }
+                let caller_is_general = generals.contains(&caller_id);
+                let caller_calls_general = caller.calls.iter().any(|c| {
+                    c.name == target_name
+                        && index
+                            .resolve(c, caller)
+                            .iter()
+                            .any(|r| generals.contains(r))
+                });
+                if !caller_is_general && !caller_calls_general {
+                    out.push(Diagnostic {
+                        rule: "bail-discipline",
+                        level: Level::Error,
+                        path: caller.rel.clone(),
+                        line: call.line,
+                        col: call.col,
+                        message: format!(
+                            "`{}` calls fast path `{}` but never invokes its general parser \
+                             `{target}` on the bail path",
+                            caller.name, item.name
+                        ),
+                        help: "a fast-path miss must fall through to the general parser \
+                               (DESIGN §13); call it on the `None` arm or route through the \
+                               general entry point"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `target` with any stray qualifier removed (defensive: `a::b::c`).
+fn name_only(target: &str) -> &str {
+    target.rsplit("::").next().unwrap_or(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::ItemIndex;
+    use crate::lexer::strip;
+
+    fn index(files: &[(&str, &str)]) -> ItemIndex {
+        let stripped: Vec<(String, crate::lexer::Stripped)> = files
+            .iter()
+            .map(|(rel, src)| (rel.to_string(), strip(src)))
+            .collect();
+        let refs: Vec<(String, &crate::lexer::Stripped)> =
+            stripped.iter().map(|(r, s)| (r.clone(), s)).collect();
+        ItemIndex::build(&refs)
+    }
+
+    fn hot_config(paths: &[&str]) -> Config {
+        Config {
+            hot_paths: paths.iter().map(|s| s.to_string()).collect(),
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn direct_allocation_in_hot_file_is_flagged_tests_are_not() {
+        let idx = index(&[(
+            "crates/demo/src/hot.rs",
+            "fn render(x: &str) -> usize {\n    let owned = x.to_owned();\n    owned.len()\n}\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { let s = String::from(\"x\"); }\n}\n",
+        )]);
+        let mut out = Vec::new();
+        no_alloc_hot_path(&idx, &hot_config(&["crates/demo/src/hot.rs"]), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 2);
+        assert!(out[0].message.contains("to_owned"));
+    }
+
+    #[test]
+    fn zero_alloc_annotation_makes_a_fn_hot_anywhere() {
+        let idx = index(&[(
+            "crates/demo/src/cold.rs",
+            "// lint: zero-alloc\nfn fused() { let s = format!(\"x\"); }\nfn other() { let s = format!(\"y\"); }\n",
+        )]);
+        let mut out = Vec::new();
+        no_alloc_hot_path(&idx, &Config::default(), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn allocating_helper_is_flagged_at_the_call_site() {
+        let idx = index(&[
+            (
+                "crates/demo/src/hot.rs",
+                "fn hot_entry(x: &str) {\n    helper(x);\n}\n",
+            ),
+            (
+                "crates/demo/src/util.rs",
+                "pub fn helper(x: &str) -> String {\n    x.to_string()\n}\n",
+            ),
+        ]);
+        let mut out = Vec::new();
+        no_alloc_hot_path(&idx, &hot_config(&["crates/demo/src/hot.rs"]), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].path, "crates/demo/src/hot.rs");
+        assert_eq!(out[0].line, 2, "flagged at the call site");
+        assert!(out[0].message.contains("helper"), "{}", out[0].message);
+        assert!(
+            out[0].message.contains("to_string"),
+            "witness: {}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn alloc_ok_is_a_reviewed_boundary_for_body_and_callers() {
+        let idx = index(&[(
+            "crates/demo/src/hot.rs",
+            "fn hot_entry(x: &str) {\n    boundary(x);\n}\n\
+             // lint: alloc-ok owned copy reviewed: cold path only\nfn boundary(x: &str) -> String { x.to_string() }\n",
+        )]);
+        let mut out = Vec::new();
+        no_alloc_hot_path(&idx, &hot_config(&["crates/demo/src/hot.rs"]), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn alloc_ok_without_reason_is_flagged() {
+        let idx = index(&[(
+            "crates/demo/src/hot.rs",
+            "// lint: alloc-ok\nfn boundary(x: &str) -> String { x.to_string() }\n",
+        )]);
+        let mut out = Vec::new();
+        no_alloc_hot_path(&idx, &hot_config(&["crates/demo/src/hot.rs"]), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn transitive_allocation_propagates_through_clean_middleman() {
+        let idx = index(&[(
+            "crates/demo/src/hot.rs",
+            "fn hot_entry() { middle(); }\nfn middle() { deep(); }\nfn deep() -> Vec<u8> { Vec::new() }\n",
+        )]);
+        let mut out = Vec::new();
+        no_alloc_hot_path(&idx, &hot_config(&["crates/demo/src/hot.rs"]), &mut out);
+        // hot.rs is entirely hot, so middle/deep get their own token
+        // findings and hot_entry's call edge to them is skipped (they are
+        // hot themselves); deep's Vec::new is the only token.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("Vec::new"));
+    }
+
+    #[test]
+    fn transitive_allocation_flags_zero_alloc_caller_of_cold_helpers() {
+        let idx = index(&[(
+            "crates/demo/src/lib.rs",
+            "// lint: zero-alloc\nfn hot_entry() { middle(); }\nfn middle() { deep(); }\nfn deep() -> Vec<u8> { Vec::new() }\n",
+        )]);
+        let mut out = Vec::new();
+        no_alloc_hot_path(&idx, &Config::default(), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 2, "flagged at hot_entry's call to middle");
+        assert!(out[0].message.contains("middle"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn ambiguous_callee_names_are_skipped() {
+        let idx = index(&[
+            (
+                "crates/demo/src/hot.rs",
+                "// lint: zero-alloc\nfn hot_entry(x: &T) { x.parse(); }\n",
+            ),
+            (
+                "crates/demo/src/a.rs",
+                "impl A { pub fn parse() -> String { String::from(\"a\") } }\n",
+            ),
+            (
+                "crates/demo/src/b.rs",
+                "impl B { pub fn parse() -> u8 { 1 } }\n",
+            ),
+        ]);
+        let mut out = Vec::new();
+        no_alloc_hot_path(&idx, &Config::default(), &mut out);
+        assert!(
+            out.is_empty(),
+            "disagreeing candidates must not fire: {out:?}"
+        );
+    }
+
+    #[test]
+    fn bail_fast_path_must_return_option() {
+        let idx = index(&[(
+            "crates/demo/src/lib.rs",
+            "// lint: fast-path(general)\nfn fast(x: &str) -> u8 { 1 }\nfn general(x: &str) -> u8 { 2 }\n",
+        )]);
+        let mut out = Vec::new();
+        bail_discipline(&idx, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("does not return `Option`"));
+    }
+
+    #[test]
+    fn bail_missing_general_is_flagged() {
+        let idx = index(&[(
+            "crates/demo/src/lib.rs",
+            "// lint: fast-path(nonexistent)\nfn fast(x: &str) -> Option<u8> { None }\n",
+        )]);
+        let mut out = Vec::new();
+        bail_discipline(&idx, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("does not exist"));
+    }
+
+    #[test]
+    fn bail_caller_that_is_or_calls_the_general_is_clean() {
+        let idx = index(&[(
+            "crates/demo/src/lib.rs",
+            "// lint: fast-path(general)\nfn fast(x: &str) -> Option<u8> { None }\n\
+             fn general(x: &str) -> u8 { fast(x).unwrap_or(9) }\n\
+             fn dispatcher(x: &str) -> u8 {\n    if let Some(v) = fast(x) { return v; }\n    general(x)\n}\n",
+        )]);
+        let mut out = Vec::new();
+        bail_discipline(&idx, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn bail_caller_without_general_fallback_is_flagged_at_call_site() {
+        let idx = index(&[(
+            "crates/demo/src/lib.rs",
+            "// lint: fast-path(general)\nfn fast(x: &str) -> Option<u8> { None }\n\
+             fn general(x: &str) -> u8 { fast(x).unwrap_or(9) }\n\
+             fn rogue(x: &str) -> u8 { fast(x).unwrap_or(0) }\n",
+        )]);
+        let mut out = Vec::new();
+        bail_discipline(&idx, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].message.contains("rogue"));
+    }
+
+    #[test]
+    fn bail_qualified_target_matches_owner() {
+        let idx = index(&[(
+            "crates/demo/src/lib.rs",
+            "impl Probe {\n    // lint: fast-path(Probe::parse)\n    fn parse_canonical(x: &str) -> Option<u8> { None }\n    fn parse(x: &str) -> u8 { Self::parse_canonical(x).unwrap_or(0) }\n}\n",
+        )]);
+        let mut out = Vec::new();
+        bail_discipline(&idx, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

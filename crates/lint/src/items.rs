@@ -1,0 +1,766 @@
+//! A lightweight, fully-offline Rust *item* parser layered on the
+//! [`crate::lexer::Stripped`] text — fn boundaries with byte spans,
+//! enclosing `impl` owners, `#[cfg(test)]` containment, call-site
+//! extraction, and the `// lint:` fn annotations that drive the
+//! item-aware rule families (`no-alloc-hot-path`, `bail-discipline`).
+//!
+//! No `syn`, no proc macros: the parser is a single brace-depth walk over
+//! stripped code. Every `{` is classified by the *header* text since the
+//! last `{`/`}`/`;` — a header containing the `fn` keyword opens a
+//! function body, `impl` opens an impl block (its type names fns inside),
+//! `mod` under `#[cfg(test)]` opens a test module, everything else is an
+//! anonymous block. Because strings and comments are already blanked the
+//! walk never sees a brace that is not structural.
+//!
+//! ## Annotation grammar (DESIGN §14)
+//!
+//! On the fn's own line, or any comment in the attribute/comment block
+//! directly above it:
+//!
+//! - `// lint: zero-alloc` — the fn is a hot region wherever it lives;
+//! - `// lint: alloc-ok <reason>` — a reviewed allocation boundary: the
+//!   fn is exempt from hot-path checking and callers treat it as clean;
+//! - `// lint: fast-path(<general>)` — DESIGN §13 bail discipline: the fn
+//!   may only *accept* (return `Option`), and `<general>` (optionally
+//!   `Owner::name`) is the general parser that must decide rejections.
+
+use crate::lexer::Stripped;
+use std::collections::BTreeMap;
+
+/// Byte span (half-open) in the stripped text of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Offset of the opening `{`.
+    pub start: usize,
+    /// Offset one past the closing `}`.
+    pub end: usize,
+}
+
+/// One extracted call site inside an fn body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee identifier (the segment directly before `(`).
+    pub name: String,
+    /// Path segment before `::name(`, e.g. `LogLineRef` or `Self`.
+    pub qualifier: Option<String>,
+    /// Whether this is a method call (`recv.name(...)`).
+    pub method: bool,
+    /// 1-based line of the callee identifier.
+    pub line: usize,
+    /// 1-based column of the callee identifier.
+    pub col: usize,
+}
+
+/// One allocation-introducing token found in an fn body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocToken {
+    /// The matched token (e.g. `to_owned`, `format!`).
+    pub token: &'static str,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// One parsed function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Workspace-relative path of the defining file.
+    pub rel: String,
+    /// Crate key (`crates/<name>` or `root`) for intra-crate resolution.
+    pub crate_key: String,
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` type, if any (`impl Display for X` records `X`).
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Signature text (whitespace-collapsed) from `fn` to the body brace.
+    pub sig: String,
+    /// Body span in the stripped text (absent for trait-decl `fn ...;`).
+    pub body: Option<Span>,
+    /// Inside `#[cfg(test)]` / `#[test]` — exempt from hot-path checks.
+    pub is_test: bool,
+    /// `// lint: zero-alloc` annotation present.
+    pub zero_alloc: bool,
+    /// `// lint: alloc-ok <reason>` annotation (reason may be empty,
+    /// which the rule reports).
+    pub alloc_ok: Option<String>,
+    /// `// lint: fast-path(<general>)` annotation target.
+    pub fast_path: Option<String>,
+    /// A `lint: fast-path` marker whose target failed to parse.
+    pub fast_path_malformed: bool,
+    /// Call sites in the body, nested fn items excluded.
+    pub calls: Vec<CallSite>,
+    /// Allocation tokens in the body, nested fn items excluded.
+    pub alloc_tokens: Vec<AllocToken>,
+}
+
+/// Allocation-introducing calls/macros (ISSUE + `to_vec`/`vec!`, the two
+/// owned-buffer constructors this workspace actually uses). `clone` is
+/// flagged unconditionally — a `Copy` clone in a hot region is noise the
+/// author silences with `alloc-ok` or an allow, by design (precision is
+/// the reviewer's job at exactly the sites that claim to be hot).
+pub const ALLOC_TOKENS: [&str; 11] = [
+    "String::from",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "format!",
+    "vec!",
+    "Vec::new",
+    "with_capacity",
+    "Box::new",
+    "collect",
+    "clone",
+];
+
+/// Keywords that look like call sites (`return(x)` etc.) but are not.
+const KEYWORDS: [&str; 22] = [
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "fn", "in", "as",
+    "move", "let", "mut", "ref", "pub", "use", "where", "impl", "dyn", "await",
+];
+
+/// Every fn item in the workspace plus the lookup tables the item-aware
+/// rules resolve calls through.
+#[derive(Debug, Default)]
+pub struct ItemIndex {
+    /// All items, in file order (the index into this Vec is the item id).
+    pub items: Vec<FnItem>,
+    by_crate_name: BTreeMap<(String, String), Vec<usize>>,
+    by_file: BTreeMap<String, Vec<usize>>,
+}
+
+impl ItemIndex {
+    /// Parses every file and builds the index.
+    pub fn build(files: &[(String, &Stripped)]) -> ItemIndex {
+        let mut index = ItemIndex::default();
+        for (rel, stripped) in files {
+            let items = parse_file(rel, stripped);
+            for item in items {
+                let id = index.items.len();
+                index
+                    .by_crate_name
+                    .entry((item.crate_key.clone(), item.name.clone()))
+                    .or_default()
+                    .push(id);
+                index.by_file.entry(item.rel.clone()).or_default().push(id);
+                index.items.push(item);
+            }
+        }
+        index
+    }
+
+    /// Item ids defined in `rel`.
+    pub fn in_file(&self, rel: &str) -> &[usize] {
+        self.by_file.get(rel).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Item ids named `name` in `crate_key`.
+    pub fn named(&self, crate_key: &str, name: &str) -> &[usize] {
+        self.by_crate_name
+            .get(&(crate_key.to_string(), name.to_string()))
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// Resolves a call site from `caller` to candidate item ids, most
+    /// specific scope first: an explicit `Owner::` qualifier narrows to
+    /// fns in that impl (with `Self` mapped to the caller's owner), an
+    /// unqualified or method call prefers same-file fns and falls back to
+    /// the crate. Unresolvable calls (std, other crates) come back empty —
+    /// the rules are intra-crate by design.
+    pub fn resolve(&self, call: &CallSite, caller: &FnItem) -> Vec<usize> {
+        let in_crate = self.named(&caller.crate_key, &call.name);
+        if let Some(q) = &call.qualifier {
+            let owner = if q == "Self" {
+                caller.owner.clone()
+            } else {
+                Some(q.clone())
+            };
+            let owned: Vec<usize> = in_crate
+                .iter()
+                .copied()
+                .filter(|&id| self.items[id].owner == owner)
+                .collect();
+            if !owned.is_empty() {
+                return owned;
+            }
+            // `module::helper(...)`: a lowercase qualifier is a path, not
+            // a type; match free fns by name.
+            if q.chars().next().is_some_and(|c| c.is_ascii_lowercase()) {
+                return in_crate
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.items[id].owner.is_none())
+                    .collect();
+            }
+            return Vec::new();
+        }
+        let same_file: Vec<usize> = in_crate
+            .iter()
+            .copied()
+            .filter(|&id| self.items[id].rel == caller.rel)
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        in_crate.to_vec()
+    }
+}
+
+/// Crate key for intra-crate analysis: `crates/<name>` for crate members,
+/// `root` for the workspace package (`src`, `tests`, `examples`).
+pub fn crate_key(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => format!("crates/{name}"),
+        _ => "root".to_string(),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    /// An fn body (item id).
+    Fn(usize),
+    Impl,
+    Other,
+}
+
+#[derive(Debug)]
+struct Block {
+    kind: BlockKind,
+    /// `impl` type for owner lookup.
+    impl_type: Option<String>,
+    /// This block (or an ancestor) is test-only code.
+    test: bool,
+}
+
+/// Parses one stripped file into fn items.
+pub fn parse_file(rel: &str, stripped: &Stripped) -> Vec<FnItem> {
+    let code = stripped.code.as_bytes();
+    // Offsets of every newline, for offset -> (line, col).
+    let newlines: Vec<usize> = code
+        .iter()
+        .enumerate()
+        .filter_map(|(i, b)| (*b == b'\n').then_some(i))
+        .collect();
+    let line_of = |off: usize| newlines.partition_point(|&n| n < off) + 1;
+    let col_of = |off: usize| {
+        let line = newlines.partition_point(|&n| n < off);
+        let line_start = if line == 0 { 0 } else { newlines[line - 1] + 1 };
+        off - line_start + 1
+    };
+
+    let key = crate_key(rel);
+    let mut items: Vec<FnItem> = Vec::new();
+    let mut stack: Vec<Block> = Vec::new();
+    let mut header_start = 0usize;
+    // `;` inside `[...]` is an array length (`[&str; N]`), not a statement
+    // boundary — it must not chop a signature's header.
+    let mut brackets = 0usize;
+    for (i, &b) in code.iter().enumerate() {
+        match b {
+            b'[' => brackets += 1,
+            b']' => brackets = brackets.saturating_sub(1),
+            b'{' => {
+                let header = &stripped.code[header_start..i];
+                let in_test = stack.last().is_some_and(|b| b.test);
+                let kind = classify_header(header);
+                let block = match kind {
+                    Header::Fn { name, fn_off } => {
+                        let fn_abs = header_start + fn_off;
+                        let line = line_of(fn_abs);
+                        let header_line = line_of(header_start);
+                        let mut item = FnItem {
+                            rel: rel.to_string(),
+                            crate_key: key.clone(),
+                            name,
+                            owner: stack
+                                .iter()
+                                .rev()
+                                .find(|b| b.kind == BlockKind::Impl)
+                                .and_then(|b| b.impl_type.clone()),
+                            line,
+                            sig: collapse_ws(&stripped.code[fn_abs..i]),
+                            body: None, // filled at the closing brace
+                            is_test: in_test || header_is_test(header),
+                            zero_alloc: false,
+                            alloc_ok: None,
+                            fast_path: None,
+                            fast_path_malformed: false,
+                            calls: Vec::new(),
+                            alloc_tokens: Vec::new(),
+                        };
+                        apply_annotations(&mut item, stripped, header_line, line);
+                        let id = items.len();
+                        items.push(item);
+                        Block {
+                            kind: BlockKind::Fn(id),
+                            impl_type: None,
+                            test: in_test || header_is_test(header),
+                        }
+                    }
+                    Header::Impl { ty } => Block {
+                        kind: BlockKind::Impl,
+                        impl_type: ty,
+                        test: in_test || header_is_test(header),
+                    },
+                    Header::Other => Block {
+                        kind: BlockKind::Other,
+                        impl_type: None,
+                        test: in_test || header_is_test(header),
+                    },
+                };
+                // Remember where the body opened, via the item just pushed.
+                if let BlockKind::Fn(id) = block.kind {
+                    items[id].body = Some(Span { start: i, end: i });
+                }
+                stack.push(block);
+                header_start = i + 1;
+            }
+            b'}' => {
+                if let Some(block) = stack.pop() {
+                    if let BlockKind::Fn(id) = block.kind {
+                        if let Some(span) = &mut items[id].body {
+                            span.end = i + 1;
+                        }
+                    }
+                }
+                header_start = i + 1;
+            }
+            b';' if brackets == 0 => {
+                header_start = i + 1;
+            }
+            _ => {}
+        }
+    }
+
+    // Per-item body scans, with nested fn items carved out so an outer
+    // fn is not charged for a child's allocations.
+    let spans: Vec<Option<Span>> = items.iter().map(|it| it.body).collect();
+    for (id, item) in items.iter_mut().enumerate() {
+        let Some(span) = item.body else { continue };
+        let holes: Vec<Span> = spans
+            .iter()
+            .enumerate()
+            .filter_map(|(other, s)| {
+                let s = (*s)?;
+                (other != id && s.start > span.start && s.end <= span.end).then_some(s)
+            })
+            .collect();
+        let visible = |off: usize| !holes.iter().any(|h| off >= h.start && off < h.end);
+        scan_body(
+            &stripped.code,
+            span,
+            &visible,
+            &line_of,
+            &col_of,
+            &mut item.calls,
+            &mut item.alloc_tokens,
+        );
+    }
+    items
+}
+
+enum Header {
+    Fn { name: String, fn_off: usize },
+    Impl { ty: Option<String> },
+    Other,
+}
+
+/// Classifies the text before a `{`.
+fn classify_header(header: &str) -> Header {
+    if let Some((name, fn_off)) = find_fn_decl(header) {
+        return Header::Fn { name, fn_off };
+    }
+    if let Some(at) = find_word(header, "impl") {
+        return Header::Impl {
+            ty: impl_type(&header[at + 4..]),
+        };
+    }
+    Header::Other
+}
+
+/// Whether the header's attributes mark test-only code.
+fn header_is_test(header: &str) -> bool {
+    header.contains("cfg(test)") || header.contains("#[test]")
+}
+
+/// Finds `fn <name>` in a header; returns the name and the byte offset of
+/// the `fn` keyword. A `fn` not followed by an identifier (`fn(u8)` type
+/// position) is not a declaration.
+fn find_fn_decl(header: &str) -> Option<(String, usize)> {
+    let bytes = header.as_bytes();
+    let mut from = 0;
+    let mut found: Option<(String, usize)> = None;
+    while let Some(pos) = header[from..].find("fn") {
+        let at = from + pos;
+        from = at + 2;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after_ok = at + 2 >= bytes.len() || !is_ident_byte(bytes[at + 2]);
+        if !before_ok || !after_ok {
+            continue;
+        }
+        let rest = header[at + 2..].trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() && !name.chars().next().unwrap().is_ascii_digit() {
+            found = Some((name, at));
+        }
+    }
+    found
+}
+
+/// The implemented type of an `impl` header: the last `::` segment of the
+/// path after `for` (trait impls) or directly after the generics.
+fn impl_type(after_impl: &str) -> Option<String> {
+    let s = strip_generics(after_impl);
+    let s = match find_word(&s, "for") {
+        Some(at) => s[at + 3..].to_string(),
+        None => s,
+    };
+    let token = s
+        .trim_start()
+        .trim_start_matches('&')
+        .split(|c: char| c.is_whitespace() || c == '(')
+        .next()
+        .unwrap_or("");
+    let ty: String = token
+        .rsplit("::")
+        .next()
+        .unwrap_or("")
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!ty.is_empty()).then_some(ty)
+}
+
+/// Removes balanced `<...>` runs so lifetimes/generics cannot confuse the
+/// impl-type path walk.
+fn strip_generics(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut depth = 0usize;
+    for c in s.chars() {
+        match c {
+            '<' => depth += 1,
+            '>' => depth = depth.saturating_sub(1),
+            c if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// First word-boundary occurrence of `word` in `s`.
+fn find_word(s: &str, word: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = s[from..].find(word) {
+        let at = from + pos;
+        from = at + word.len();
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn collapse_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Reads `// lint:` fn annotations from the comment/attribute block above
+/// the fn (the header region) and the fn's own line.
+fn apply_annotations(item: &mut FnItem, stripped: &Stripped, header_line: usize, fn_line: usize) {
+    for line in header_line..=fn_line {
+        for comment in stripped.comments_on(line) {
+            let text = comment.text.as_str();
+            // Directives live in plain `//` comments only; doc comments
+            // (`///`, `//!`) merely *describe* the grammar and must not
+            // activate it (the linter documents itself).
+            if text.starts_with("///") || text.starts_with("//!") {
+                continue;
+            }
+            if let Some(at) = text.find("lint: zero-alloc") {
+                // Guard against `lint: zero-alloc-something` typos.
+                let end = at + "lint: zero-alloc".len();
+                if text[end..]
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !c.is_ascii_alphanumeric() && c != '-')
+                {
+                    item.zero_alloc = true;
+                }
+            }
+            if let Some(at) = text.find("lint: alloc-ok") {
+                let reason = text[at + "lint: alloc-ok".len()..].trim();
+                item.alloc_ok = Some(reason.to_string());
+            }
+            if let Some(at) = text.find("lint: fast-path") {
+                let rest = &text[at + "lint: fast-path".len()..];
+                match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+                    Some((target, _)) if !target.trim().is_empty() => {
+                        item.fast_path = Some(target.trim().to_string());
+                    }
+                    _ => item.fast_path_malformed = true,
+                }
+            }
+        }
+    }
+}
+
+/// Extracts call sites and allocation tokens from one body span.
+fn scan_body(
+    code: &str,
+    span: Span,
+    visible: &dyn Fn(usize) -> bool,
+    line_of: &dyn Fn(usize) -> usize,
+    col_of: &dyn Fn(usize) -> usize,
+    calls: &mut Vec<CallSite>,
+    alloc_tokens: &mut Vec<AllocToken>,
+) {
+    let bytes = code.as_bytes();
+    // Call sites: identifier directly before `(`.
+    for i in span.start..span.end {
+        if bytes[i] != b'(' || !visible(i) {
+            continue;
+        }
+        if i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if prev == b'!' || !is_ident_byte(prev) {
+            continue; // macro call or grouping paren
+        }
+        let mut start = i;
+        while start > span.start && is_ident_byte(bytes[start - 1]) {
+            start -= 1;
+        }
+        let name = &code[start..i];
+        if name.is_empty()
+            || name.chars().next().unwrap().is_ascii_digit()
+            || name.chars().next().unwrap().is_ascii_uppercase()
+            || KEYWORDS.contains(&name)
+        {
+            continue; // tuple-struct/variant constructor or keyword
+        }
+        // `fn inner(` — a nested declaration's parameter list, not a call.
+        let before_name = code[..start].trim_end();
+        if before_name.ends_with("fn")
+            && !before_name[..before_name.len() - 2]
+                .ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_')
+        {
+            continue;
+        }
+        let mut qualifier = None;
+        let mut method = false;
+        if start >= 2 && &bytes[start - 2..start] == b"::" {
+            let mut qstart = start - 2;
+            while qstart > 0 && is_ident_byte(bytes[qstart - 1]) {
+                qstart -= 1;
+            }
+            let q = &code[qstart..start - 2];
+            if !q.is_empty() {
+                qualifier = Some(q.to_string());
+            }
+        } else if start >= 1 && bytes[start - 1] == b'.' {
+            method = true;
+        }
+        calls.push(CallSite {
+            name: name.to_string(),
+            qualifier,
+            method,
+            line: line_of(start),
+            col: col_of(start),
+        });
+    }
+    // Allocation tokens, word-boundary matched.
+    let body = &code[span.start..span.end];
+    for token in ALLOC_TOKENS {
+        let mut from = 0;
+        while let Some(pos) = body[from..].find(token) {
+            let at = from + pos;
+            from = at + token.len();
+            let abs = span.start + at;
+            if !visible(abs) {
+                continue;
+            }
+            let before_ok = abs == 0 || !is_ident_byte(bytes[abs - 1]) && bytes[abs - 1] != b':';
+            let end = abs + token.len();
+            let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]) && bytes[end] != b'!';
+            if before_ok && after_ok {
+                alloc_tokens.push(AllocToken {
+                    token,
+                    line: line_of(abs),
+                    col: col_of(abs),
+                });
+            }
+        }
+    }
+    alloc_tokens.sort_by_key(|t| (t.line, t.col));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::strip;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        let stripped = strip(src);
+        parse_file("crates/demo/src/lib.rs", &stripped)
+    }
+
+    #[test]
+    fn fn_boundaries_names_and_lines() {
+        let items =
+            parse("fn alpha() -> u8 {\n    1\n}\n\npub fn beta(x: u8) {\n    drop(x);\n}\n");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "alpha");
+        assert_eq!(items[0].line, 1);
+        assert_eq!(items[1].name, "beta");
+        assert_eq!(items[1].line, 5);
+        assert!(items[0].sig.contains("-> u8"));
+    }
+
+    #[test]
+    fn impl_owner_and_trait_impl_owner() {
+        let items = parse(
+            "struct Probe;\nimpl Probe {\n    fn read(&self) {}\n}\n\
+             impl std::fmt::Display for Probe {\n    fn fmt(&self) {}\n}\n\
+             impl<'a> Iterator for Probe {\n    fn next(&mut self) {}\n}\n",
+        );
+        let owners: Vec<_> = items
+            .iter()
+            .map(|i| (i.name.as_str(), i.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            owners,
+            vec![
+                ("read", Some("Probe")),
+                ("fmt", Some("Probe")),
+                ("next", Some("Probe")),
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_marked() {
+        let items = parse(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    use super::*;\n    #[test]\n    fn t() { prod(); }\n    fn helper() {}\n}\n",
+        );
+        let by_name: BTreeMap<&str, bool> =
+            items.iter().map(|i| (i.name.as_str(), i.is_test)).collect();
+        assert!(!by_name["prod"]);
+        assert!(by_name["t"]);
+        assert!(by_name["helper"]);
+    }
+
+    #[test]
+    fn annotations_parse_from_above_and_same_line() {
+        let items = parse(
+            "// lint: zero-alloc\nfn hot() {}\n\
+             // lint: alloc-ok owned copies reviewed in PR 9\nfn boundary() {}\n\
+             fn fast() -> Option<u8> { None } // lint: fast-path(general)\n\
+             // lint: fast-path\nfn broken() {}\n",
+        );
+        assert!(items[0].zero_alloc);
+        assert_eq!(
+            items[1].alloc_ok.as_deref(),
+            Some("owned copies reviewed in PR 9")
+        );
+        assert_eq!(items[2].fast_path.as_deref(), Some("general"));
+        assert!(items[3].fast_path_malformed);
+    }
+
+    #[test]
+    fn calls_extract_name_qualifier_and_method() {
+        let items = parse(
+            "fn caller() {\n    helper(1);\n    LogError::malformed(x);\n    Self::fast(y);\n    recv.push_thing(z);\n    Some(q);\n    format!(\"{q}\");\n}\n",
+        );
+        let calls = &items[0].calls;
+        let names: Vec<_> = calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.qualifier.as_deref(), c.method))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("helper", None, false),
+                ("malformed", Some("LogError"), false),
+                ("fast", Some("Self"), false),
+                ("push_thing", None, true),
+            ],
+            "constructors and macros are excluded"
+        );
+        assert_eq!(calls[0].line, 2);
+    }
+
+    #[test]
+    fn alloc_tokens_found_with_boundaries() {
+        let items = parse(
+            "fn f() {\n    let a = x.to_owned();\n    let b = format!(\"{a}\");\n    let c = cloned_elsewhere();\n    let d = v.collect::<Vec<_>>();\n}\n",
+        );
+        let tokens: Vec<_> = items[0].alloc_tokens.iter().map(|t| t.token).collect();
+        assert_eq!(tokens, vec!["to_owned", "format!", "collect"]);
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_carved_out_of_the_outer_scan() {
+        let items =
+            parse("fn outer() {\n    fn inner() { let s = x.to_string(); }\n    inner();\n}\n");
+        let outer = items.iter().find(|i| i.name == "outer").unwrap();
+        let inner = items.iter().find(|i| i.name == "inner").unwrap();
+        assert!(outer.alloc_tokens.is_empty(), "{:?}", outer.alloc_tokens);
+        assert_eq!(inner.alloc_tokens.len(), 1);
+        assert_eq!(outer.calls.len(), 1, "{:?}", outer.calls);
+        assert_eq!(outer.calls[0].name, "inner");
+    }
+
+    #[test]
+    fn array_semicolons_in_signatures_do_not_chop_the_header() {
+        // `[&str; N]` in the parameter and return types puts `;` between
+        // the `fn` keyword and the body brace; the header must survive.
+        let items = parse(
+            "fn kv<'a, const N: usize>(msg: &'a str, keys: [&'a str; N]) -> [Option<&'a str>; N] {\n    let out = [None; N];\n    out\n}\nfn after() {}\n",
+        );
+        let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["kv", "after"]);
+    }
+
+    #[test]
+    fn resolution_prefers_owner_then_file_then_crate() {
+        let a = strip("impl Probe {\n    fn parse(&self) { Self::canonical(x); }\n    fn canonical() {}\n}\nfn free() { other_mod_fn(); }\n");
+        let b = strip("fn other_mod_fn() {}\nfn canonical() {}\n");
+        let index = ItemIndex::build(&[
+            ("crates/demo/src/a.rs".to_string(), &a),
+            ("crates/demo/src/b.rs".to_string(), &b),
+        ]);
+        let parse = index.items.iter().position(|i| i.name == "parse").unwrap();
+        let caller = &index.items[parse];
+        let call = &caller.calls[0];
+        let resolved = index.resolve(call, caller);
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(index.items[resolved[0]].owner.as_deref(), Some("Probe"));
+        let free = index.items.iter().position(|i| i.name == "free").unwrap();
+        let caller = &index.items[free];
+        let resolved = index.resolve(&caller.calls[0], caller);
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(index.items[resolved[0]].rel, "crates/demo/src/b.rs");
+    }
+
+    #[test]
+    fn crate_keys() {
+        assert_eq!(crate_key("crates/logs/src/view.rs"), "crates/logs");
+        assert_eq!(crate_key("src/lib.rs"), "root");
+        assert_eq!(crate_key("tests/cli_usage.rs"), "root");
+    }
+}

@@ -247,6 +247,9 @@ pub fn strip(source: &str) -> Stripped {
                 if b == b'\\' && i + 1 < bytes.len() {
                     blank(&mut out, b);
                     blank(&mut out, bytes[i + 1]);
+                    if bytes[i + 1] == b'\n' {
+                        line += 1;
+                    }
                     i += 2;
                     continue;
                 }
@@ -258,7 +261,10 @@ pub fn strip(source: &str) -> Stripped {
             }
         }
     }
-    if state == State::LineComment {
+    // Flush a comment the file ended inside: a trailing line comment with
+    // no final newline, or an unterminated block comment (invalid Rust,
+    // but the suppression/SAFETY scans must still see the text).
+    if matches!(state, State::LineComment | State::BlockComment(_)) {
         comments.push(Comment {
             line: comment_start_line,
             text: comment_text,
@@ -354,5 +360,100 @@ mod tests {
         let s = strip("let s = \"a\\\"b HashMap c\"; let after = 1;\n");
         assert!(!s.code.contains("HashMap"));
         assert!(s.code.contains("let after = 1;"));
+    }
+
+    // Regression battery: rule-trigger substrings inside raw strings and
+    // nested block comments must never reach the stripped code, and code
+    // after the construct must survive with its layout intact.
+
+    #[test]
+    fn trigger_inside_raw_string_does_not_fire() {
+        let s = strip("let a = r#\"Instant::now\"#; let b = 1;\n");
+        assert!(!s.code.contains("Instant"), "{}", s.code);
+        assert!(s.code.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn multiline_raw_string_preserves_line_numbers() {
+        let src = "let a = r#\"xx\nthread::spawn\nyy\"#;\nInstant::now();\n";
+        let s = strip(src);
+        assert!(!s.code.contains("thread::spawn"), "{}", s.code);
+        assert_eq!(s.code.lines().count(), src.lines().count());
+        assert!(
+            s.code.lines().nth(3).unwrap().contains("Instant::now"),
+            "code after the raw string keeps its line: {}",
+            s.code
+        );
+        assert!(
+            s.comments.is_empty(),
+            "comment markers inside raw strings are text"
+        );
+    }
+
+    #[test]
+    fn raw_string_with_more_hashes_ignores_shorter_candidate_closes() {
+        let s = strip("let a = r##\"a\"# Instant::now \"##; after();\n");
+        assert!(!s.code.contains("Instant"), "{}", s.code);
+        assert!(s.code.contains("after()"));
+    }
+
+    #[test]
+    fn byte_raw_string_is_blanked() {
+        let s = strip("let a = br#\"thread::spawn\"#; ok();\n");
+        assert!(!s.code.contains("thread::spawn"), "{}", s.code);
+        assert!(s.code.contains("ok()"));
+    }
+
+    #[test]
+    fn raw_string_containing_comment_markers_stays_a_string() {
+        let s = strip("let a = r#\"\n// Instant::now\n/* thread::spawn */\n\"#; done();\n");
+        assert!(!s.code.contains("Instant"), "{}", s.code);
+        assert!(!s.code.contains("spawn"), "{}", s.code);
+        assert!(s.comments.is_empty(), "{:?}", s.comments);
+        assert!(s.code.contains("done()"));
+    }
+
+    #[test]
+    fn deeply_nested_block_comment_blanks_triggers_and_resumes_code() {
+        let s = strip("a /* 1 /* 2 /* Instant::now */ 2 */ 1 */ SystemTime::now();\n");
+        assert!(!s.code.contains("Instant"), "{}", s.code);
+        assert!(s.code.contains("SystemTime::now"), "{}", s.code);
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("Instant::now"));
+    }
+
+    #[test]
+    fn quote_char_literal_does_not_open_a_string() {
+        let s = strip("let q = '\"'; Instant::now();\n");
+        assert!(s.code.contains("Instant::now"), "{}", s.code);
+    }
+
+    #[test]
+    fn string_containing_comment_openers_does_not_start_a_comment() {
+        let s = strip("let a = \"/*\"; Instant::now(); let b = \"*/\";\n");
+        assert!(s.code.contains("Instant::now"), "{}", s.code);
+        assert!(s.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_string_opener_inside_line_comment_is_inert() {
+        let s = strip("// r#\"\nInstant::now();\n");
+        assert!(s.code.contains("Instant::now"), "{}", s.code);
+        assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_block_comment_at_eof_is_still_captured() {
+        let s = strip("fn f() {}\n/* SAFETY: tail comment with no close");
+        assert!(!s.code.contains("SAFETY"), "{}", s.code);
+        assert_eq!(s.comments.len(), 1, "{:?}", s.comments);
+        assert!(s.comments[0].text.contains("SAFETY: tail comment"));
+        assert_eq!(s.comments[0].line, 2);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let s = strip("let r#match = 1; Instant::now();\n");
+        assert!(s.code.contains("Instant::now"), "{}", s.code);
     }
 }

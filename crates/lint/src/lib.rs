@@ -12,13 +12,16 @@
 //! cannot accumulate).
 
 pub mod config;
+pub mod contracts;
 pub mod diag;
 pub mod fix;
+pub mod hotpath;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 
 pub use config::Config;
-pub use diag::{Diagnostic, ScanResult, UnsafeSite};
+pub use diag::{Diagnostic, Level, ScanResult, UnsafeSite};
 
 use rules::SourceFile;
 use std::path::{Path, PathBuf};
@@ -95,6 +98,18 @@ pub fn check_workspace(root: &Path, config: &Config) -> std::io::Result<ScanResu
         rules::unsafe_inventory(file, &mut raw, &mut inventory);
     }
 
+    // Item-aware families: parse fn items once, run both rules over the
+    // cross-file index.
+    let item_files: Vec<(String, &lexer::Stripped)> =
+        files.iter().map(|f| (f.rel.clone(), &f.stripped)).collect();
+    let item_index = items::ItemIndex::build(&item_files);
+    hotpath::no_alloc_hot_path(&item_index, config, &mut raw);
+    hotpath::bail_discipline(&item_index, &mut raw);
+
+    // Cross-artifact contracts (bench/baseline drift, crate coverage,
+    // allow-entry rule names).
+    contracts::contract_sync(root, config, &mut raw);
+
     // Apply suppression comments, then the lint.toml allowlist.
     let by_rel: std::collections::BTreeMap<&str, &SourceFile> =
         files.iter().map(|f| (f.rel.as_str(), f)).collect();
@@ -132,12 +147,15 @@ pub fn check_workspace(root: &Path, config: &Config) -> std::io::Result<ScanResu
 
     // An allow entry that matched nothing is itself a finding: the
     // burndown list must shrink as the code improves, never fossilize.
+    // Entries naming an unknown rule are skipped here — `contract-sync`
+    // already reported the typo, which subsumes "matched nothing".
     for (entry, hits) in config.allows.iter().zip(&allow_hits) {
-        if *hits == 0 {
+        if *hits == 0 && rules::RULES.contains(&entry.rule.as_str()) {
             findings.push(Diagnostic {
                 rule: "unused-allow",
+                level: Level::Warning,
                 path: "lint.toml".into(),
-                line: 0,
+                line: entry.line,
                 col: 0,
                 message: format!(
                     "[[allow]] entry for `{}` at `{}` no longer matches anything",

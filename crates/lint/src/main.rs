@@ -19,6 +19,7 @@ commands:
 
 options:
   --json          (check) emit the machine-readable report on stdout
+  --github        (check) emit GitHub Actions ::error/::warning annotations
   --dry-run       (fix) print planned edits without writing anything
   --root <path>   workspace root (default: current directory)
   --config <path> lint.toml path (default: <root>/lint.toml)
@@ -27,6 +28,7 @@ options:
 struct Args {
     command: String,
     json: bool,
+    github: bool,
     dry_run: bool,
     root: PathBuf,
     config: Option<PathBuf>,
@@ -38,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
     let mut parsed = Args {
         command,
         json: false,
+        github: false,
         dry_run: false,
         root: PathBuf::from("."),
         config: None,
@@ -45,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => parsed.json = true,
+            "--github" => parsed.github = true,
             "--dry-run" => parsed.dry_run = true,
             "--root" => parsed.root = PathBuf::from(args.next().ok_or("--root needs a path")?),
             "--config" => {
@@ -52,6 +56,9 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown option `{other}`")),
         }
+    }
+    if parsed.json && parsed.github {
+        return Err("--json and --github are mutually exclusive".into());
     }
     Ok(parsed)
 }
@@ -71,14 +78,14 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
-            eprintln!("ssfa-lint: {message}\n\n{USAGE}");
+            eprintln!("ssfa-lint: error: {message}\n\n{USAGE}");
             return ExitCode::from(2);
         }
     };
     let config = match load_config(&args) {
         Ok(config) => config,
         Err(message) => {
-            eprintln!("ssfa-lint: {message}");
+            eprintln!("ssfa-lint: error: {message}");
             return ExitCode::from(2);
         }
     };
@@ -87,12 +94,14 @@ fn main() -> ExitCode {
             let result = match check_workspace(&args.root, &config) {
                 Ok(result) => result,
                 Err(e) => {
-                    eprintln!("ssfa-lint: scan failed: {e}");
+                    eprintln!("ssfa-lint: error: scan failed: {e}");
                     return ExitCode::from(2);
                 }
             };
             if args.json {
                 print!("{}", result.to_json());
+            } else if args.github {
+                print!("{}", result.render_github());
             } else {
                 print!("{}", result.render_human());
             }
@@ -106,14 +115,14 @@ fn main() -> ExitCode {
             let result = match check_workspace(&args.root, &config) {
                 Ok(result) => result,
                 Err(e) => {
-                    eprintln!("ssfa-lint: scan failed: {e}");
+                    eprintln!("ssfa-lint: error: scan failed: {e}");
                     return ExitCode::from(2);
                 }
             };
             let edits = match fix::plan(&args.root, &result.findings) {
                 Ok(edits) => edits,
                 Err(e) => {
-                    eprintln!("ssfa-lint: fix planning failed: {e}");
+                    eprintln!("ssfa-lint: error: fix planning failed: {e}");
                     return ExitCode::from(2);
                 }
             };
@@ -131,13 +140,13 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("ssfa-lint: fix failed: {e}");
+                    eprintln!("ssfa-lint: error: fix failed: {e}");
                     ExitCode::from(2)
                 }
             }
         }
         other => {
-            eprintln!("ssfa-lint: unknown command `{other}`\n\n{USAGE}");
+            eprintln!("ssfa-lint: error: unknown command `{other}`\n\n{USAGE}");
             ExitCode::from(2)
         }
     }

@@ -10,17 +10,21 @@
 //! - `lint.toml` `[[allow]]` entries for reviewed, path-scoped burndown.
 
 use crate::config::Config;
-use crate::diag::{Diagnostic, UnsafeSite};
+use crate::diag::{Diagnostic, Level, UnsafeSite};
 use crate::lexer::Stripped;
 
-/// Names of every rule, used by `lint: allow(...)` validation.
-pub const RULES: [&str; 6] = [
+/// Names of every rule, used by `lint: allow(...)` validation and the
+/// `contract-sync` allow-entry check.
+pub const RULES: [&str; 9] = [
     "no-hashmap-iter",
     "no-wall-clock",
     "no-unseeded-rng",
     "no-raw-spawn",
     "no-float-keys",
     "unsafe-inventory",
+    "no-alloc-hot-path",
+    "bail-discipline",
+    "contract-sync",
 ];
 
 /// One scanned file, lexed, with its workspace-relative path.
@@ -238,6 +242,7 @@ pub fn no_hashmap_iter(
                     if index.contains(recv) {
                         out.push(Diagnostic {
                             rule: "no-hashmap-iter",
+                            level: Level::Error,
                             path: file.rel.clone(),
                             line: lineno,
                             col: at + 1,
@@ -270,6 +275,7 @@ pub fn no_hashmap_iter(
                 {
                     out.push(Diagnostic {
                         rule: "no-hashmap-iter",
+                        level: Level::Error,
                         path: file.rel.clone(),
                         line: lineno,
                         col: pos + 1,
@@ -358,6 +364,7 @@ pub fn no_float_keys(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             if tail.contains(".unwrap()") || tail.contains(".expect(") {
                 out.push(Diagnostic {
                     rule: "no-float-keys",
+                    level: Level::Error,
                     path: file.rel.clone(),
                     line: i + 1,
                     col: at + 1,
@@ -406,6 +413,7 @@ pub fn unsafe_inventory(
                 }),
                 None => out.push(Diagnostic {
                     rule: "unsafe-inventory",
+                    level: Level::Error,
                     path: file.rel.clone(),
                     line: lineno,
                     col: at + 1,
@@ -439,6 +447,7 @@ fn scan_tokens(
                 }
                 out.push(Diagnostic {
                     rule,
+                    level: Level::Error,
                     path: file.rel.clone(),
                     line: i + 1,
                     col: at + 1,

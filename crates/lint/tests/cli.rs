@@ -119,6 +119,32 @@ fn fix_dry_run_never_writes_and_apply_is_idempotent() {
 }
 
 #[test]
+fn github_flag_emits_workflow_commands() {
+    let root = scratch("github");
+    std::fs::write(
+        root.join("hot.rs"),
+        "// lint: zero-alloc\npub fn hot(id: u32) -> String {\n    id.to_string()\n}\n",
+    )
+    .unwrap();
+    let out = run(&root, &["check", "--github"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("::error file=hot.rs,line=3,col=8,title=ssfa-lint[no-alloc-hot-path]::"),
+        "{text}"
+    );
+
+    // The two machine modes cannot be combined: usage error on stderr.
+    let out = run(&root, &["check", "--json", "--github"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(out.stdout.is_empty(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mutually exclusive"), "{err}");
+
+    std::fs::remove_dir_all(root).ok();
+}
+
+#[test]
 fn json_flag_emits_machine_readable_report() {
     let root = scratch("json");
     std::fs::write(

@@ -1,0 +1,6 @@
+// Fixture: the missing-general finding is acknowledged inline — it must
+// land in the allowed list.
+// lint: fast-path(parse_general)
+pub fn parse_fast(s: &str) -> Option<u32> { // lint: allow(bail-discipline) fixture: general lives in another crate
+    s.strip_prefix("d=")?.len().try_into().ok()
+}

@@ -1,0 +1,30 @@
+// Fixture: the full DESIGN §13 bail shape — fast path returns Option, the
+// general counterpart exists, and the caller falls back to it on None.
+// lint: fast-path(parse_general)
+pub fn parse_fast(s: &str) -> Option<u32> {
+    let digits = s.strip_prefix("x=")?;
+    let mut value: u32 = 0;
+    for b in digits.bytes() {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        value = value.checked_mul(10)?.checked_add(u32::from(b - b'0'))?;
+    }
+    Some(value)
+}
+
+pub fn parse_general(s: &str) -> u32 {
+    let digits = s.trim_start_matches(|c: char| !c.is_ascii_digit());
+    let mut value: u32 = 0;
+    for b in digits.bytes().take_while(u8::is_ascii_digit) {
+        value = value.wrapping_mul(10).wrapping_add(u32::from(b - b'0'));
+    }
+    value
+}
+
+pub fn parse(s: &str) -> u32 {
+    match parse_fast(s) {
+        Some(value) => value,
+        None => parse_general(s),
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: fast path names a general parser that does not exist.
+// lint: fast-path(parse_general)
+pub fn parse_fast(s: &str) -> Option<u32> {
+    s.strip_prefix("d=")?.len().try_into().ok()
+}

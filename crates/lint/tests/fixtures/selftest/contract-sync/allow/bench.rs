@@ -1,0 +1,11 @@
+// Fixture bench source: `ghost` drifts, but lint.toml blesses it.
+pub fn register() {
+    run_config(
+        "smoke",
+        true,
+    );
+    run_config(
+        "ghost",
+        false,
+    );
+}

@@ -1,0 +1,11 @@
+// Fixture bench source: every config is gated by baseline.json.
+pub fn register() {
+    run_config(
+        "smoke",
+        true,
+    );
+    run_config(
+        "sharded",
+        false,
+    );
+}

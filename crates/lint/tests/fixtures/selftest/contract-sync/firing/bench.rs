@@ -1,0 +1,11 @@
+// Fixture bench source: `ghost` has no baseline entry. Never compiled.
+pub fn register() {
+    run_config(
+        "smoke",
+        true,
+    );
+    run_config(
+        "ghost",
+        false,
+    );
+}

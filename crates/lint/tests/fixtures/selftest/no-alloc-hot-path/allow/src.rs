@@ -1,0 +1,7 @@
+// Fixture: the allocation is acknowledged with an inline allow comment —
+// the finding must move to the allowed list, not the findings list.
+// lint: zero-alloc
+pub fn hot(id: u32) -> String {
+    // lint: allow(no-alloc-hot-path) fixture: one-shot label at startup
+    id.to_string()
+}

@@ -1,0 +1,20 @@
+// Fixture: a hot fn that only borrows, plus a reviewed alloc-ok boundary —
+// neither may produce a finding.
+// lint: zero-alloc
+pub fn hot(buf: &[u8]) -> usize {
+    buf.iter().filter(|b| **b == b'\n').count()
+}
+
+// lint: alloc-ok cold-start construction only, never on the feed path
+pub fn build() -> Vec<u32> {
+    Vec::with_capacity(16)
+}
+
+// lint: zero-alloc
+pub fn hot_caller(buf: &[u8]) -> usize {
+    hot(buf) + trailing(buf)
+}
+
+fn trailing(buf: &[u8]) -> usize {
+    buf.iter().rev().take_while(|b| **b != b'\n').count()
+}

@@ -1,0 +1,11 @@
+// Fixture: two no-alloc-hot-path findings — a direct allocation token in
+// an annotated fn, and a call into an allocating helper (propagation).
+// lint: zero-alloc
+pub fn hot(id: u32) -> String {
+    let owned = id.to_string();
+    label(id, owned)
+}
+
+fn label(id: u32, prefix: String) -> String {
+    format!("{prefix}-{id}")
+}

@@ -1,0 +1,11 @@
+// Fixture bench source: `unbaselined` has no baseline.json entry.
+pub fn register() {
+    run_config(
+        "smoke",
+        true,
+    );
+    run_config(
+        "unbaselined",
+        false,
+    );
+}

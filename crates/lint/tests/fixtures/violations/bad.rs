@@ -37,3 +37,13 @@ pub fn rank(xs: &mut [f64]) {
 pub fn peek(ptr: *const u8) -> u8 {
     unsafe { *ptr }
 }
+
+// lint: zero-alloc
+pub fn hot_label(id: u32) -> String {
+    id.to_string()
+}
+
+// lint: fast-path(parse_general)
+pub fn parse_fast(s: &str) -> Option<u32> {
+    s.strip_prefix("d=")?.parse().ok()
+}

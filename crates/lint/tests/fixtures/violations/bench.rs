@@ -1,0 +1,12 @@
+// Fixture bench source for contract-sync: `smoke` is properly gated by
+// baseline.json, `unbaselined` is not. Never compiled.
+pub fn register() {
+    run_config(
+        "smoke",
+        true,
+    );
+    run_config(
+        "unbaselined",
+        false,
+    );
+}

@@ -40,9 +40,11 @@ fn run_golden(name: &str) {
 #[test]
 fn violations_fixture_flags_every_rule() {
     run_golden("violations");
-    // Beyond the golden: make sure all six rules actually fire.
+    // Beyond the golden: make sure every rule actually fires. The fixture
+    // lint.toml matters here — contract-sync needs its [contracts] section.
     let root = fixture("violations");
-    let result = check_workspace(&root, &Config::default()).expect("scan");
+    let config = Config::load(&root).expect("fixture lint.toml must parse");
+    let result = check_workspace(&root, &config).expect("scan");
     let fired: std::collections::BTreeSet<&str> = result.findings.iter().map(|d| d.rule).collect();
     for rule in ssfa_lint::rules::RULES {
         assert!(fired.contains(rule), "rule {rule} produced no finding");

@@ -67,6 +67,7 @@ impl<'a> SlotsRef<'a> {
 
     /// Collects the members into an owned vector (the only allocation a
     /// raid-group record costs, and only when the classifier keeps it).
+    // lint: alloc-ok the promotion boundary for kept raid-group records
     pub fn to_vec(&self) -> Vec<SlotAddr> {
         self.iter().collect()
     }
@@ -244,6 +245,7 @@ pub enum EventRef<'a> {
 /// this only ever accepts messages where both readings agree, and the
 /// last value being space-free means trailing duplicates (which last-wins
 /// scanning would resolve differently) always take the fallback.
+// lint: fast-path(kv_scan)
 fn canonical_kv<'a, const N: usize>(msg: &'a str, keys: [&str; N]) -> Option<[Option<&'a str>; N]> {
     if msg
         .bytes()
@@ -348,6 +350,7 @@ fn ascii_space(c: u8) -> bool {
 /// overflow, trailing tokens — returns `None` and the caller re-reads the
 /// message through [`kv_scan`], so this path only ever accepts inputs
 /// where both readings agree.
+// lint: fast-path(kv_scan)
 fn parse_disk_install_fast(msg: &str) -> Option<EventRef<'_>> {
     let b = msg.as_bytes();
     let rest = b.strip_prefix(b"serial=")?;
@@ -613,6 +616,7 @@ impl<'a> EventRef<'a> {
 
     /// Converts the view into an owned [`LogEvent`], allocating only the
     /// fields the owned representation must hold.
+    // lint: alloc-ok the view->owned promotion for state-changing records
     pub fn to_owned(&self) -> LogEvent {
         match *self {
             EventRef::FciDeviceTimeout { device } => LogEvent::FciDeviceTimeout { device },
@@ -878,6 +882,7 @@ impl<'a> LogLineRef<'a> {
     /// trailing whitespace, a non-ASCII byte anywhere it would change
     /// tokenization — returns `None` so the general path above (the
     /// proven equivalent of the owned parser) makes the call.
+    // lint: fast-path(LogLineRef::parse)
     fn parse_canonical(line: &'a str) -> Option<LogLineRef<'a>> {
         let b = line.as_bytes();
         // `trim_end` must be an identity: last byte ASCII and non-space.
@@ -933,6 +938,7 @@ impl<'a> LogLineRef<'a> {
     }
 
     /// Converts the view into an owned [`LogLine`].
+    // lint: alloc-ok delegates to EventRef::to_owned at the same boundary
     pub fn to_owned(&self) -> LogLine {
         LogLine {
             host: self.host,

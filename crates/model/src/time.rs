@@ -86,6 +86,7 @@ impl SimTime {
     /// but fused: the calendar conversion runs once and the weekday
     /// derivation (which the sim-time offset never needs) is skipped.
     /// This is the line parser's hot path.
+    // lint: zero-alloc
     pub fn parse_log_timestamp(s: &str) -> Option<SimTime> {
         let (year, month, day, hour, minute, second) = parse_log_fields(s)?;
         let days = days_from_civil(year, month, day) - days_from_civil(2004, 1, 1);
@@ -303,6 +304,7 @@ type LogFields = (i32, u8, u8, u8, u8, u8);
 /// Field extraction behind [`CivilDateTime::parse_log_timestamp`] and
 /// [`SimTime::parse_log_timestamp`]: canonical fixed-offset fast path
 /// first, token-by-token fallback for anything else.
+// lint: zero-alloc
 fn parse_log_fields(s: &str) -> Option<LogFields> {
     if let Some(fields) = parse_canonical_fields(s) {
         return Some(fields);
@@ -327,6 +329,8 @@ fn parse_log_fields(s: &str) -> Option<LogFields> {
 
 /// Fast path for the renderer's canonical layout; `None` means "not
 /// canonical, let the general parser decide", never "invalid".
+// lint: zero-alloc
+// lint: fast-path(parse_log_fields)
 fn parse_canonical_fields(s: &str) -> Option<LogFields> {
     let b = s.as_bytes();
     // 28 bytes = "Www Mmm dd HH:MM:SS TZm yyyy" with a 4-digit year;

@@ -1,0 +1,32 @@
+//! Tier-1 enforcement of the lint contracts: the workspace must scan
+//! clean under its own reviewed `lint.toml` policy — including the
+//! item-aware families (no-alloc-hot-path, bail-discipline,
+//! contract-sync). CI runs the binary for annotations; this test makes
+//! `cargo test` alone sufficient to catch a regression.
+
+use ssfa_lint::{check_workspace, Config};
+use std::path::Path;
+
+#[test]
+fn workspace_scans_clean_under_the_reviewed_policy() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let config = Config::load(root).expect("lint.toml must parse");
+    assert!(
+        config.contracts.is_some(),
+        "the root policy must keep its [contracts] section"
+    );
+    assert!(
+        !config.hot_paths.is_empty(),
+        "the root policy must name the hot paths"
+    );
+    let result = check_workspace(root, &config).expect("scan");
+    assert!(
+        result.findings.is_empty(),
+        "workspace lint findings:\n{}",
+        result.render_human()
+    );
+    // The scan saw real code, and the unsafe inventory is still populated
+    // (every entry carries its SAFETY justification by construction).
+    assert!(result.files_scanned > 100, "{}", result.files_scanned);
+    assert!(!result.unsafe_inventory.is_empty());
+}
