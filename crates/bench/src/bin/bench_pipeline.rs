@@ -6,7 +6,10 @@
 //! streaming over an on-disk corpus through both disk-backed sources
 //! (`corpus_file`, `corpus_mmap`; the corpus is built once outside the
 //! timed region, so these measure pure analysis with simulation and
-//! rendering amortized away) — and emits one `BENCH_pipeline.json` with
+//! rendering amortized away), and resuming from a half-covered fold
+//! checkpoint (`corpus_resume`: every rep restores a staged checkpoint
+//! and folds only the uncovered tail, measuring the warm-restart path)
+//! — and emits one `BENCH_pipeline.json` with
 //! wall time, peak resident corpus bytes, allocations per corpus line,
 //! and shard throughput per configuration.
 //!
@@ -248,6 +251,54 @@ impl Drop for CorpusDirGuard {
     }
 }
 
+/// Stages a half-covered fold checkpoint once (`seed`) and restores it
+/// into a scratch directory (`work`) before every resume rep, so each
+/// timed rep sees the same mid-run restart: checkpoint open, snapshot
+/// decode, and folding only the uncovered tail of the corpus.
+struct ResumeStageGuard {
+    seed: std::path::PathBuf,
+    work: std::path::PathBuf,
+}
+
+impl ResumeStageGuard {
+    fn build(pipeline: &Pipeline, corpus: &std::path::Path) -> ResumeStageGuard {
+        let pid = std::process::id();
+        let seed = std::env::temp_dir().join(format!("ssfa-bench-ckpt-seed-{pid}"));
+        let work = std::env::temp_dir().join(format!("ssfa-bench-ckpt-work-{pid}"));
+        let _ = std::fs::remove_dir_all(&seed);
+        let _ = std::fs::remove_dir_all(&work);
+        let source = ssfa::FileSource::open(corpus).expect("bench corpus opens");
+        pipeline
+            .run_source_checkpointed(&source, &seed)
+            .expect("checkpoint stages");
+        let mut writer = ssfa::logs::checkpoint::CheckpointWriter::append_to(&seed)
+            .expect("staged checkpoint reopens");
+        let half = (writer.manifest().epochs.len() / 2).max(1);
+        writer
+            .truncate_to(half)
+            .expect("staged checkpoint truncates");
+        ResumeStageGuard { seed, work }
+    }
+
+    /// Resets the work directory to the staged half-covered checkpoint.
+    fn restore(&self) {
+        let _ = std::fs::remove_dir_all(&self.work);
+        std::fs::create_dir_all(&self.work).expect("work dir creates");
+        for entry in std::fs::read_dir(&self.seed).expect("staged dir lists") {
+            let entry = entry.expect("staged dir entry");
+            std::fs::copy(entry.path(), self.work.join(entry.file_name()))
+                .expect("staged file copies");
+        }
+    }
+}
+
+impl Drop for ResumeStageGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.seed);
+        let _ = std::fs::remove_dir_all(&self.work);
+    }
+}
+
 /// The deterministic (non-wall) side of one configuration's result.
 #[derive(Debug, Clone, Copy)]
 struct Counters {
@@ -312,6 +363,9 @@ fn run_benches(env: &BenchEnv) -> Vec<BenchResult> {
     let p_auto = base.clone().chunk_auto();
     let p_corpus_file = base.clone().chunk_auto();
     let p_corpus_mmap = base.clone().chunk_auto();
+    let p_resume = base.clone().chunk_auto().epoch_chunks(1);
+    let resume_stage = ResumeStageGuard::build(&p_resume, &corpus_dir.0);
+    let corpus_resume = ssfa::FileSource::open(&corpus_dir.0).expect("bench corpus opens");
     let p_text = base.chunk_auto().text_transport();
 
     type Runner<'a> = Box<dyn FnMut() -> Counters + 'a>;
@@ -373,6 +427,18 @@ fn run_benches(env: &BenchEnv) -> Vec<BenchResult> {
             true,
             Box::new(move || {
                 let (study, stats, _) = p_corpus_mmap.run_source(&corpus_mmap).unwrap();
+                std::hint::black_box(study);
+                stream_counters(stats)
+            }),
+        ),
+        (
+            "corpus_resume",
+            true,
+            Box::new(move || {
+                resume_stage.restore();
+                let (study, stats, _) = p_resume
+                    .resume_from(&corpus_resume, &resume_stage.work)
+                    .unwrap();
                 std::hint::black_box(study);
                 stream_counters(stats)
             }),

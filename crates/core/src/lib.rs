@@ -47,6 +47,7 @@ pub mod mttdl;
 pub mod predict;
 pub mod raid_risk;
 pub mod report;
+pub mod snapshot;
 pub mod study;
 pub mod tbf;
 
@@ -57,6 +58,7 @@ pub use findings::{Finding, FindingsReport};
 pub use mttdl::MttdlParams;
 pub use predict::{evaluate_predictor, Alarm, PrecursorPredictor, PredictionEval};
 pub use raid_risk::{raid_data_loss_risk, RaidRiskResult, RiskFailureSet};
+pub use snapshot::{SnapshotError, SNAPSHOT_VERSION};
 pub use study::{Study, StudyFold};
 pub use tbf::{GapAnalysis, TbfAnalysis};
 

@@ -116,10 +116,36 @@ impl StudyFold {
         self.partials == 0
     }
 
+    /// Merges another fold into this one: topology maps union,
+    /// lifetime/failure vectors append, partial counts add.
+    ///
+    /// `merge` is **associative** — the property that makes fold state a
+    /// legitimate persistent artifact. Both constituent operations are:
+    /// map union with last-writer-wins (every writer stores the same
+    /// value for a given key, since each system's topology is rendered
+    /// once) and vector append (concatenation). `(a ⊕ b) ⊕ c` and
+    /// `a ⊕ (b ⊕ c)` therefore produce byte-identical accumulators even
+    /// *before* canonicalization; the snapshot tests pin this at the
+    /// serialized-byte level.
+    pub fn merge(&mut self, other: StudyFold) {
+        self.acc.absorb(other.acc);
+        self.partials += other.partials;
+    }
+
     /// Canonicalizes the accumulator and wraps it as a [`Study`].
     pub fn finish(mut self) -> Study {
         self.acc.canonicalize();
         Study::new(self.acc)
+    }
+
+    /// The raw accumulator, for the snapshot codec.
+    pub(crate) fn acc_ref(&self) -> &AnalysisInput {
+        &self.acc
+    }
+
+    /// Reassembles a fold from its decoded parts (snapshot restore).
+    pub(crate) fn from_parts(acc: AnalysisInput, partials: usize) -> StudyFold {
+        StudyFold { acc, partials }
     }
 }
 

@@ -35,7 +35,8 @@
 //! one tenant, the paper's argument about fault isolation domains applied
 //! to the analyzer itself.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 
@@ -44,6 +45,8 @@ use ssfa_logs::frame::FrameHeader;
 use ssfa_logs::{Classifier, Strictness};
 use ssfa_model::SystemId;
 use ssfa_pipeline::{ChunkQuarantine, JsonSummarySink, RunHealth, Sink};
+
+use crate::wal::{WalRecord, WriteAheadLog};
 
 /// Bus-wide tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +163,13 @@ pub struct IngestBus {
     tenants: Mutex<BTreeMap<String, Arc<TenantCell>>>,
     /// Absorber threads, joined at drain.
     absorbers: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Write-ahead log, when the daemon runs durable (`--wal`): every
+    /// admitted frame is appended *before* it is acknowledged, so acked
+    /// work survives a crash and unlogged work is retransmitted.
+    wal: Option<Arc<WriteAheadLog>>,
+    /// Set while [`IngestBus::replay_wal`] runs: replayed frames came
+    /// *from* the log, so they must not be re-appended to it.
+    replaying: AtomicBool,
 }
 
 impl IngestBus {
@@ -169,7 +179,81 @@ impl IngestBus {
             config,
             tenants: Mutex::new(BTreeMap::new()),
             absorbers: Mutex::new(Vec::new()),
+            wal: None,
+            replaying: AtomicBool::new(false),
         }
+    }
+
+    /// An empty bus that appends every admission to `wal` before acking
+    /// it. Pair with [`IngestBus::replay_wal`] at startup to restore the
+    /// previous run's admitted stream.
+    pub fn with_wal(config: BusConfig, wal: Arc<WriteAheadLog>) -> IngestBus {
+        IngestBus {
+            wal: Some(wal),
+            ..IngestBus::new(config)
+        }
+    }
+
+    /// Replays records recovered by [`WriteAheadLog::open`] through the
+    /// ordinary `hello`/`admit` path — the same cursor and exactly-once
+    /// machinery live traffic uses — without re-appending them to the
+    /// log. Call before accepting connections. Backpressure is honored
+    /// by waiting for the absorbers rather than shedding (a shed here
+    /// would drop a frame that was already acknowledged).
+    ///
+    /// Returns `(frames_admitted, tenants_touched)`.
+    pub fn replay_wal(self: &Arc<Self>, records: Vec<WalRecord>) -> (u64, u64) {
+        self.replaying.store(true, Ordering::SeqCst);
+        let mut frames = 0u64;
+        let mut tenants = BTreeSet::new();
+        for record in records {
+            if self
+                .hello(&record.tenant, &record.session, record.strictness)
+                .is_err()
+            {
+                continue;
+            }
+            tenants.insert(record.tenant.clone());
+            loop {
+                match self.admit(
+                    &record.tenant,
+                    &record.session,
+                    record.seq,
+                    record.frame.clone(),
+                ) {
+                    Admission::Shed => thread::yield_now(),
+                    Admission::Admitted => {
+                        frames += 1;
+                        break;
+                    }
+                    // Duplicate (already past the cursor) or quarantined:
+                    // nothing further to restore from this record.
+                    _ => break,
+                }
+            }
+        }
+        self.replaying.store(false, Ordering::SeqCst);
+        (frames, tenants.len() as u64)
+    }
+
+    /// Appends one about-to-be-admitted frame to the WAL, unless the bus
+    /// is volatile or mid-replay. An append failure is returned as the
+    /// quarantine reason — a durable daemon must not ack what it cannot
+    /// log.
+    fn wal_append(
+        &self,
+        strictness: Strictness,
+        tenant: &str,
+        session: &str,
+        seq: u64,
+        frame: &[u8],
+    ) -> Result<(), String> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        if self.replaying.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        wal.append(tenant, strictness, session, seq, frame)
+            .map_err(|e| format!("wal append failed: {e}"))
     }
 
     /// Registers (or rejoins) a `(tenant, session)` pair and returns the
@@ -270,12 +354,23 @@ impl IngestBus {
                 shed(&mut inner, &frame);
                 return Admission::Shed;
             }
+            let strictness = inner.strictness;
+            // Durability before acknowledgment: the append happens before
+            // the frame can advance the cursor. If the log refuses, the
+            // tenant quarantines — a durable daemon must not ack what it
+            // cannot replay.
+            if let Err(reason) = self.wal_append(strictness, tenant, session, seq, &frame) {
+                inner.quarantined = Some(reason);
+                inner.queue.clear();
+                return Admission::Quarantined;
+            }
             inner.queue.push_back((seq, frame));
             inner.stats.frames_admitted += 1;
             // The gap just filled: admit consecutive buffered frames
             // while the queue has room. Frames that stay buffered remain
             // un-acked and will be retransmitted if never admitted.
             let mut next = cursor + 1;
+            let mut wal_failure = None;
             loop {
                 if inner.queue.len() >= self.config.queue_capacity {
                     break;
@@ -289,6 +384,10 @@ impl IngestBus {
                 let Some(frame) = buffered else {
                     break;
                 };
+                if let Err(reason) = self.wal_append(strictness, tenant, session, next, &frame) {
+                    wal_failure = Some(reason);
+                    break;
+                }
                 inner.queue.push_back((next, frame));
                 inner.stats.frames_admitted += 1;
                 next += 1;
@@ -298,6 +397,11 @@ impl IngestBus {
                 .get_mut(session)
                 .expect("session checked above")
                 .cursor = next;
+            if let Some(reason) = wal_failure {
+                inner.quarantined = Some(reason);
+                inner.queue.clear();
+                return Admission::Quarantined;
+            }
             cell.work.notify_one();
             return Admission::Admitted;
         }
@@ -342,14 +446,20 @@ impl IngestBus {
         Ok(sink.into_inner())
     }
 
-    /// Renders a tenant's live [`RunHealth`] audit as text.
+    /// Renders a tenant's live [`RunHealth`] audit as text. The shedding
+    /// counters are always appended as their own `key=value` lines (even
+    /// at zero) so operators and scrapers can watch backpressure without
+    /// parsing the prose report.
     ///
     /// # Errors
     ///
     /// Unknown tenant.
     pub fn health_text(&self, tenant: &str) -> Result<String, String> {
         let (_, health) = self.snapshot(tenant)?;
-        Ok(format!("{health}"))
+        Ok(format!(
+            "{health}\nframes_shed={}\nlines_shed={}\n",
+            health.frames_shed, health.lines_shed
+        ))
     }
 
     /// Tenant ids currently registered.

@@ -15,6 +15,7 @@
 //! reconnects and resumes exactly where it left off.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -22,6 +23,7 @@ use std::time::Duration;
 
 use crate::bus::{BusConfig, IngestBus, TenantReport};
 use crate::clock::Stopwatch;
+use crate::wal::{WriteAheadLog, DEFAULT_SEGMENT_BYTES};
 use crate::wire::{read_message, write_message, Cursor, Hello, Message, MessageKind};
 
 /// Server tuning knobs.
@@ -38,6 +40,11 @@ pub struct ServerConfig {
     pub idle_ticks_limit: u32,
     /// Ingest-bus tuning.
     pub bus: BusConfig,
+    /// Directory for the write-ahead log (`ssfad serve --wal <dir>`).
+    /// `None` runs volatile (the pre-WAL behavior); `Some` makes every
+    /// admission durable and replays the log — through the same cursor
+    /// and exactly-once admission path — before accepting connections.
+    pub wal: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +54,7 @@ impl Default for ServerConfig {
             heartbeat_ms: 1_000,
             idle_ticks_limit: 3,
             bus: BusConfig::default(),
+            wal: None,
         }
     }
 }
@@ -75,9 +83,20 @@ impl Server {
     ///
     /// The bind/listen I/O error.
     pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        // Recover the WAL before binding: by the time a reconnecting
+        // agent can reach the daemon, every previously acked frame is
+        // already re-admitted, so its WELCOME cursor is authoritative.
+        let bus = match &config.wal {
+            Some(dir) => {
+                let (wal, records) = WriteAheadLog::open(dir, DEFAULT_SEGMENT_BYTES)?;
+                let bus = Arc::new(IngestBus::with_wal(config.bus, Arc::new(wal)));
+                bus.replay_wal(records);
+                bus
+            }
+            None => Arc::new(IngestBus::new(config.bus)),
+        };
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let bus = Arc::new(IngestBus::new(config.bus));
         let shutdown = Arc::new(AtomicBool::new(false));
         let uptime = Stopwatch::start();
         let connections: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));

@@ -24,6 +24,7 @@ fn test_server() -> ssfa_daemon::ServerHandle {
         heartbeat_ms: 25,
         idle_ticks_limit: 3,
         bus: BusConfig::default(),
+        wal: None,
     })
     .expect("bind loopback")
 }
@@ -119,6 +120,10 @@ fn status_and_health_are_served_live_over_tcp() {
     let reply = expect_message(&mut stream, MessageKind::Ok).unwrap();
     let health = String::from_utf8(reply.body).unwrap();
     assert!(health.contains("run health"), "{health}");
+    // The shedding counters are pinned `key=value` lines, present even
+    // when zero, so scrapers never have to parse the prose report.
+    assert!(health.contains("\nframes_shed=0\n"), "{health}");
+    assert!(health.contains("\nlines_shed=0\n"), "{health}");
 
     // Empty-tenant STATUS returns server info (the wall-clock's only
     // appearance in the protocol).

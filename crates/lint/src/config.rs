@@ -42,6 +42,13 @@ pub struct Contracts {
     /// Directory of workspace member crates; every crate under it must be
     /// covered by a scanner path list or `coverage_exempt`.
     pub crate_roots: Option<String>,
+    /// Source file declaring `pub const SNAPSHOT_VERSION: u32 = <n>`
+    /// (e.g. `crates/core/src/snapshot.rs`); paired with `snapshot_doc`.
+    pub snapshot_schema: Option<String>,
+    /// Document that must describe the current snapshot schema (contain
+    /// the phrase `snapshot schema version <n>`), so a version bump
+    /// cannot land without touching the design doc (e.g. `DESIGN.md`).
+    pub snapshot_doc: Option<String>,
 }
 
 /// Parsed `lint.toml`.
@@ -180,6 +187,8 @@ impl Config {
                         "bench_configs" => contracts.bench_configs = Some(s),
                         "bench_baseline" => contracts.bench_baseline = Some(s),
                         "crate_roots" => contracts.crate_roots = Some(s),
+                        "snapshot_schema" => contracts.snapshot_schema = Some(s),
+                        "snapshot_doc" => contracts.snapshot_doc = Some(s),
                         _ => {
                             return Err(format!(
                                 "lint.toml line {}: unknown [contracts] key `{key}`",
@@ -322,6 +331,8 @@ coverage_exempt = ["crates/rand"]
 bench_configs = "crates/bench/src/bin/bench_pipeline.rs"
 bench_baseline = "crates/bench/baselines/pipeline_smoke.json"
 crate_roots = "crates"
+snapshot_schema = "crates/core/src/snapshot.rs"
+snapshot_doc = "DESIGN.md"
 
 [[allow]]
 rule = "no-wall-clock"
@@ -337,7 +348,12 @@ reason = "probe"
             Some("crates/bench/src/bin/bench_pipeline.rs")
         );
         assert_eq!(contracts.crate_roots.as_deref(), Some("crates"));
-        assert_eq!(config.allows[0].line, 11, "[[allow]] header line recorded");
+        assert_eq!(
+            contracts.snapshot_schema.as_deref(),
+            Some("crates/core/src/snapshot.rs")
+        );
+        assert_eq!(contracts.snapshot_doc.as_deref(), Some("DESIGN.md"));
+        assert_eq!(config.allows[0].line, 13, "[[allow]] header line recorded");
     }
 
     #[test]

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod cascade;
+pub mod checkpoint;
 pub mod classify;
 pub mod corpus;
 pub mod event;
@@ -55,6 +56,10 @@ pub mod store;
 pub mod view;
 
 pub use cascade::{CascadeInput, CascadeStyle};
+pub use checkpoint::{
+    corpus_epoch_digest, CheckpointError, CheckpointManifest, CheckpointReader, CheckpointWriter,
+    EpochEntry,
+};
 pub use classify::{
     classify, classify_parallel, classify_with, AnalysisInput, Classifier, DiskLifetime,
     ShardHealth, Strictness, Topology,

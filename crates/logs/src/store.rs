@@ -245,14 +245,14 @@ pub struct Manifest {
     pub total_payload_bytes: u64,
 }
 
-fn style_name(style: CascadeStyle) -> &'static str {
+pub(crate) fn style_name(style: CascadeStyle) -> &'static str {
     match style {
         CascadeStyle::Full => "full",
         CascadeStyle::RaidOnly => "raid-only",
     }
 }
 
-fn style_from_name(name: &str) -> Option<CascadeStyle> {
+pub(crate) fn style_from_name(name: &str) -> Option<CascadeStyle> {
     match name {
         "full" => Some(CascadeStyle::Full),
         "raid-only" => Some(CascadeStyle::RaidOnly),

@@ -2,11 +2,15 @@
 //! classified analysis input → [`ssfa_core::Study`], with every `run_*`
 //! entry point expressed as a configuration of the one staged engine.
 
-use ssfa_core::Study;
+use std::path::Path;
+
+use ssfa_core::{SnapshotError, Study, StudyFold, SNAPSHOT_VERSION};
+use ssfa_logs::checkpoint::{CheckpointReader, CheckpointWriter, CHECKPOINT_NAME};
 use ssfa_logs::{CascadeStyle, FaultSpec, Strictness};
 use ssfa_model::{Fleet, FleetConfig, LayoutPolicy};
 use ssfa_sim::{Calibration, SimOutput, Simulator};
 
+use crate::checkpoint::{chunk_starting_at, plan_epochs, CheckpointSink, ManifestSource};
 use crate::classify::RaidClassify;
 use crate::error::PipelineError;
 use crate::exec::Engine;
@@ -32,6 +36,7 @@ pub struct Pipeline {
     faults: FaultSpec,
     chunking: ChunkPolicy,
     transport: TransportKind,
+    epoch_chunks: usize,
 }
 
 /// Which shard representation the configured transport stage uses (fault
@@ -56,7 +61,25 @@ impl Pipeline {
             faults: FaultSpec::none(),
             chunking: ChunkPolicy::Auto,
             transport: TransportKind::Lines,
+            epoch_chunks: 1,
         }
+    }
+
+    /// Groups `n` chunks per checkpoint epoch for
+    /// [`Pipeline::run_source_checkpointed`] and
+    /// [`Pipeline::resume_from`]. The default, `1`, snapshots after every
+    /// chunk — finest-grained resume at the cost of one snapshot frame
+    /// per chunk; larger epochs amortize snapshot writes. Fold results
+    /// are bit-identical for every epoch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn epoch_chunks(mut self, n: usize) -> Pipeline {
+        assert!(n > 0, "epochs must hold at least one chunk");
+        self.epoch_chunks = n;
+        self
     }
 
     /// Batches exactly `n` systems per streaming work unit. `1` reproduces
@@ -353,6 +376,133 @@ impl Pipeline {
             transport.as_ref(),
             &RaidClassify::new(self.strictness),
             StudyReduce::new(),
+        )
+    }
+
+    /// [`Pipeline::run_source`] over a corpus-backed source, writing one
+    /// durable checkpoint epoch per [`Pipeline::epoch_chunks`] chunks
+    /// into `dir` as the fold advances. The directory must not already
+    /// hold a checkpoint (use [`Pipeline::resume_from`] to continue one);
+    /// it is created if missing.
+    ///
+    /// Each epoch is a single `SSFC` frame holding the
+    /// [`ssfa_core::StudyFold`] snapshot after that epoch's chunks, keyed
+    /// to the corpus manifest by shard range and shard-checksum digest.
+    /// The checkpoint manifest is rewritten atomically (temp file + sync +
+    /// rename) after every epoch frame, so a crash at any point leaves the
+    /// previous epoch durable and nothing torn.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Pipeline::run_source`], plus
+    /// [`PipelineError::Checkpoint`] if the store cannot be created or
+    /// written.
+    pub fn run_source_checkpointed<S: ManifestSource>(
+        &self,
+        source: &S,
+        dir: &Path,
+    ) -> Result<(Study, StreamStats, RunHealth), PipelineError> {
+        let writer = CheckpointWriter::create(
+            dir,
+            SNAPSHOT_VERSION,
+            source.manifest().seed,
+            source.manifest().style,
+        )?;
+        self.run_checkpointed(source, writer, 0, StudyReduce::new())
+    }
+
+    /// Resumes a checkpointed analysis: restores the newest epoch in
+    /// `dir` whose shard boundary aligns with the current chunk plan,
+    /// then runs the engine over only the chunks past it — an appended
+    /// corpus is absorbed by re-reading just the new shards. Epochs past
+    /// the alignment point (possible when a re-plan moved chunk
+    /// boundaries) are truncated and recomputed. The result is
+    /// bit-identical to a cold run over the full corpus.
+    ///
+    /// An empty or missing checkpoint directory degrades to a cold
+    /// [`Pipeline::run_source_checkpointed`] run, so `resume_from` is
+    /// safe to use unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Pipeline::run_source_checkpointed`], plus
+    /// [`PipelineError::Checkpoint`] when the checkpoint is corrupt or
+    /// disagrees with the corpus manifest, and
+    /// [`PipelineError::Snapshot`] when an epoch payload was written by
+    /// an incompatible schema version.
+    pub fn resume_from<S: ManifestSource>(
+        &self,
+        source: &S,
+        dir: &Path,
+    ) -> Result<(Study, StreamStats, RunHealth), PipelineError> {
+        if !dir.join(CHECKPOINT_NAME).exists() {
+            return self.run_source_checkpointed(source, dir);
+        }
+        let corpus = source.manifest();
+        let reader = CheckpointReader::open(dir)?;
+        reader.manifest().validate_against(corpus)?;
+        if reader.manifest().payload_version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: reader.manifest().payload_version,
+            }
+            .into());
+        }
+        // The newest epoch whose covered-shard boundary is still a chunk
+        // boundary of the current plan can seed the fold; anything after
+        // it is stale under this plan and gets recomputed.
+        let plan = source.plan_chunks(self.chunking);
+        let mut keep = 0;
+        let mut first_chunk = 0;
+        for (index, epoch) in reader.manifest().epochs.iter().enumerate().rev() {
+            if let Some(chunk) = chunk_starting_at(&plan, epoch.shard_end) {
+                keep = index + 1;
+                first_chunk = chunk;
+                break;
+            }
+        }
+        let reduce = if keep > 0 {
+            let payload = reader.read_epoch(keep - 1)?;
+            StudyReduce::resume(StudyFold::from_snapshot(&payload)?)
+        } else {
+            StudyReduce::new()
+        };
+        let mut writer = CheckpointWriter::append_to(dir)?;
+        writer.truncate_to(keep)?;
+        self.run_checkpointed(source, writer, first_chunk, reduce)
+    }
+
+    /// The engine leg shared by [`Pipeline::run_source_checkpointed`] and
+    /// [`Pipeline::resume_from`]: plans the remaining epochs, then runs
+    /// from `first_chunk` with a [`CheckpointSink`] observing every fold.
+    fn run_checkpointed<S: ManifestSource>(
+        &self,
+        source: &S,
+        writer: CheckpointWriter,
+        first_chunk: usize,
+        reduce: StudyReduce,
+    ) -> Result<(Study, StreamStats, RunHealth), PipelineError> {
+        let corpus = source.manifest();
+        let plan = source.plan_chunks(self.chunking);
+        let epochs = plan_epochs(
+            &plan,
+            first_chunk,
+            self.epoch_chunks,
+            writer.manifest().epochs.len(),
+        );
+        let mut sink = CheckpointSink::new(writer, epochs, corpus);
+        let transport = self.transport_stage();
+        let engine = Engine {
+            threads: self.threads,
+            strictness: self.strictness,
+            policy: self.chunking,
+        };
+        engine.run_from(
+            source,
+            transport.as_ref(),
+            &RaidClassify::new(self.strictness),
+            reduce,
+            first_chunk,
+            |chunk, reduce: &StudyReduce| sink.on_chunk(chunk, reduce.fold_state()),
         )
     }
 

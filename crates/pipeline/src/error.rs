@@ -1,6 +1,7 @@
 //! Pipeline-level errors and panic-payload handling.
 
-use ssfa_logs::LogError;
+use ssfa_core::SnapshotError;
+use ssfa_logs::{CheckpointError, LogError};
 
 /// Errors from the end-to-end pipeline.
 #[derive(Debug)]
@@ -15,6 +16,11 @@ pub enum PipelineError {
     },
     /// A [`crate::Sink`] failed to write a run artifact.
     Sink(std::io::Error),
+    /// The checkpoint store refused a read or write (corruption, version
+    /// or corpus mismatch, i/o).
+    Checkpoint(CheckpointError),
+    /// A checkpointed fold snapshot failed to encode or restore.
+    Snapshot(SnapshotError),
 }
 
 /// Best-effort extraction of a panic payload's message: `panic!("...")`
@@ -35,6 +41,8 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Log(e) => write!(f, "log pipeline failed: {e}"),
             PipelineError::Worker { what } => write!(f, "pipeline worker died: {what}"),
             PipelineError::Sink(e) => write!(f, "run sink failed: {e}"),
+            PipelineError::Checkpoint(e) => write!(f, "checkpoint store failed: {e}"),
+            PipelineError::Snapshot(e) => write!(f, "checkpoint snapshot failed: {e}"),
         }
     }
 }
@@ -45,6 +53,8 @@ impl std::error::Error for PipelineError {
             PipelineError::Log(e) => Some(e),
             PipelineError::Worker { .. } => None,
             PipelineError::Sink(e) => Some(e),
+            PipelineError::Checkpoint(e) => Some(e),
+            PipelineError::Snapshot(e) => Some(e),
         }
     }
 }
@@ -52,5 +62,17 @@ impl std::error::Error for PipelineError {
 impl From<LogError> for PipelineError {
     fn from(e: LogError) -> Self {
         PipelineError::Log(e)
+    }
+}
+
+impl From<CheckpointError> for PipelineError {
+    fn from(e: CheckpointError) -> Self {
+        PipelineError::Checkpoint(e)
+    }
+}
+
+impl From<SnapshotError> for PipelineError {
+    fn from(e: SnapshotError) -> Self {
+        PipelineError::Snapshot(e)
     }
 }

@@ -5,6 +5,12 @@
 //! [`crate::workqueue`] (static splits strand workers behind uneven
 //! chunks); outcomes are reassembled in chunk order before the reduce
 //! stage, so scheduling cannot affect the result.
+//!
+//! [`Engine::run_from`] is the checkpoint seam: it starts the plan at an
+//! arbitrary chunk (everything before it is assumed already folded into
+//! the reduce state by a snapshot restore) and surfaces an in-order
+//! per-chunk observer callback — the epoch boundary — after each
+//! partial folds. A cold run is `run_from(.., 0, no-op)`.
 
 use ssfa_logs::Strictness;
 
@@ -36,10 +42,31 @@ impl Engine {
         source: &dyn Source,
         transport: &dyn Transport,
         classify: &dyn Classify,
-        mut reduce: R,
+        reduce: R,
     ) -> Result<(R::Output, StreamStats, RunHealth), PipelineError> {
-        let shards = source.shard_count();
-        if shards == 0 {
+        self.run_from(source, transport, classify, reduce, 0, |_, _: &R| Ok(()))
+    }
+
+    /// Like [`Engine::run`], but starts at `first_chunk` of the source's
+    /// chunk plan — chunks before it are assumed already folded into
+    /// `reduce` (a checkpoint restore) and are neither loaded nor
+    /// counted. After each chunk's outcome is absorbed, in chunk order,
+    /// `observer(chunk, &reduce)` runs on the reassembly thread; an
+    /// observer error aborts the run.
+    ///
+    /// Stats and health cover only the chunks this call processed (the
+    /// increment), so a fully-caught-up resume reports an empty, clean
+    /// run.
+    pub(crate) fn run_from<R: Reduce>(
+        &self,
+        source: &dyn Source,
+        transport: &dyn Transport,
+        classify: &dyn Classify,
+        mut reduce: R,
+        first_chunk: usize,
+        mut observer: impl FnMut(usize, &R) -> Result<(), PipelineError>,
+    ) -> Result<(R::Output, StreamStats, RunHealth), PipelineError> {
+        if source.shard_count() == 0 {
             return Ok((
                 reduce.finish(),
                 StreamStats::empty(),
@@ -51,10 +78,15 @@ impl Engine {
         }
         let chunks = source.plan_chunks(self.policy);
         let n_chunks = chunks.chunk_count();
+        let first_chunk = first_chunk.min(n_chunks);
+        let new_chunks = n_chunks - first_chunk;
+        let new_shards: usize = (first_chunk..n_chunks)
+            .map(|chunk| chunks.shard_range(chunk).len())
+            .sum();
 
-        let queue = StdChunkQueue::new(n_chunks);
-        let workers = self.threads.min(n_chunks);
-        let mut collected: Vec<(usize, Result<_, PipelineError>)> = Vec::with_capacity(n_chunks);
+        let queue = StdChunkQueue::new(new_chunks);
+        let workers = self.threads.min(new_chunks);
+        let mut collected: Vec<(usize, Result<_, PipelineError>)> = Vec::with_capacity(new_chunks);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -62,7 +94,8 @@ impl Engine {
                     let queue = &queue;
                     scope.spawn(move || {
                         let mut mine = Vec::new();
-                        worker_loop(queue, |chunk| {
+                        worker_loop(queue, |slot| {
+                            let chunk = slot + first_chunk;
                             let result = process_chunk(
                                 source,
                                 transport,
@@ -100,18 +133,18 @@ impl Engine {
         collected.sort_by_key(|(chunk, _)| *chunk);
 
         let mut stats = StreamStats {
-            shards,
-            chunks: n_chunks,
+            shards: new_shards,
+            chunks: new_chunks,
             max_shard_bytes: 0,
             total_bytes: 0,
         };
         let mut health = RunHealth {
             strictness: self.strictness,
-            shards_total: shards,
-            chunks_total: n_chunks,
+            shards_total: new_shards,
+            chunks_total: new_chunks,
             ..RunHealth::default()
         };
-        for (_, result) in collected {
+        for (chunk, result) in collected {
             // `?` here surfaces the lowest-index chunk's error first.
             let outcome = result?;
             stats.max_shard_bytes = stats.max_shard_bytes.max(outcome.max_shard_bytes);
@@ -130,6 +163,7 @@ impl Engine {
             if let Some(partial) = outcome.partial {
                 reduce.fold(*partial);
             }
+            observer(chunk, &reduce)?;
         }
         Ok((reduce.finish(), stats, health))
     }

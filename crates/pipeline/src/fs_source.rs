@@ -22,6 +22,7 @@
 
 use std::borrow::Cow;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use memmap2::Mmap;
 use ssfa_logs::store::{CorpusError, CorpusReader};
@@ -63,6 +64,9 @@ fn corpus_system_ids(reader: &CorpusReader, shard: usize) -> Vec<SystemId> {
 #[derive(Debug)]
 pub struct FileSource {
     reader: CorpusReader,
+    /// Shard loads served so far — the resume proof's witness that an
+    /// incremental run touched only the new epoch's shards.
+    loads: AtomicU64,
 }
 
 impl FileSource {
@@ -75,12 +79,18 @@ impl FileSource {
     pub fn open(dir: impl AsRef<Path>) -> Result<FileSource, CorpusError> {
         Ok(FileSource {
             reader: CorpusReader::open(dir.as_ref())?,
+            loads: AtomicU64::new(0),
         })
     }
 
     /// The underlying corpus reader.
     pub fn reader(&self) -> &CorpusReader {
         &self.reader
+    }
+
+    /// How many shard payloads [`Source::load`] has served since open.
+    pub fn shard_reads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
     }
 }
 
@@ -94,6 +104,7 @@ impl Source for FileSource {
     }
 
     fn load(&self, shard: usize) -> ShardData<'_> {
+        self.loads.fetch_add(1, Ordering::Relaxed);
         match self.reader.read_shard_text(shard) {
             Ok(text) => ShardData::Text(Cow::Owned(text)),
             Err(e) => panic!("{e}"),
@@ -125,6 +136,10 @@ pub struct MmapSource {
     reader: CorpusReader,
     /// One read-only map per segment file, in segment order.
     segments: Vec<Mmap>,
+    /// Shard loads served so far — same witness as [`FileSource`]'s; a
+    /// map is established per segment up front, but decode + verify work
+    /// still happens per load.
+    loads: AtomicU64,
 }
 
 impl MmapSource {
@@ -147,12 +162,21 @@ impl MmapSource {
                 })?;
             segments.push(map);
         }
-        Ok(MmapSource { reader, segments })
+        Ok(MmapSource {
+            reader,
+            segments,
+            loads: AtomicU64::new(0),
+        })
     }
 
     /// The underlying corpus reader.
     pub fn reader(&self) -> &CorpusReader {
         &self.reader
+    }
+
+    /// How many shard payloads [`Source::load`] has served since open.
+    pub fn shard_reads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
     }
 
     /// Decodes shard `shard` out of its mapped segment, returning the
@@ -188,6 +212,7 @@ impl Source for MmapSource {
     }
 
     fn load(&self, shard: usize) -> ShardData<'_> {
+        self.loads.fetch_add(1, Ordering::Relaxed);
         match self.shard_text(shard) {
             Ok(text) => ShardData::Text(Cow::Borrowed(text)),
             Err(e) => panic!("{e}"),

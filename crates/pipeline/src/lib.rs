@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod checkpoint;
 mod chunk;
 pub mod classify;
 pub mod error;
@@ -58,6 +59,7 @@ pub mod transport;
 pub mod workqueue;
 
 pub use builder::Pipeline;
+pub use checkpoint::{plan_epochs, CheckpointSink, Epoch, ManifestSource};
 pub use classify::{Classify, RaidClassify};
 pub use error::PipelineError;
 pub use fs_source::{FileSource, MmapSource};

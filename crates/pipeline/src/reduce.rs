@@ -32,6 +32,19 @@ impl StudyReduce {
     pub fn new() -> StudyReduce {
         StudyReduce::default()
     }
+
+    /// A fold resumed from checkpointed state: partials folded after this
+    /// continue exactly where `fold` left off, so a restored-then-extended
+    /// reduce is bit-identical to one that saw every partial cold.
+    pub fn resume(fold: StudyFold) -> StudyReduce {
+        StudyReduce { fold }
+    }
+
+    /// The fold state accumulated so far — what a checkpoint epoch
+    /// snapshots.
+    pub fn fold_state(&self) -> &StudyFold {
+        &self.fold
+    }
 }
 
 impl Reduce for StudyReduce {

@@ -23,12 +23,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ssfa::daemon::{AgentConfig, ReplayAgent};
-use ssfa::logs::{CascadeStyle, CorpusWriter, Strictness};
+use ssfa::logs::{CascadeStyle, CheckpointReader, CorpusWriter, Strictness};
 use ssfa::pipeline::Source;
 use ssfa::{FileSource, MmapSource, Pipeline};
 
 const USAGE: &str = "\
-usage: ssfa <corpus|agent> <subcommand> [options]
+usage: ssfa <corpus|checkpoint|agent> <subcommand> [options]
+       ssfa --version
 
   ssfa corpus build --out <dir> [--scale <f>] [--seed <n>] [--style full|raid-only]
                     [--threads <n>] [--segment-shards <n>] [--force]
@@ -39,7 +40,18 @@ usage: ssfa <corpus|agent> <subcommand> [options]
       --deep additionally re-parses every payload as corpus text.
 
   ssfa corpus analyze <dir> [--source file|mmap] [--threads <n>] [--lenient]
+                     [--resume <ckpt-dir>] [--epoch-chunks <n>]
       Run the analysis pipeline over a corpus and print the Table 1 report.
+      --resume checkpoints fold epochs into <ckpt-dir> and, when the
+      directory already holds a checkpoint for this corpus, restarts from
+      the last durable epoch instead of refolding absorbed shards.
+
+  ssfa checkpoint ls <dir>
+      List a checkpoint store's manifest: payload schema, corpus
+      identity, and every durable epoch.
+
+  ssfa checkpoint verify <dir>
+      Re-walk every epoch frame against its checksum and manifest entry.
 
   ssfa agent replay <dir> --addr <ip:port> --tenant <t> [--session <s>]
                     [--lenient] [--max-attempts <n>] [--backoff-base-ms <n>]
@@ -77,12 +89,22 @@ fn usage(msg: impl Into<String>) -> CliError {
 
 fn run(args: &[&str]) -> Result<(), CliError> {
     match args {
+        ["--version"] => {
+            println!("ssfa {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
         ["corpus", rest @ ..] => match rest {
             ["build", opts @ ..] => corpus_build(opts),
             ["verify", opts @ ..] => corpus_verify(opts),
             ["analyze", opts @ ..] => corpus_analyze(opts),
             [other, ..] => Err(usage(format!("unknown corpus subcommand `{other}`"))),
             [] => Err(usage("corpus needs a subcommand")),
+        },
+        ["checkpoint", rest @ ..] => match rest {
+            ["ls", opts @ ..] => checkpoint_ls(opts),
+            ["verify", opts @ ..] => checkpoint_verify(opts),
+            [other, ..] => Err(usage(format!("unknown checkpoint subcommand `{other}`"))),
+            [] => Err(usage("checkpoint needs a subcommand")),
         },
         ["agent", rest @ ..] => match rest {
             ["replay", opts @ ..] => agent_replay(opts),
@@ -215,6 +237,8 @@ fn corpus_analyze(args: &[&str]) -> Result<(), CliError> {
     let mut source_kind = "file";
     let mut threads: Option<usize> = None;
     let mut lenient = false;
+    let mut resume: Option<PathBuf> = None;
+    let mut epoch_chunks: Option<usize> = None;
     let mut opts = Opts::new(args);
     while let Some(flag) = opts.next() {
         match flag {
@@ -230,6 +254,8 @@ fn corpus_analyze(args: &[&str]) -> Result<(), CliError> {
             }
             "--threads" => threads = Some(opts.parse(flag)?),
             "--lenient" => lenient = true,
+            "--resume" => resume = Some(PathBuf::from(opts.value(flag)?)),
+            "--epoch-chunks" => epoch_chunks = Some(opts.parse(flag)?),
             other if !other.starts_with('-') && dir.is_none() => {
                 dir = Some(PathBuf::from(other));
             }
@@ -240,6 +266,12 @@ fn corpus_analyze(args: &[&str]) -> Result<(), CliError> {
     if threads == Some(0) {
         return Err(usage("--threads must be at least 1"));
     }
+    if epoch_chunks == Some(0) {
+        return Err(usage("--epoch-chunks must be at least 1"));
+    }
+    if epoch_chunks.is_some() && resume.is_none() {
+        return Err(usage("--epoch-chunks needs --resume <ckpt-dir>"));
+    }
 
     let mut pipeline = Pipeline::new();
     if let Some(threads) = threads {
@@ -248,16 +280,25 @@ fn corpus_analyze(args: &[&str]) -> Result<(), CliError> {
     if lenient {
         pipeline = pipeline.strictness(Strictness::Lenient);
     }
+    if let Some(n) = epoch_chunks {
+        pipeline = pipeline.epoch_chunks(n);
+    }
 
     let run = |source: &dyn Source| pipeline.run_source(source);
     let (study, stats, health) = match source_kind {
         "file" => {
             let source = FileSource::open(&dir).map_err(|e| CliError::Run(e.to_string()))?;
-            run(&source)
+            match &resume {
+                Some(ckpt) => pipeline.resume_from(&source, ckpt),
+                None => run(&source),
+            }
         }
         _ => {
             let source = MmapSource::open(&dir).map_err(|e| CliError::Run(e.to_string()))?;
-            run(&source)
+            match &resume {
+                Some(ckpt) => pipeline.resume_from(&source, ckpt),
+                None => run(&source),
+            }
         }
     }
     .map_err(|e| CliError::Run(e.to_string()))?;
@@ -270,6 +311,55 @@ fn corpus_analyze(args: &[&str]) -> Result<(), CliError> {
         stats.shards, stats.chunks, stats.max_shard_bytes, stats.total_bytes
     );
     println!("{health}");
+    Ok(())
+}
+
+/// Shared positional parsing for both `checkpoint` subcommands: one
+/// directory, no flags.
+fn checkpoint_dir(args: &[&str], what: &str) -> Result<PathBuf, CliError> {
+    let mut dir: Option<PathBuf> = None;
+    let mut opts = Opts::new(args);
+    while let Some(flag) = opts.next() {
+        match flag {
+            other if !other.starts_with('-') && dir.is_none() => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => return Err(usage(format!("unknown {what} option `{other}`"))),
+        }
+    }
+    dir.ok_or_else(|| usage(format!("{what} needs a checkpoint directory")))
+}
+
+fn checkpoint_ls(args: &[&str]) -> Result<(), CliError> {
+    let dir = checkpoint_dir(args, "checkpoint ls")?;
+    let reader = CheckpointReader::open(&dir).map_err(|e| CliError::Run(e.to_string()))?;
+    let manifest = reader.manifest();
+    println!(
+        "checkpoint {}: payload v{}, corpus seed {} style {:?}, {} epoch(s)",
+        dir.display(),
+        manifest.payload_version,
+        manifest.corpus_seed,
+        manifest.corpus_style,
+        manifest.epochs.len()
+    );
+    for (index, epoch) in manifest.epochs.iter().enumerate() {
+        println!(
+            "  epoch {index}: shards {}..{} in {} chunk(s), {} snapshot bytes, checksum {:016x}",
+            epoch.shard_start, epoch.shard_end, epoch.chunks, epoch.payload_len, epoch.checksum
+        );
+    }
+    Ok(())
+}
+
+fn checkpoint_verify(args: &[&str]) -> Result<(), CliError> {
+    let dir = checkpoint_dir(args, "checkpoint verify")?;
+    let reader = CheckpointReader::open(&dir).map_err(|e| CliError::Run(e.to_string()))?;
+    let bytes = reader.verify().map_err(|e| CliError::Run(e.to_string()))?;
+    println!(
+        "verified {}: {} epoch(s), {bytes} snapshot bytes",
+        dir.display(),
+        reader.epoch_count()
+    );
     Ok(())
 }
 

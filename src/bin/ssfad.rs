@@ -22,12 +22,16 @@ use ssfa::daemon::{expect_message, write_message, Message, MessageKind, Server, 
 
 const USAGE: &str = "\
 usage: ssfad <serve|status|health> [options]
+       ssfad --version
 
   ssfad serve [--addr <ip:port>] [--heartbeat-ms <n>] [--idle-ticks <n>]
-              [--queue-capacity <n>] [--reorder-window <n>]
+              [--queue-capacity <n>] [--reorder-window <n>] [--wal <dir>]
       Run the analysis daemon in the foreground. Agents connect with
       `ssfa agent replay`. Closing stdin drains the bus gracefully and
-      prints every tenant's final summary.
+      prints every tenant's final summary. With --wal, every admitted
+      frame is write-ahead-logged to <dir> before it is acknowledged,
+      and a restarted daemon replays the log so sessions resume exactly
+      where their cursors left off.
 
   ssfad status <addr> [--tenant <t>]
       Print a tenant's live run summary (JSON), or server info when no
@@ -66,6 +70,10 @@ fn usage(msg: impl Into<String>) -> CliError {
 
 fn run(args: &[&str]) -> Result<(), CliError> {
     match args {
+        ["--version"] => {
+            println!("ssfad {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
         ["serve", opts @ ..] => serve(opts),
         ["status", opts @ ..] => query(opts, MessageKind::Status, false),
         ["health", opts @ ..] => query(opts, MessageKind::Health, true),
@@ -114,6 +122,7 @@ fn serve(args: &[&str]) -> Result<(), CliError> {
             "--idle-ticks" => config.idle_ticks_limit = opts.parse(flag)?,
             "--queue-capacity" => bus.queue_capacity = opts.parse(flag)?,
             "--reorder-window" => bus.reorder_window = opts.parse(flag)?,
+            "--wal" => config.wal = Some(std::path::PathBuf::from(opts.value(flag)?)),
             other => return Err(usage(format!("unknown serve option `{other}`"))),
         }
     }

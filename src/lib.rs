@@ -135,7 +135,8 @@ pub use ssfa_stats as stats;
 // `ssfa-pipeline`. Every pre-refactor public path stays valid.
 pub use ssfa_pipeline::workqueue;
 pub use ssfa_pipeline::{
-    ChunkQuarantine, FileSource, MmapSource, Pipeline, PipelineError, RunHealth, StreamStats,
+    CheckpointSink, ChunkQuarantine, Epoch, FileSource, ManifestSource, MmapSource, Pipeline,
+    PipelineError, RunHealth, StreamStats,
 };
 
 /// Convenience re-exports for examples and downstream binaries.

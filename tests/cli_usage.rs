@@ -76,6 +76,8 @@ fn unknown_commands_and_subcommands_exit_2_with_usage() {
     assert_usage_refusal(&ssfa(&["frobnicate"]), "ssfa");
     assert_usage_refusal(&ssfa(&["corpus"]), "ssfa");
     assert_usage_refusal(&ssfa(&["corpus", "frobnicate"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["checkpoint"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["checkpoint", "frobnicate"]), "ssfa");
     assert_usage_refusal(&ssfa(&["agent"]), "ssfa");
     assert_usage_refusal(&ssfa(&["agent", "frobnicate"]), "ssfa");
     assert_usage_refusal(&ssfad(&[]), "ssfad");
@@ -88,6 +90,11 @@ fn unknown_commands_and_subcommands_exit_2_with_usage() {
 fn unknown_flags_exit_2_with_usage() {
     assert_usage_refusal(&ssfa(&["corpus", "build", "--frobnicate"]), "ssfa");
     assert_usage_refusal(&ssfa(&["corpus", "analyze", "dir", "--frobnicate"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["checkpoint", "ls", "dir", "--frobnicate"]), "ssfa");
+    assert_usage_refusal(
+        &ssfa(&["checkpoint", "verify", "dir", "--frobnicate"]),
+        "ssfa",
+    );
     assert_usage_refusal(&ssfa(&["agent", "replay", "dir", "--frobnicate"]), "ssfa");
     assert_usage_refusal(&ssfad(&["serve", "--frobnicate"]), "ssfad");
     assert_usage_refusal(&ssfad(&["status"]), "ssfad");
@@ -146,15 +153,57 @@ fn invalid_values_are_usage_errors_not_panics() {
     assert_usage_refusal(&ssfad(&["serve", "--heartbeat-ms", "0"]), "ssfad");
     assert_usage_refusal(&ssfad(&["serve", "--idle-ticks", "0"]), "ssfad");
     assert_usage_refusal(&ssfad(&["serve", "--queue-capacity", "0"]), "ssfad");
+    // Checkpoint-resume flags: value-less or zero-valued epochs, and
+    // epoch granularity without a checkpoint directory to apply it to,
+    // are all usage refusals.
+    assert_usage_refusal(&ssfa(&["corpus", "analyze", "dir", "--resume"]), "ssfa");
+    assert_usage_refusal(
+        &ssfa(&[
+            "corpus",
+            "analyze",
+            "dir",
+            "--resume",
+            "ckpt",
+            "--epoch-chunks",
+            "0",
+        ]),
+        "ssfa",
+    );
+    assert_usage_refusal(
+        &ssfa(&["corpus", "analyze", "dir", "--epoch-chunks", "2"]),
+        "ssfa",
+    );
+    assert_usage_refusal(&ssfad(&["serve", "--wal"]), "ssfad");
 }
 
 #[test]
 fn missing_required_arguments_exit_2() {
     assert_usage_refusal(&ssfa(&["corpus", "build"]), "ssfa");
     assert_usage_refusal(&ssfa(&["corpus", "verify"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["checkpoint", "ls"]), "ssfa");
+    assert_usage_refusal(&ssfa(&["checkpoint", "verify"]), "ssfa");
     assert_usage_refusal(&ssfa(&["agent", "replay"]), "ssfa");
     assert_usage_refusal(&ssfa(&["agent", "replay", "some-dir"]), "ssfa");
     assert_usage_refusal(&ssfad(&["health", "127.0.0.1:1"]), "ssfad");
+}
+
+#[test]
+fn version_flag_prints_one_line_and_exits_0() {
+    for (out, name) in [
+        (ssfa(&["--version"]), "ssfa"),
+        (ssfad(&["--version"]), "ssfad"),
+    ] {
+        assert_eq!(out.status.code(), Some(0), "{name} --version must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.starts_with(&format!("{name} ")) && stdout.trim_end().contains('.'),
+            "{name} --version must print `{name} <semver>`, got: {stdout}"
+        );
+        assert!(
+            out.stderr.is_empty(),
+            "{name} --version must not write stderr"
+        );
+    }
 }
 
 #[test]

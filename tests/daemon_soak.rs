@@ -88,6 +88,23 @@ fn soak_server(queue_capacity: usize) -> ServerHandle {
             queue_capacity,
             reorder_window: 8,
         },
+        wal: None,
+    })
+    .expect("bind loopback")
+}
+
+/// A durable soak server: same tuning, admissions write-ahead-logged to
+/// `wal`.
+fn durable_server(queue_capacity: usize, wal: &Path) -> ServerHandle {
+    Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        heartbeat_ms: 25,
+        idle_ticks_limit: 3,
+        bus: BusConfig {
+            queue_capacity,
+            reorder_window: 8,
+        },
+        wal: Some(wal.to_path_buf()),
     })
     .expect("bind loopback")
 }
@@ -269,5 +286,61 @@ fn resumed_session_absorbs_each_frame_exactly_once() {
         String::from_utf8_lossy(&acme.summary),
         String::from_utf8_lossy(&oracle),
         "resumed session diverged from the offline oracle"
+    );
+}
+
+/// Mid-run daemon kill with a WAL: the first daemon is abandoned without
+/// a drain — no graceful shutdown, no flush beyond the per-admission
+/// write-ahead appends — and a second daemon over the same WAL directory
+/// must replay itself back to the acked cursor, let the agent resume with
+/// only the unsent suffix, and converge to a summary byte-identical to
+/// the uninterrupted offline pipeline.
+#[test]
+fn daemon_killed_mid_soak_recovers_from_wal() {
+    let tmp = TempDir::new("wal-corpus");
+    let wal = TempDir::new("wal-log");
+    let base = build_corpus(&tmp.0, 55);
+
+    let reader = CorpusReader::open(&tmp.0).expect("corpus opens");
+    let frames: Vec<Vec<u8>> = (0..reader.shard_count())
+        .map(|s| reader.read_shard_frame(s).expect("shard reads"))
+        .collect();
+    let total = frames.len() as u64;
+    let half = frames.len() / 2;
+    assert!(half > 0, "corpus too small to split");
+
+    // First daemon: absorb the first half of the stream, then die. The
+    // handle is dropped without `finish()` — connection and absorber
+    // threads are orphaned mid-flight, exactly like a `kill -9` as far
+    // as the WAL is concerned (only per-admission appends hit disk).
+    let first = durable_server(64, &wal.0);
+    let agent = ReplayAgent::new(AgentConfig::clean("acme", "s1"), frames[..half].to_vec());
+    let report = agent.run(first.addr()).expect("half replay");
+    assert_eq!(report.final_cursor, half as u64);
+    drop(first);
+
+    // Second daemon, same WAL: spawn replays the log before binding, so
+    // the resuming agent's WELCOME cursor already covers the absorbed
+    // prefix and it transmits only the suffix.
+    let second = durable_server(64, &wal.0);
+    let agent = ReplayAgent::new(AgentConfig::clean("acme", "s1"), frames);
+    let report = agent.run(second.addr()).expect("resumed replay");
+    assert_eq!(report.connections, 1);
+    assert_eq!(report.final_cursor, total);
+
+    let drained = second.finish();
+    let acme = tenant(&drained.tenants, "acme");
+    assert!(acme.quarantined.is_none());
+    assert_eq!(acme.health.shards_total as u64, total);
+    assert_eq!(acme.health.shards_processed as u64, total);
+    assert_eq!(
+        acme.stats.duplicates_dropped, 0,
+        "the resumed agent must skip the replayed prefix, not re-send it"
+    );
+    let (oracle, _) = oracle_summary(&base, &tmp.0, Strictness::Strict);
+    assert_eq!(
+        String::from_utf8_lossy(&acme.summary),
+        String::from_utf8_lossy(&oracle),
+        "post-kill recovery diverged from the uninterrupted offline pipeline"
     );
 }
